@@ -1,0 +1,119 @@
+// Ablation: hardware-counter-augmented prediction (§5 future work).
+//
+// Scenario: a node idles, then a full-power job lands (Type I "sudden").
+// The history-only controller cannot move until the die has measurably
+// warmed; the counter-augmented controller sees the RAPL power step on the
+// same round and spins the fan up ahead of the heat. Measured: reaction
+// latency from the load step to the first fan retarget, and the resulting
+// peak die temperature over the transient.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/engine.hpp"
+#include "core/fan_policy.hpp"
+#include "core/predictive_fan.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace thermctl;
+using namespace thermctl::core;
+
+struct Outcome {
+  double reaction_s;    // load step -> first retarget
+  double first_move;    // duty commanded by that first retarget
+  double duty_at_3s;    // duty reached 3 s after the step
+  double peak_temp;
+  double avg_duty;
+};
+
+constexpr double kStepAt = 30.0;
+
+template <typename Controller>
+Outcome run_with(Controller& ctl, cluster::Cluster& rack, cluster::Engine& engine,
+                 const workload::SegmentLoad& load) {
+  engine.set_node_load(0, &load);
+  engine.add_periodic(Seconds{0.25}, [&ctl](SimTime now) { ctl.on_sample(now); });
+  const cluster::RunResult run = engine.run();
+  (void)rack;
+
+  Outcome o{};
+  o.reaction_s = -1.0;
+  for (const FanEvent& e : ctl.events()) {
+    if (e.time_s >= kStepAt && e.to_duty > e.from_duty) {
+      if (o.reaction_s < 0.0) {
+        o.reaction_s = e.time_s - kStepAt;
+        o.first_move = e.to_duty;
+      }
+      if (e.time_s <= kStepAt + 3.0) {
+        o.duty_at_3s = e.to_duty;  // last retarget within 3 s of the step
+      }
+    }
+  }
+  o.peak_temp = run.max_die_temp();
+  o.avg_duty = run.summaries[0].avg_duty;
+  return o;
+}
+
+Outcome run_variant(bool predictive) {
+  cluster::NodeParams params;
+  params.sensor.noise_sigma_degc = 0.0;
+  cluster::Cluster rack{1, params};
+  rack.node(0).set_utilization(Utilization{0.05});
+  rack.node(0).settle();
+
+  cluster::EngineConfig engine_cfg;
+  engine_cfg.horizon = Seconds{150.0};
+  cluster::Engine engine{rack, engine_cfg};
+  const auto load = workload::sudden_profile(Seconds{kStepAt}, Seconds{90.0});
+
+  if (predictive) {
+    PredictiveFanConfig cfg;
+    cfg.base.pp = PolicyParam{50};
+    auto ctl = std::make_unique<PredictiveFanController>(rack.node(0).hwmon(),
+                                                         rack.node(0).rapl(), cfg);
+    return run_with(*ctl, rack, engine, load);
+  }
+  FanControlConfig cfg;
+  cfg.pp = PolicyParam{50};
+  auto ctl = std::make_unique<DynamicFanController>(rack.node(0).hwmon(), cfg);
+  return run_with(*ctl, rack, engine, load);
+}
+
+}  // namespace
+
+int main() {
+  namespace tb = thermctl::bench;
+  tb::banner("Ablation", "counter-augmented prediction vs history-only window (load step)");
+
+  const Outcome history = run_variant(false);
+  const Outcome counter = run_variant(true);
+
+  TextTable table{{"controller", "reaction (s)", "first move (duty %)", "duty 3 s in (%)",
+                   "peak die (degC)", "avg duty (%)"}};
+  table.add_row("history-only (paper baseline)",
+                {history.reaction_s, history.first_move, history.duty_at_3s,
+                 history.peak_temp, history.avg_duty},
+                2);
+  table.add_row("counter-augmented (future work)",
+                {counter.reaction_s, counter.first_move, counter.duty_at_3s,
+                 counter.peak_temp, counter.avg_duty},
+                2);
+  std::printf("%s", table.render().c_str());
+  tb::note("the die's own fast RC makes both variants notice the step within one\n"
+           "round — but the RAPL feed-forward knows the step's full magnitude\n"
+           "immediately, so it commands a far stronger response up front\n"
+           "(§5: 'integration of hardware counter and data')");
+
+  tb::shape_check("both controllers react within ~2 rounds",
+                  history.reaction_s > 0.0 && history.reaction_s <= 2.0 &&
+                      counter.reaction_s > 0.0 && counter.reaction_s <= 2.0);
+  tb::shape_check("counter-augmented first move is at least 1.5x stronger",
+                  counter.first_move >= history.first_move * 1.5);
+  tb::shape_check("counter-augmented is further up the curve 3 s after the step",
+                  counter.duty_at_3s > history.duty_at_3s + 5.0);
+  tb::shape_check("stronger early response lowers or matches the transient peak",
+                  counter.peak_temp <= history.peak_temp + 0.1);
+  return 0;
+}

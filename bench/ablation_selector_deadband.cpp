@@ -1,0 +1,90 @@
+// Ablation: the mode selector's deadband.
+//
+// The paper rejects jitter structurally (the level-one sum difference plus
+// truncation of c·Δt). Our implementation exposes an additional optional
+// deadband on |Δt|. This bench quantifies whether it earns its keep on this
+// platform: spurious retargets under realistic sensor noise vs added
+// response latency, across deadband widths.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/mode_selector.hpp"
+#include "core/two_level_window.hpp"
+
+int main() {
+  using namespace thermctl;
+  using namespace thermctl::core;
+  namespace tb = thermctl::bench;
+
+  tb::banner("Ablation", "selector deadband: noise immunity vs response latency");
+
+  struct Row {
+    double deadband;
+    int noise_moves;
+    double latency_s;
+  };
+  std::vector<Row> rows;
+
+  for (double deadband : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+    ModeSelectorConfig cfg;
+    cfg.deadband = CelsiusDelta{deadband};
+    ModeSelector selector{cfg, 100};
+
+    // Noise scenario: a flat 48 degC signal through the quantized sensor
+    // model (sigma 0.18, 0.25 degC steps) for 10 minutes at 4 Hz.
+    Rng rng{4242};
+    TwoLevelWindow window;
+    std::size_t index = 30;
+    int moves = 0;
+    for (int i = 0; i < 2400; ++i) {
+      const double reading = 48.0 + std::round(rng.normal(0.0, 0.18) / 0.25) * 0.25;
+      if (auto round = window.add_sample(Celsius{reading})) {
+        const ModeDecision d = selector.decide(index, *round);
+        if (d.changed) {
+          ++moves;
+          index = d.target;
+        }
+      }
+    }
+
+    // Latency scenario: a 0.6 degC/s sustained rise; samples to first move.
+    TwoLevelWindow w2;
+    std::size_t idx2 = 30;
+    double latency = -1.0;
+    double temp = 45.0;
+    for (int i = 0; i < 400; ++i) {
+      temp += 0.6 * 0.25;
+      if (auto round = w2.add_sample(Celsius{temp})) {
+        if (selector.decide(idx2, *round).changed) {
+          latency = (i + 1) * 0.25;
+          break;
+        }
+      }
+    }
+    rows.push_back(Row{deadband, moves, latency});
+  }
+
+  TextTable table{{"deadband (degC)", "spurious moves / 10 min", "step latency (s)"}};
+  for (const Row& row : rows) {
+    table.add_row(format_number(row.deadband, 2),
+                  {static_cast<double>(row.noise_moves), row.latency_s}, 2);
+  }
+  std::printf("%s", table.render().c_str());
+  tb::note("with zero deadband the index dithers +-1 cell on sensor noise — which is\n"
+           "exactly the small fan-speed wiggle visible in the paper's Fig. 5 PWM\n"
+           "traces (1 cell = 1% duty: cosmetic). Silencing it takes a deadband near\n"
+           "2x the noise sigma (1 degC here), which already triples step latency;\n"
+           "the paper's structural rejection (sum-difference + truncation) is the\n"
+           "right default and the deadband is a tunable for noisier sensors.");
+
+  tb::shape_check("zero deadband dithers on noise", rows[0].noise_moves > 10);
+  tb::shape_check("1 degC deadband cuts noise moves by >80%",
+                  rows[3].noise_moves * 5 < rows[0].noise_moves);
+  tb::shape_check("2 degC deadband silences noise entirely", rows[4].noise_moves == 0);
+  tb::shape_check("sub-sigma deadbands add no latency",
+                  rows[1].latency_s <= rows[0].latency_s + 1.1);
+  tb::shape_check("a 2 degC deadband triples genuine response latency",
+                  rows[4].latency_s >= rows[0].latency_s * 3.0);
+  return 0;
+}

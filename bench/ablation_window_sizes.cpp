@@ -1,0 +1,88 @@
+// Ablation: level-one window size (§3.2.1's design discussion).
+//
+// Paper: "If the window size is too small, then the controller will react to
+// jitter as if it were a 'sudden' sustained behavior. If the window size is
+// too large, then the controller will not promptly respond to sudden
+// sustained behaviors. We experimented with various window sizes and found a
+// 4-entry window was sufficiently large."
+//
+// The bench quantifies both failure modes: spurious retargets under pure
+// sensor jitter (too small) and response latency to a genuine load step
+// (too large).
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "core/fan_policy.hpp"
+#include "core/two_level_window.hpp"
+#include "common/rng.hpp"
+
+int main() {
+  using namespace thermctl;
+  using namespace thermctl::core;
+  namespace tb = thermctl::bench;
+
+  tb::banner("Ablation", "level-one window size: jitter rejection vs response latency");
+
+  struct Row {
+    std::size_t size;
+    int jitter_moves;     // index moves under pure quantization jitter
+    double latency_s;     // rounds-to-first-move on a 0.8 degC/s step
+  };
+  std::vector<Row> rows;
+
+  for (std::size_t size : {2u, 4u, 8u, 16u}) {
+    WindowConfig wc;
+    wc.level1_size = size;
+    ModeSelector selector{ModeSelectorConfig{}, 100};
+
+    // Jitter scenario: quantized sensor readings of a flat 50 degC signal.
+    Rng rng{99};
+    TwoLevelWindow jitter_window{wc};
+    int jitter_moves = 0;
+    std::size_t index = 20;
+    for (int i = 0; i < 2400; ++i) {  // 10 min at 4 Hz
+      const double reading =
+          50.0 + std::round(rng.normal(0.0, 0.18) / 0.25) * 0.25;
+      if (auto round = jitter_window.add_sample(Celsius{reading})) {
+        const ModeDecision d = selector.decide(index, *round);
+        if (d.changed) {
+          ++jitter_moves;
+          index = d.target;
+        }
+      }
+    }
+
+    // Step scenario: +0.8 degC/s sustained rise; latency to first move.
+    TwoLevelWindow step_window{wc};
+    double t = 45.0;
+    double latency_s = -1.0;
+    std::size_t idx2 = 20;
+    for (int i = 0; i < 400; ++i) {
+      t += 0.8 * 0.25;
+      if (auto round = step_window.add_sample(Celsius{t})) {
+        const ModeDecision d = selector.decide(idx2, *round);
+        if (d.changed) {
+          latency_s = (i + 1) * 0.25;
+          break;
+        }
+      }
+    }
+    rows.push_back(Row{size, jitter_moves, latency_s});
+  }
+
+  TextTable table{{"L1 size", "spurious moves (10 min jitter)", "step response latency (s)"}};
+  for (const Row& row : rows) {
+    table.add_row(std::to_string(row.size),
+                  {static_cast<double>(row.jitter_moves), row.latency_s}, 2);
+  }
+  std::printf("%s", table.render().c_str());
+  tb::note("paper reference: 4 entries balances jitter rejection against prompt\n"
+           "response to sudden sustained change");
+
+  tb::shape_check("size 2 reacts to jitter more than size 4",
+                  rows[0].jitter_moves > rows[1].jitter_moves);
+  tb::shape_check("size 16 responds slower to a step than size 4",
+                  rows[3].latency_s > rows[1].latency_s);
+  tb::shape_check("size 4 responds within ~2 s", rows[1].latency_s <= 2.0);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared helpers for the experiment harness binaries.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cluster/metrics.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace thermctl::bench {
+
+/// Directory experiment CSVs land in (created on demand).
+inline std::string out_dir() {
+  const std::string dir = "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// Prints a PASS/WARN shape check (the bench's contract with the paper).
+inline bool shape_check(const std::string& what, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "WARN", what.c_str());
+  return ok;
+}
+
+/// Downsamples a recorded series for console display: every `stride`-th
+/// sample as one table row.
+inline void print_series(const std::string& label, const std::vector<double>& times,
+                         const std::vector<std::pair<std::string, const std::vector<double>*>>&
+                             series,
+                         std::size_t stride) {
+  std::vector<std::string> headers{"t(s)"};
+  for (const auto& [name, _] : series) {
+    headers.push_back(name);
+  }
+  TextTable table{headers};
+  for (std::size_t i = 0; i < times.size(); i += stride) {
+    std::vector<double> row;
+    for (const auto& [_, values] : series) {
+      row.push_back(i < values->size() ? (*values)[i] : 0.0);
+    }
+    char label_buf[32];
+    std::snprintf(label_buf, sizeof label_buf, "%.0f", times[i]);
+    table.add_row(label_buf, row, 1);
+  }
+  std::printf("%s\n%s", label.c_str(), table.render().c_str());
+}
+
+/// Writes one field of a run to bench_out/<name>.csv and says so.
+inline void dump_csv(const cluster::RunResult& run, const std::string& name,
+                     const std::string& field) {
+  const std::string path = out_dir() + "/" + name + ".csv";
+  run.write_csv(path, field);
+  std::printf("  series written: %s\n", path.c_str());
+}
+
+}  // namespace thermctl::bench

@@ -1,0 +1,83 @@
+// Figure 3: mechanics of the two-level, history-based temperature window.
+//
+// The paper's figure is a schematic; this bench makes it executable: it
+// feeds the window three scripted scenarios (sudden rise, gradual drift,
+// jitter) and prints each completed round's Δt_L1 / Δt_L2 / average so the
+// division of labour between the two levels is visible in numbers.
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "core/two_level_window.hpp"
+
+namespace {
+
+using namespace thermctl;
+
+void run_scenario(const char* name, const std::vector<double>& samples) {
+  core::TwoLevelWindow window;
+  TextTable table{{"round", "dT_L1", "dT_L2", "round avg"}};
+  int round_no = 0;
+  for (double s : samples) {
+    const auto round = window.add_sample(Celsius{s});
+    if (round.has_value()) {
+      ++round_no;
+      table.add_row("#" + std::to_string(round_no),
+                    {round->level1_delta.value(),
+                     round->level2_valid ? round->level2_delta.value() : 0.0,
+                     round->level1_average.value()},
+                    2);
+    }
+  }
+  std::printf("\nscenario: %s\n%s", name, table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  namespace tb = thermctl::bench;
+  tb::banner("Figure 3", "two-level window mechanics (4-entry L1, 5-entry L2 FIFO)");
+
+  // Sudden: +0.5 degC per sample, sustained.
+  std::vector<double> sudden;
+  for (int i = 0; i < 20; ++i) {
+    sudden.push_back(45.0 + 0.5 * i);
+  }
+  run_scenario("sudden rise (+2 degC/s at 4 Hz) -> large dT_L1 every round", sudden);
+
+  // Gradual: +0.05 degC per sample — invisible to L1, visible to L2.
+  std::vector<double> gradual;
+  for (int i = 0; i < 24; ++i) {
+    gradual.push_back(45.0 + 0.05 * i);
+  }
+  run_scenario("gradual drift (+0.2 degC/s) -> dT_L1 small, dT_L2 accumulates", gradual);
+
+  // Jitter: alternating +-0.5 degC with no trend.
+  std::vector<double> jitter;
+  for (int i = 0; i < 24; ++i) {
+    jitter.push_back(45.0 + (i % 2 == 0 ? 0.5 : -0.5));
+  }
+  run_scenario("jitter (alternating +-0.5 degC) -> both deltas cancel", jitter);
+
+  // Quantitative contract checks.
+  core::TwoLevelWindow w;
+  std::optional<core::WindowRound> last;
+  for (double s : gradual) {
+    if (auto r = w.add_sample(Celsius{s})) {
+      last = r;
+    }
+  }
+  tb::shape_check("gradual: |dT_L2| > 3x |dT_L1| on the final round",
+                  last.has_value() && std::abs(last->level2_delta.value()) >
+                                          3.0 * std::abs(last->level1_delta.value()));
+
+  core::TwoLevelWindow wj;
+  std::optional<core::WindowRound> lastj;
+  for (double s : jitter) {
+    if (auto r = wj.add_sample(Celsius{s})) {
+      lastj = r;
+    }
+  }
+  tb::shape_check("jitter: both deltas below 0.1 degC",
+                  lastj.has_value() && std::abs(lastj->level1_delta.value()) < 0.1 &&
+                      std::abs(lastj->level2_delta.value()) < 0.1);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 5: dynamic fan control under cpu-burn for Pp in {25, 50, 75}.
+//
+// Paper setup: "We initially run three instances of the cpu-burn code ...
+// Each run lasts about five minutes. We tested three temperature control
+// policies: aggressive (Pp=25), moderate (Pp=50), weak (Pp=75)."
+//
+// Paper findings to reproduce in shape:
+//   * fan responds to sudden variation, ignores jitter,
+//   * smaller Pp -> lower operating temperature,
+//   * average PWM duty ordering: Pp=25 (70) > Pp=50 (53) > Pp=75 (36).
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace thermctl;
+  using namespace thermctl::core;
+  namespace tb = thermctl::bench;
+
+  tb::banner("Figure 5", "dynamic fan control under cpu-burn, Pp in {25, 50, 75}");
+
+  struct Row {
+    int pp;
+    double avg_duty;
+    double avg_temp;
+    double max_temp;
+    double avg_power;
+  };
+  std::vector<Row> rows;
+
+  for (int pp : {25, 50, 75}) {
+    ExperimentConfig cfg = paper_platform();
+    cfg.name = "fig05_pp" + std::to_string(pp);
+    cfg.nodes = 1;
+    cfg.workload = WorkloadKind::kCpuBurnCycles;  // three instances, as in §4.2
+    cfg.cpu_burn_duration = Seconds{300.0};       // "about five minutes"
+    cfg.fan = FanPolicyKind::kDynamic;
+    cfg.pp = PolicyParam{pp};
+    const ExperimentResult r = run_experiment(cfg);
+    rows.push_back(Row{pp, r.run.summaries[0].avg_duty, r.run.avg_die_temp(),
+                       r.run.max_die_temp(), r.run.avg_power_w()});
+    tb::dump_csv(r.run, cfg.name + "_temp", "sensor_temp");
+    tb::dump_csv(r.run, cfg.name + "_duty", "duty");
+  }
+
+  TextTable table{{"policy", "avg PWM duty (%)", "avg temp (degC)", "max temp (degC)",
+                   "avg power (W)"}};
+  for (const Row& row : rows) {
+    table.add_row("Pp=" + std::to_string(row.pp),
+                  {row.avg_duty, row.avg_temp, row.max_temp, row.avg_power}, 1);
+  }
+  std::printf("%s", table.render().c_str());
+  tb::note("paper reference: avg PWM duty 70 (Pp=25), 53 (Pp=50), 36 (Pp=75);\n"
+           "smaller Pp -> lower temperature, higher fan power");
+
+  tb::shape_check("duty ordering Pp=25 > Pp=50 > Pp=75",
+                  rows[0].avg_duty > rows[1].avg_duty && rows[1].avg_duty > rows[2].avg_duty);
+  tb::shape_check("temperature ordering Pp=25 < Pp=50 < Pp=75",
+                  rows[0].avg_temp < rows[1].avg_temp && rows[1].avg_temp < rows[2].avg_temp);
+  tb::shape_check("duty spread across policies > 10 points",
+                  rows[0].avg_duty - rows[2].avg_duty > 10.0);
+  return 0;
+}

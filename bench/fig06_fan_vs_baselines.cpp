@@ -1,0 +1,97 @@
+// Figure 6: our dynamic fan control vs the traditional static curve vs
+// constant fan speed, NPB BT.B on 4 nodes.
+//
+// Paper setup: "the maximum allowed fan speed for traditional fan control
+// and our fan control is set to 75%. Pp in our fan control is set to 50.
+// [Constant control's] PWM duty cycle is fixed at 75%."
+//
+// Paper findings to reproduce in shape:
+//   * the static method reacts only to absolute temperature, stabilizes
+//     slowest and hottest;
+//   * our method proactively expedites the fan and stabilizes lower;
+//   * constant 75% is coolest but consumes the most (fan) power.
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace thermctl;
+  using namespace thermctl::core;
+  namespace tb = thermctl::bench;
+
+  tb::banner("Figure 6", "dynamic vs traditional static vs constant fan (BT.B.4, Pp=50)");
+
+  struct Variant {
+    const char* name;
+    FanPolicyKind fan;
+  };
+  const Variant variants[] = {
+      {"traditional static", FanPolicyKind::kStaticCurve},
+      {"our dynamic", FanPolicyKind::kDynamic},
+      {"constant 75%", FanPolicyKind::kConstantDuty},
+  };
+
+  struct Row {
+    std::string name;
+    double avg_temp;
+    double max_temp;
+    double avg_duty;
+    double fan_energy_proxy;  // mean duty^3 — fan power proxy
+    double exec_time;
+  };
+  std::vector<Row> rows;
+
+  for (const Variant& v : variants) {
+    ExperimentConfig cfg = paper_platform();
+    cfg.name = std::string{"fig06_"} + (v.fan == FanPolicyKind::kStaticCurve
+                                            ? "static"
+                                            : (v.fan == FanPolicyKind::kDynamic ? "dynamic"
+                                                                                : "constant"));
+    cfg.workload = WorkloadKind::kNpbBt;
+    cfg.fan = v.fan;
+    cfg.pp = PolicyParam{50};
+    cfg.max_duty = DutyCycle{75.0};
+    cfg.constant_duty = DutyCycle{75.0};
+    const ExperimentResult r = run_experiment(cfg);
+
+    double duty3 = 0.0;
+    std::size_t n = 0;
+    for (const auto& node : r.run.nodes) {
+      for (double d : node.duty) {
+        duty3 += (d / 100.0) * (d / 100.0) * (d / 100.0);
+        ++n;
+      }
+    }
+    rows.push_back(Row{v.name, r.run.avg_die_temp(), r.run.max_die_temp(), r.run.avg_duty(),
+                       duty3 / static_cast<double>(n), r.run.exec_time_s});
+    tb::dump_csv(r.run, cfg.name + "_temp", "sensor_temp");
+    tb::dump_csv(r.run, cfg.name + "_duty", "duty");
+  }
+
+  TextTable table{{"control", "avg temp (degC)", "max temp (degC)", "avg duty (%)",
+                   "fan power proxy", "exec time (s)"}};
+  for (const Row& row : rows) {
+    table.add_row(row.name,
+                  {row.avg_temp, row.max_temp, row.avg_duty, row.fan_energy_proxy,
+                   row.exec_time},
+                  2);
+  }
+  std::printf("%s", table.render().c_str());
+  tb::note("paper reference: static stabilizes slowest/hottest (duty reaches 32%);\n"
+           "ours proactively reaches >45% duty and stabilizes lower;\n"
+           "constant 75% is coolest but burns the most fan power");
+
+  const Row& stat = rows[0];
+  const Row& dyn = rows[1];
+  const Row& con = rows[2];
+  tb::shape_check("dynamic runs cooler than static on average",
+                  dyn.avg_temp < stat.avg_temp + 0.3);
+  tb::shape_check("constant 75% is the coolest", con.avg_temp <= dyn.avg_temp + 0.3 &&
+                                                     con.avg_temp <= stat.avg_temp);
+  tb::shape_check("constant 75% costs the most fan power",
+                  con.fan_energy_proxy > dyn.fan_energy_proxy &&
+                      con.fan_energy_proxy > stat.fan_energy_proxy);
+  tb::shape_check("fan policy does not change execution time (out-of-band)",
+                  std::abs(dyn.exec_time - stat.exec_time) < 2.0 &&
+                      std::abs(dyn.exec_time - con.exec_time) < 2.0);
+  return 0;
+}

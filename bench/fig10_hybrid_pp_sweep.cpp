@@ -1,0 +1,77 @@
+// Figure 10: hybrid (unified) fan + tDVFS control with one shared Pp in
+// {25, 50, 75}, NPB BT.B on 4 nodes, fan capped at 50%, threshold 51 degC.
+//
+// Paper findings to reproduce in shape:
+//   * smaller Pp controls temperature more effectively;
+//   * the smaller Pp is, the LATER tDVFS is triggered (aggressive fan
+//     control defers the in-band response);
+//   * smaller Pp costs more execution time, but the Pp=25 vs Pp=75 gap is
+//     small (paper: 4.76%).
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+
+int main() {
+  using namespace thermctl;
+  using namespace thermctl::core;
+  namespace tb = thermctl::bench;
+
+  tb::banner("Figure 10", "hybrid fan + tDVFS, shared Pp in {25, 50, 75} (BT.B.4, cap 50%)");
+
+  struct Row {
+    int pp;
+    double avg_temp;
+    double max_temp;
+    double trigger_s;
+    double exec_time;
+    double min_freq;
+  };
+  std::vector<Row> rows;
+
+  for (int pp : {25, 50, 75}) {
+    ExperimentConfig cfg = paper_platform();
+    cfg.name = "fig10_pp" + std::to_string(pp);
+    cfg.workload = WorkloadKind::kNpbBt;
+    cfg.fan = FanPolicyKind::kDynamic;
+    cfg.dvfs = DvfsPolicyKind::kTdvfs;
+    cfg.pp = PolicyParam{pp};
+    cfg.max_duty = DutyCycle{50.0};
+    const ExperimentResult r = run_experiment(cfg);
+
+    double min_freq = 2.4;
+    for (const auto& node : r.run.nodes) {
+      for (double f : node.freq_ghz) {
+        min_freq = std::min(min_freq, f);
+      }
+    }
+    rows.push_back(Row{pp, r.run.avg_die_temp(), r.run.max_die_temp(),
+                       r.first_dvfs_trigger_s, r.run.exec_time_s, min_freq});
+    tb::dump_csv(r.run, cfg.name + "_temp", "sensor_temp");
+    tb::dump_csv(r.run, cfg.name + "_freq", "freq_ghz");
+  }
+
+  TextTable table{{"policy", "avg temp (degC)", "max temp", "tDVFS trigger (s)",
+                   "exec time (s)", "lowest freq (GHz)"}};
+  for (const Row& row : rows) {
+    table.add_row("Pp=" + std::to_string(row.pp),
+                  {row.avg_temp, row.max_temp, row.trigger_s, row.exec_time, row.min_freq}, 2);
+  }
+  std::printf("%s", table.render().c_str());
+  tb::note("paper reference: smaller Pp -> lower temperature, later tDVFS trigger,\n"
+           "deeper frequency drop, slightly longer run; Pp=25 vs Pp=75 performance\n"
+           "difference only 4.76%");
+
+  tb::shape_check("temperature ordering Pp=25 <= Pp=50 <= Pp=75",
+                  rows[0].avg_temp <= rows[1].avg_temp + 0.3 &&
+                      rows[1].avg_temp <= rows[2].avg_temp + 0.3);
+  const bool t25 = rows[0].trigger_s > 0.0;
+  const bool t75 = rows[2].trigger_s > 0.0;
+  tb::shape_check("weak policy (Pp=75) triggers tDVFS", t75);
+  tb::shape_check("aggressive fan defers the tDVFS trigger (Pp=25 later or never)",
+                  !t25 || rows[0].trigger_s >= rows[2].trigger_s);
+  const double perf_gap =
+      (rows[0].exec_time - rows[2].exec_time) / rows[2].exec_time * 100.0;
+  std::printf("  Pp=25 vs Pp=75 execution-time difference: %.2f%%\n", perf_gap);
+  tb::shape_check("performance gap between Pp=25 and Pp=75 stays below ~8%",
+                  std::abs(perf_gap) < 8.0);
+  return 0;
+}

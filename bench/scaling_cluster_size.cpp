@@ -1,0 +1,126 @@
+// Scaling study: unified thermal control on larger clusters (§5 future
+// work: "study how our thermal controllers scale in large-scale clusters").
+//
+// Per-node controllers are fully decentralized — each reads its own sensor
+// and actuates its own fan/DVFS — so control *quality* should be scale-free
+// while cluster-wide outcomes (hottest node, total transitions) grow
+// predictably. The bench runs the same BT-per-node job on 4..32 nodes with
+// per-node unified control plus a rack hot spot, and also reports the
+// simulator's wall-clock throughput at each scale.
+#include <chrono>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/engine.hpp"
+#include "core/unified_controller.hpp"
+#include "workload/app.hpp"
+#include "workload/npb.hpp"
+
+namespace {
+
+using namespace thermctl;
+using namespace thermctl::core;
+
+struct Outcome {
+  double exec_s;
+  double hottest;
+  double avg_temp;
+  std::uint64_t transitions;
+  double sim_rate;  // simulated seconds per wall second
+};
+
+Outcome run_scale(std::size_t nodes) {
+  cluster::NodeParams params;
+  cluster::Cluster rack{nodes, params};
+  for (std::size_t i = 0; i < nodes; ++i) {
+    rack.node(i).set_utilization(Utilization{0.02});
+  }
+  // One hot-spot node per 8 (recirculation pockets scale with rack count).
+  for (std::size_t i = 7; i < nodes; i += 8) {
+    rack.set_inlet_temperature(i, Celsius{35.0});
+  }
+  rack.settle_all();
+
+  cluster::EngineConfig engine_cfg;
+  engine_cfg.horizon = Seconds{300.0};
+  cluster::Engine engine{rack, engine_cfg};
+
+  Rng rng{nodes * 131 + 7};
+  workload::NpbParams npb = workload::bt_class_b();
+  npb.iterations = 100;
+  workload::ParallelApp app{"BT", workload::make_npb_programs(npb, static_cast<int>(nodes), rng)};
+  std::vector<std::size_t> mapping(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    mapping[i] = i;
+  }
+  engine.attach_app(app, mapping);
+
+  std::vector<std::unique_ptr<UnifiedController>> controllers;
+  controllers.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    UnifiedConfig cfg;
+    cfg.pp = PolicyParam{50};
+    cfg.tdvfs.threshold = Celsius{53.0};
+    controllers.push_back(std::make_unique<UnifiedController>(
+        rack.node(i).hwmon(), rack.node(i).cpufreq(), cfg));
+    UnifiedController* raw = controllers.back().get();
+    engine.add_periodic(params.sample_period, [raw](SimTime now) { raw->on_sample(now); });
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const cluster::RunResult run = engine.run();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  Outcome o;
+  o.exec_s = run.exec_time_s;
+  o.hottest = run.max_die_temp();
+  o.avg_temp = run.avg_die_temp();
+  o.transitions = run.total_freq_transitions();
+  o.sim_rate = run.times.back() / std::max(wall_s, 1e-9);
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  namespace tb = thermctl::bench;
+  tb::banner("Scaling", "per-node unified control on 4..32-node racks (BT + hot spots)");
+
+  TextTable table{{"nodes", "exec (s)", "hottest die (degC)", "avg die", "freq changes",
+                   "sim rate (sim-s/wall-s)"}};
+  std::vector<Outcome> outcomes;
+  for (std::size_t n : {4u, 8u, 16u, 32u}) {
+    const Outcome o = run_scale(n);
+    outcomes.push_back(o);
+    table.add_row(std::to_string(n),
+                  {o.exec_s, o.hottest, o.avg_temp, static_cast<double>(o.transitions),
+                   o.sim_rate},
+                  1);
+  }
+  std::printf("%s", table.render().c_str());
+  tb::note("decentralized per-node control: thermal quality should not degrade with\n"
+           "scale; only aggregate counts grow");
+
+  tb::shape_check("hottest die stays controlled (< 60 degC) at every scale", [&] {
+    for (const Outcome& o : outcomes) {
+      if (o.hottest >= 60.0) {
+        return false;
+      }
+    }
+    return true;
+  }());
+  tb::shape_check("average temperature is scale-free (spread < 2 degC)", [&] {
+    double lo = 1e9;
+    double hi = -1e9;
+    for (const Outcome& o : outcomes) {
+      lo = std::min(lo, o.avg_temp);
+      hi = std::max(hi, o.avg_temp);
+    }
+    return hi - lo < 2.0;
+  }());
+  tb::shape_check("execution time grows only mildly with scale (barrier tail, < 10%)",
+                  outcomes.back().exec_s < outcomes.front().exec_s * 1.10);
+  return 0;
+}

@@ -1,0 +1,149 @@
+// thermctld — a config-driven thermal-control "daemon" run against the
+// simulated cluster. The shape a production deployment of the paper's
+// framework would take: an operator writes a small config naming the
+// techniques, thresholds and the policy parameter; the daemon wires per-node
+// controllers and reports what happened.
+//
+// Usage:
+//   thermctld [config-file]
+//
+// Config format (key = value, '#' comments; all keys optional):
+//   nodes = 4
+//   workload = bt | lu | burn | idle
+//   pp = 50                      # policy parameter, 1..100
+//   fan = dynamic | static | constant | none
+//   max_duty = 100               # fan ceiling, percent
+//   dvfs = tdvfs | cpuspeed | none
+//   threshold = 51               # tDVFS trigger, degC
+//   idle_injection = on | off    # sleep-state backstop
+//   duration = 300               # horizon / cpu-burn seconds
+//   seed = 20260708
+//   csv = out_prefix             # write temp/duty/freq series CSVs
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+
+namespace {
+
+using namespace thermctl;
+using namespace thermctl::core;
+
+std::map<std::string, std::string> parse_config(const std::string& path) {
+  std::map<std::string, std::string> kv;
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "thermctld: cannot open %s, using defaults\n", path.c_str());
+    return kv;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    auto trim = [](std::string s) {
+      const auto begin = s.find_first_not_of(" \t");
+      const auto end = s.find_last_not_of(" \t");
+      return begin == std::string::npos ? std::string{} : s.substr(begin, end - begin + 1);
+    };
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (!key.empty() && !value.empty()) {
+      kv[key] = value;
+    }
+  }
+  return kv;
+}
+
+std::string get(const std::map<std::string, std::string>& kv, const std::string& key,
+                const std::string& fallback) {
+  auto it = kv.find(key);
+  return it == kv.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string config_path = argc > 1 ? argv[1] : "thermctld.conf";
+  const auto kv = parse_config(config_path);
+
+  ExperimentConfig cfg = paper_platform();
+  cfg.name = "thermctld";
+  cfg.nodes = static_cast<std::size_t>(std::stoul(get(kv, "nodes", "4")));
+  cfg.seed = std::stoull(get(kv, "seed", "20260708"));
+  cfg.pp = PolicyParam{std::stoi(get(kv, "pp", "50"))};
+  cfg.max_duty = DutyCycle{std::stod(get(kv, "max_duty", "100"))};
+  cfg.tdvfs.threshold = Celsius{std::stod(get(kv, "threshold", "51"))};
+  cfg.cpu_burn_duration = Seconds{std::stod(get(kv, "duration", "300"))};
+  cfg.engine.horizon = Seconds{std::stod(get(kv, "duration", "300")) * 2.0};
+
+  const std::string workload = get(kv, "workload", "bt");
+  if (workload == "bt") {
+    cfg.workload = WorkloadKind::kNpbBt;
+  } else if (workload == "lu") {
+    cfg.workload = WorkloadKind::kNpbLu;
+  } else if (workload == "burn") {
+    cfg.workload = WorkloadKind::kCpuBurnCycles;
+  } else if (workload == "idle") {
+    cfg.workload = WorkloadKind::kIdle;
+  } else {
+    std::fprintf(stderr, "thermctld: unknown workload '%s'\n", workload.c_str());
+    return 1;
+  }
+
+  const std::string fan = get(kv, "fan", "dynamic");
+  if (fan == "dynamic") {
+    cfg.fan = FanPolicyKind::kDynamic;
+  } else if (fan == "static") {
+    cfg.fan = FanPolicyKind::kStaticCurve;
+  } else if (fan == "constant") {
+    cfg.fan = FanPolicyKind::kConstantDuty;
+  } else if (fan == "none") {
+    cfg.fan = FanPolicyKind::kChipDefault;
+  } else {
+    std::fprintf(stderr, "thermctld: unknown fan policy '%s'\n", fan.c_str());
+    return 1;
+  }
+
+  const std::string dvfs = get(kv, "dvfs", "tdvfs");
+  if (dvfs == "tdvfs") {
+    cfg.dvfs = DvfsPolicyKind::kTdvfs;
+  } else if (dvfs == "cpuspeed") {
+    cfg.dvfs = DvfsPolicyKind::kCpuspeed;
+  } else if (dvfs == "none") {
+    cfg.dvfs = DvfsPolicyKind::kNone;
+  } else {
+    std::fprintf(stderr, "thermctld: unknown dvfs policy '%s'\n", dvfs.c_str());
+    return 1;
+  }
+
+  std::printf("thermctld: %zu nodes, workload=%s, fan=%s (cap %.0f%%), dvfs=%s, Pp=%d, "
+              "threshold=%.0f degC\n",
+              cfg.nodes, workload.c_str(), fan.c_str(), cfg.max_duty.percent(), dvfs.c_str(),
+              cfg.pp.value, cfg.tdvfs.threshold.value());
+
+  const ExperimentResult r = run_experiment(cfg);
+
+  std::printf("\n%s", render_report(r).c_str());
+  if (r.first_dvfs_trigger_s >= 0.0) {
+    std::printf("first DVFS intervention at t=%.1f s\n", r.first_dvfs_trigger_s);
+  }
+
+  const std::string csv = get(kv, "csv", "");
+  if (!csv.empty()) {
+    r.run.write_csv(csv + "_temp.csv", "sensor_temp");
+    r.run.write_csv(csv + "_duty.csv", "duty");
+    r.run.write_csv(csv + "_freq.csv", "freq_ghz");
+    std::printf("series written: %s_{temp,duty,freq}.csv\n", csv.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Trace replay: run the unified controller against a recorded utilization
+// trace (monitoring export) instead of a synthetic workload, then analyze
+// the resulting thermal behaviour with the §3.1 segmentation tool.
+//
+// Usage:
+//   trace_replay [utilization.csv]
+//
+// The CSV holds `time_s,utilization` rows. Without an argument the example
+// writes and replays a demonstration trace (a web-serving diurnal pattern
+// compressed to five minutes: quiet -> ramp -> bursty peak -> decay).
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "cluster/engine.hpp"
+#include "core/trace_analysis.hpp"
+#include "core/unified_controller.hpp"
+#include "workload/trace_load.hpp"
+
+namespace {
+
+using namespace thermctl;
+
+std::string write_demo_trace() {
+  const std::string path = "trace_replay_demo.csv";
+  std::ofstream out{path};
+  out << "time_s,utilization\n";
+  // Quiet baseline.
+  for (int t = 0; t < 60; t += 5) {
+    out << t << "," << 0.08 + 0.02 * ((t / 5) % 2) << "\n";
+  }
+  // Morning ramp.
+  for (int t = 60; t < 120; t += 5) {
+    out << t << "," << 0.1 + 0.8 * (t - 60) / 60.0 << "\n";
+  }
+  // Bursty peak hour.
+  for (int t = 120; t < 240; t += 5) {
+    out << t << "," << (((t / 5) % 3 == 0) ? 0.55 : 0.95) << "\n";
+  }
+  // Decay.
+  for (int t = 240; t <= 300; t += 5) {
+    out << t << "," << 0.9 - 0.8 * (t - 240) / 60.0 << "\n";
+  }
+  return path;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : write_demo_trace();
+  std::printf("replaying %s\n", path.c_str());
+
+  workload::TraceLoadOptions opts;
+  opts.interpolate = true;
+  const workload::TraceLoad trace = workload::TraceLoad::from_csv(path, opts);
+  std::printf("trace: %zu samples over %.0f s\n", trace.sample_count(),
+              trace.duration().value());
+
+  cluster::NodeParams params;
+  cluster::Cluster rack{1, params};
+  rack.node(0).set_utilization(trace.at(SimTime{}));
+  rack.node(0).settle();
+
+  core::UnifiedConfig control;
+  control.pp = core::PolicyParam::moderate();
+  core::UnifiedController controller{rack.node(0).hwmon(), rack.node(0).cpufreq(), control};
+
+  cluster::EngineConfig engine_cfg;
+  engine_cfg.horizon = Seconds{trace.duration().value() + 30.0};
+  cluster::Engine engine{rack, engine_cfg};
+  engine.set_node_load(0, &trace);
+  engine.add_periodic(params.sample_period,
+                      [&controller](SimTime now) { controller.on_sample(now); });
+
+  const cluster::RunResult result = engine.run();
+
+  std::printf("\nthermal outcome: avg %.1f degC, max %.1f degC, avg duty %.1f%%, "
+              "%llu freq changes\n",
+              result.avg_die_temp(), result.max_die_temp(), result.avg_duty(),
+              static_cast<unsigned long long>(result.summaries[0].freq_transitions));
+
+  core::TraceAnalysisConfig analysis_cfg;
+  analysis_cfg.min_segment_samples = 40;  // coarse view: merge blips < 10 s
+  const auto analysis =
+      core::analyze_trace(result.nodes[0].sensor_temp, 0.25, analysis_cfg);
+  std::printf("\nbehaviour segmentation of the replayed run:\n%s",
+              core::render_analysis(analysis).c_str());
+  std::printf("\nreading: 'gradual' share is where proactive fan control earns its\n"
+              "keep; heavy 'jitter' share means the two-level window's averaging is\n"
+              "doing real filtering work on this trace.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "cluster/cluster.hpp"
+
+#include "common/assert.hpp"
+
+namespace thermctl::cluster {
+
+Cluster::Cluster(std::size_t count, const NodeParams& base) {
+  THERMCTL_ASSERT(count > 0, "cluster needs at least one node");
+  nodes_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    NodeParams params = base;
+    params.seed = base.seed + i * 7919;  // distinct noise streams per node
+    nodes_.push_back(std::make_unique<Node>(static_cast<int>(i), params));
+    ipmi_.attach(static_cast<int>(i), &nodes_.back()->bmc());
+  }
+}
+
+Node& Cluster::node(std::size_t i) {
+  THERMCTL_ASSERT(i < nodes_.size(), "node index out of range");
+  return *nodes_[i];
+}
+
+const Node& Cluster::node(std::size_t i) const {
+  THERMCTL_ASSERT(i < nodes_.size(), "node index out of range");
+  return *nodes_[i];
+}
+
+void Cluster::set_inlet_temperature(std::size_t i, Celsius t) {
+  node(i).package().set_ambient(t);
+}
+
+Watts Cluster::total_power() const {
+  double sum = 0.0;
+  for (const auto& n : nodes_) {
+    sum += n->meter().read().value();
+  }
+  return Watts{sum};
+}
+
+void Cluster::settle_all() {
+  for (auto& n : nodes_) {
+    n->settle();
+  }
+}
+
+}  // namespace thermctl::cluster

@@ -1,0 +1,43 @@
+// A rack of simulated nodes plus their shared management plane.
+//
+// Owns the Node instances, the IPMI network connecting their BMCs, and the
+// rack's ambient model (a per-node inlet temperature that experiments can
+// perturb to create hot spots, the motivating phenomenon of the paper's
+// introduction).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "sysfs/ipmi.hpp"
+
+namespace thermctl::cluster {
+
+class Cluster {
+ public:
+  /// Builds `count` nodes from `base`, giving each a distinct seed.
+  Cluster(std::size_t count, const NodeParams& base);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(std::size_t i);
+  [[nodiscard]] const Node& node(std::size_t i) const;
+
+  [[nodiscard]] sysfs::IpmiNetwork& ipmi() { return ipmi_; }
+
+  /// Sets one node's inlet (ambient) temperature — rack hot spots.
+  void set_inlet_temperature(std::size_t i, Celsius t);
+
+  /// Total wall power across the rack right now.
+  [[nodiscard]] Watts total_power() const;
+
+  /// Brings every node to equilibrium at its current load.
+  void settle_all();
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+  sysfs::IpmiNetwork ipmi_;
+};
+
+}  // namespace thermctl::cluster

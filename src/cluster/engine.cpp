@@ -1,0 +1,265 @@
+#include "cluster/engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace thermctl::cluster {
+
+Engine::Engine(Cluster& cluster, EngineConfig config)
+    : cluster_(cluster),
+      config_(config),
+      node_loads_(cluster.size(), nullptr),
+      steal_fraction_(cluster.size(), 0.0),
+      recorder_(cluster.size()),
+      record_schedule_(static_cast<std::int64_t>(config.record_period.value() * 1e6)) {
+  THERMCTL_ASSERT(config_.physics_dt.value() > 0.0, "physics step must be positive");
+}
+
+void Engine::attach_app(workload::ParallelApp& app, std::vector<std::size_t> node_for_rank) {
+  THERMCTL_ASSERT(app.rank_count() == node_for_rank.size(), "one node per rank required");
+  std::vector<bool> used(cluster_.size(), false);
+  for (std::size_t n : node_for_rank) {
+    THERMCTL_ASSERT(n < cluster_.size(), "rank mapped to missing node");
+    THERMCTL_ASSERT(!used[n], "at most one rank per node");
+    used[n] = true;
+  }
+  app_ = &app;
+  node_for_rank_ = std::move(node_for_rank);
+}
+
+void Engine::set_node_load(std::size_t i, const workload::SegmentLoad* load) {
+  if (load == nullptr) {
+    set_node_load_fn(i, nullptr);
+    return;
+  }
+  set_node_load_fn(i, [load](SimTime t) { return load->at(t); });
+}
+
+void Engine::set_node_load(std::size_t i, const workload::TraceLoad* load) {
+  if (load == nullptr) {
+    set_node_load_fn(i, nullptr);
+    return;
+  }
+  set_node_load_fn(i, [load](SimTime t) { return load->at(t); });
+}
+
+void Engine::set_node_load_fn(std::size_t i, std::function<Utilization(SimTime)> load) {
+  THERMCTL_ASSERT(i < cluster_.size(), "node index out of range");
+  node_loads_[i] = std::move(load);
+}
+
+void Engine::attach_room(RoomModel& room) {
+  THERMCTL_ASSERT(room.node_count() == cluster_.size(), "room sized for a different rack");
+  room_ = &room;
+}
+
+void Engine::set_inband_overhead(std::size_t i, Seconds per_tick, Seconds period) {
+  THERMCTL_ASSERT(i < cluster_.size(), "node index out of range");
+  THERMCTL_ASSERT(period.value() > 0.0, "overhead period must be positive");
+  THERMCTL_ASSERT(per_tick.value() >= 0.0 && per_tick.value() < period.value(),
+                  "overhead must be shorter than its period");
+  steal_fraction_[i] = per_tick.value() / period.value();
+}
+
+std::size_t Engine::node_of_rank(std::size_t r) const {
+  THERMCTL_ASSERT(app_ != nullptr, "no app attached");
+  THERMCTL_ASSERT(r < node_for_rank_.size(), "rank out of range");
+  return node_for_rank_[r];
+}
+
+std::optional<std::size_t> Engine::rank_on_node(std::size_t i) const {
+  for (std::size_t r = 0; r < node_for_rank_.size(); ++r) {
+    if (node_for_rank_[r] == i) {
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Engine::migrate_rank(std::size_t r, std::size_t new_node, Seconds cost) {
+  THERMCTL_ASSERT(app_ != nullptr, "no app attached");
+  THERMCTL_ASSERT(r < node_for_rank_.size(), "rank out of range");
+  THERMCTL_ASSERT(new_node < cluster_.size(), "node out of range");
+  if (rank_on_node(new_node).has_value() || cluster_.node(new_node).halted()) {
+    return false;
+  }
+  const std::size_t old_node = node_for_rank_[r];
+  node_for_rank_[r] = new_node;
+  app_->inject_stall(r, cost);
+  cluster_.node(old_node).set_utilization(Utilization{0.02});  // vacated
+  ++migrations_;
+  return true;
+}
+
+void Engine::add_periodic(Seconds period, std::function<void(SimTime)> task) {
+  THERMCTL_ASSERT(period.value() > 0.0, "task period must be positive");
+  THERMCTL_ASSERT(static_cast<bool>(task), "task must be callable");
+  // Phase tasks at one period so controllers first fire after the first full
+  // sampling round, not at t=0 when no data exists.
+  tasks_.push_back(PeriodicTask{
+      PeriodicSchedule{static_cast<std::int64_t>(period.value() * 1e6),
+                       static_cast<std::int64_t>(period.value() * 1e6)},
+      std::move(task)});
+}
+
+void Engine::record_sample() {
+  recorder_.stamp(now_.seconds());
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    Node& n = cluster_.node(i);
+    ActivityCode activity = ActivityCode::kNone;
+    if (app_ != nullptr) {
+      if (const auto rank = rank_on_node(i); rank.has_value()) {
+        const auto kind = app_->current_phase_kind(*rank);
+        if (!kind.has_value()) {
+          activity = ActivityCode::kFinished;
+        } else {
+          switch (*kind) {
+            case workload::PhaseKind::kCompute:
+              activity = ActivityCode::kCompute;
+              break;
+            case workload::PhaseKind::kCommunicate:
+              activity = ActivityCode::kCommunicate;
+              break;
+            case workload::PhaseKind::kIdle:
+              activity = ActivityCode::kIdlePhase;
+              break;
+            case workload::PhaseKind::kBarrier:
+              activity = ActivityCode::kBarrier;
+              break;
+          }
+        }
+      }
+    }
+    recorder_.sample(now_.seconds(), i, n.die_temperature().value(),
+                     n.sensor_reading().value(), n.fan().duty().percent(), n.fan().rpm().value(),
+                     n.cpu().frequency().value(), n.meter().read().value(),
+                     n.utilization().fraction(), activity);
+  }
+}
+
+RunResult Engine::run() {
+  const Seconds dt = config_.physics_dt;
+  std::optional<Seconds> completion;
+
+  // Record the initial state so series start at t=0.
+  record_schedule_.due(now_);  // consume the t=0 firing
+  record_sample();
+
+  while (true) {
+    // 1. Workload → utilization.
+    if (app_ != nullptr && !app_->done()) {
+      std::vector<GigaHertz> freqs;
+      freqs.reserve(node_for_rank_.size());
+      for (std::size_t n : node_for_rank_) {
+        const Node& node = cluster_.node(n);
+        // A halted node makes no progress; a throttled or idle-injected one
+        // runs at its delivered (not nominal) rate; in-band daemon overhead
+        // (OS noise) steals a further slice.
+        const double steal = 1.0 - steal_fraction_[n];
+        freqs.push_back(node.halted()
+                            ? GigaHertz{1e-6}
+                            : GigaHertz{node.cpu().delivered_frequency().value() * steal});
+      }
+      const auto utils = app_->step(dt, freqs);
+      for (std::size_t r = 0; r < utils.size(); ++r) {
+        cluster_.node(node_for_rank_[r]).set_utilization(utils[r]);
+      }
+      if (app_->done()) {
+        completion = app_->completion_time();
+      }
+    }
+    for (std::size_t i = 0; i < cluster_.size(); ++i) {
+      if (node_loads_[i]) {
+        cluster_.node(i).set_utilization(node_loads_[i](now_));
+      } else if (app_ != nullptr && app_->done()) {
+        const bool is_app_node =
+            std::find(node_for_rank_.begin(), node_for_rank_.end(), i) != node_for_rank_.end();
+        if (is_app_node) {
+          cluster_.node(i).set_utilization(Utilization{0.02});  // job exited
+        }
+      }
+    }
+
+    // 2. Physics. The room (if attached) mixes under the rack's total
+    // dissipation and sets every node's inlet.
+    if (room_ != nullptr) {
+      double rack_dc = 0.0;
+      for (std::size_t i = 0; i < cluster_.size(); ++i) {
+        rack_dc += cluster_.node(i).cpu().power().value() +
+                   cluster_.node(i).fan().power().value();
+      }
+      room_->step(dt, Watts{rack_dc});
+      for (std::size_t i = 0; i < cluster_.size(); ++i) {
+        cluster_.node(i).package().set_ambient(room_->inlet(i));
+      }
+    }
+    for (std::size_t i = 0; i < cluster_.size(); ++i) {
+      cluster_.node(i).step(dt);
+    }
+    now_.advance_us(static_cast<std::int64_t>(dt.value() * 1e6));
+
+    // 3. Sensor sampling (per node, on its own schedule).
+    for (std::size_t i = 0; i < cluster_.size(); ++i) {
+      while (cluster_.node(i).sample_schedule().due(now_)) {
+        cluster_.node(i).sample_sensor();
+      }
+    }
+
+    // 4. Controller ticks.
+    for (PeriodicTask& task : tasks_) {
+      while (task.schedule.due(now_)) {
+        task.fn(now_);
+      }
+    }
+
+    // 5. Metrics.
+    while (record_schedule_.due(now_)) {
+      record_sample();
+    }
+
+    // 6. Termination.
+    if (completion.has_value() &&
+        now_.seconds() >= completion->value() + config_.cooldown.value()) {
+      break;
+    }
+    if (now_.seconds() >= config_.horizon.value()) {
+      break;
+    }
+  }
+
+  RunResult result = recorder_.result();
+  result.app_completed = app_ != nullptr && app_->done();
+  result.exec_time_s =
+      completion.has_value() ? completion->value() : now_.seconds();
+  finalize(result);
+  return result;
+}
+
+void Engine::finalize(RunResult& result) const {
+  for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    const Node& n = cluster_.node(i);
+    NodeSummary& s = result.summaries[i];
+    const NodeSeries& series = result.nodes[i];
+
+    double sum_die = 0.0;
+    double max_die = 0.0;
+    double sum_duty = 0.0;
+    for (std::size_t k = 0; k < series.die_temp.size(); ++k) {
+      sum_die += series.die_temp[k];
+      max_die = std::max(max_die, series.die_temp[k]);
+      sum_duty += series.duty[k];
+    }
+    const double count = static_cast<double>(std::max<std::size_t>(1, series.die_temp.size()));
+    s.avg_die_temp = sum_die / count;
+    s.max_die_temp = max_die;
+    s.avg_duty = sum_duty / count;
+    s.avg_power_w = n.meter().average_power().value();
+    s.energy_j = n.meter().energy().value();
+    s.freq_transitions = n.cpu().transition_count();
+    s.prochot_events = n.prochot_events();
+    s.prochot_seconds = n.prochot_time().value();
+  }
+}
+
+}  // namespace thermctl::cluster

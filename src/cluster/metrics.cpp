@@ -1,0 +1,120 @@
+#include "cluster/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+
+namespace thermctl::cluster {
+
+namespace {
+
+double average(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+double RunResult::avg_power_w() const {
+  double sum = 0.0;
+  for (const NodeSummary& s : summaries) {
+    sum += s.avg_power_w;
+  }
+  return summaries.empty() ? 0.0 : sum / static_cast<double>(summaries.size());
+}
+
+double RunResult::avg_die_temp() const {
+  double sum = 0.0;
+  for (const NodeSeries& n : nodes) {
+    sum += average(n.die_temp);
+  }
+  return nodes.empty() ? 0.0 : sum / static_cast<double>(nodes.size());
+}
+
+double RunResult::max_die_temp() const {
+  double m = 0.0;
+  for (const NodeSummary& s : summaries) {
+    m = std::max(m, s.max_die_temp);
+  }
+  return m;
+}
+
+double RunResult::avg_duty() const {
+  double sum = 0.0;
+  for (const NodeSeries& n : nodes) {
+    sum += average(n.duty);
+  }
+  return nodes.empty() ? 0.0 : sum / static_cast<double>(nodes.size());
+}
+
+std::uint64_t RunResult::total_freq_transitions() const {
+  std::uint64_t total = 0;
+  for (const NodeSummary& s : summaries) {
+    total += s.freq_transitions;
+  }
+  return total;
+}
+
+void RunResult::write_csv(const std::string& path, const std::string& field) const {
+  std::vector<std::string> columns{"time_s"};
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    columns.push_back("node" + std::to_string(i) + "_" + field);
+  }
+  CsvWriter csv{path, std::move(columns)};
+
+  auto series_of = [&](const NodeSeries& n) -> const std::vector<double>& {
+    if (field == "die_temp") return n.die_temp;
+    if (field == "sensor_temp") return n.sensor_temp;
+    if (field == "duty") return n.duty;
+    if (field == "rpm") return n.rpm;
+    if (field == "freq_ghz") return n.freq_ghz;
+    if (field == "power_w") return n.power_w;
+    if (field == "util") return n.util;
+    if (field == "activity") return n.activity;
+    THERMCTL_ASSERT(false, "unknown series field");
+    return n.die_temp;  // unreachable
+  };
+
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    std::vector<double> values;
+    values.reserve(nodes.size() + 1);
+    values.push_back(times[i]);
+    for (const NodeSeries& n : nodes) {
+      const auto& s = series_of(n);
+      values.push_back(i < s.size() ? s[i] : 0.0);
+    }
+    csv.row(values);
+  }
+}
+
+MetricsRecorder::MetricsRecorder(std::size_t node_count) {
+  result_.nodes.resize(node_count);
+  result_.summaries.resize(node_count);
+}
+
+void MetricsRecorder::stamp(double t_seconds) { result_.times.push_back(t_seconds); }
+
+void MetricsRecorder::sample(double t_seconds, std::size_t node, double die, double sensor,
+                             double duty, double rpm, double freq_ghz, double power_w,
+                             double util, ActivityCode activity) {
+  (void)t_seconds;
+  THERMCTL_ASSERT(node < result_.nodes.size(), "node index out of range");
+  NodeSeries& s = result_.nodes[node];
+  s.die_temp.push_back(die);
+  s.sensor_temp.push_back(sensor);
+  s.duty.push_back(duty);
+  s.rpm.push_back(rpm);
+  s.freq_ghz.push_back(freq_ghz);
+  s.power_w.push_back(power_w);
+  s.util.push_back(util);
+  s.activity.push_back(static_cast<double>(static_cast<int>(activity)));
+}
+
+}  // namespace thermctl::cluster

@@ -1,0 +1,96 @@
+// Experiment metrics: recorded series and run summaries.
+//
+// The engine samples every node at a fixed period (default 250 ms, matching
+// the paper's plots, whose x axes are "sample points" at 4 Hz). A RunResult
+// carries everything a bench needs to print its table/figure series and is
+// cheap to copy around.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace thermctl::cluster {
+
+/// Program-activity codes recorded per sample when an app rank runs on the
+/// node (Tempest-style attribution input). Matches workload::PhaseKind plus
+/// sentinels for "no rank here" and "rank finished".
+enum class ActivityCode : int {
+  kNone = 0,      // no app rank mapped to this node
+  kCompute = 1,
+  kCommunicate = 2,
+  kIdlePhase = 3,
+  kBarrier = 4,
+  kFinished = 5,
+};
+
+/// One node's recorded series, index-aligned with RunResult::times.
+struct NodeSeries {
+  std::vector<double> die_temp;     // true die temperature, °C
+  std::vector<double> sensor_temp;  // what the controller saw, °C
+  std::vector<double> duty;         // fan PWM duty, %
+  std::vector<double> rpm;          // fan speed
+  std::vector<double> freq_ghz;     // OS-selected CPU frequency
+  std::vector<double> power_w;      // wall power (meter reading)
+  std::vector<double> util;         // workload utilization fraction
+  std::vector<double> activity;     // ActivityCode as double (CSV-friendly)
+};
+
+/// Per-node aggregates computed at the end of a run.
+struct NodeSummary {
+  double avg_die_temp = 0.0;
+  double max_die_temp = 0.0;
+  double avg_duty = 0.0;
+  double avg_power_w = 0.0;     // meter average (energy / time)
+  double energy_j = 0.0;        // meter energy integral
+  std::uint64_t freq_transitions = 0;
+  int prochot_events = 0;
+  double prochot_seconds = 0.0;
+  double seconds_above_threshold = 0.0;  // die time above the run's threshold
+};
+
+struct RunResult {
+  std::vector<double> times;  // seconds, shared by all node series
+  std::vector<NodeSeries> nodes;
+  std::vector<NodeSummary> summaries;
+
+  bool app_completed = false;
+  double exec_time_s = 0.0;  // app completion time (or horizon if it ran out)
+
+  /// Cluster averages across nodes.
+  [[nodiscard]] double avg_power_w() const;
+  [[nodiscard]] double avg_die_temp() const;
+  [[nodiscard]] double max_die_temp() const;
+  [[nodiscard]] double avg_duty() const;
+  [[nodiscard]] std::uint64_t total_freq_transitions() const;
+
+  /// Power-delay product, the paper's combined metric (Table 1): average
+  /// per-node wall power × execution time.
+  [[nodiscard]] double power_delay_product() const { return avg_power_w() * exec_time_s; }
+
+  /// Writes `times` plus the chosen per-node field for all nodes as CSV.
+  void write_csv(const std::string& path, const std::string& field) const;
+};
+
+/// Accumulates samples during a run; the engine owns one.
+class MetricsRecorder {
+ public:
+  explicit MetricsRecorder(std::size_t node_count);
+
+  void sample(double t_seconds, std::size_t node, double die, double sensor, double duty,
+              double rpm, double freq_ghz, double power_w, double util,
+              ActivityCode activity = ActivityCode::kNone);
+  /// Appends the shared timestamp (once per sampling round).
+  void stamp(double t_seconds);
+
+  [[nodiscard]] RunResult& result() { return result_; }
+  [[nodiscard]] const RunResult& result() const { return result_; }
+
+ private:
+  RunResult result_;
+};
+
+}  // namespace thermctl::cluster

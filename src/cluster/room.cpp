@@ -1,0 +1,43 @@
+#include "cluster/room.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace thermctl::cluster {
+
+RoomModel::RoomModel(std::size_t node_count, RoomParams params)
+    : params_(params), offsets_(node_count, 0.0) {
+  THERMCTL_ASSERT(node_count > 0, "room needs at least one node");
+  THERMCTL_ASSERT(params_.tau.value() > 0.0, "mixing time constant must be positive");
+  THERMCTL_ASSERT(params_.recirculation_k_per_w >= 0.0, "recirculation must be non-negative");
+}
+
+void RoomModel::set_node_offset(std::size_t i, CelsiusDelta offset) {
+  THERMCTL_ASSERT(i < offsets_.size(), "node index out of range");
+  offsets_[i] = offset.value();
+}
+
+void RoomModel::step(Seconds dt, Watts rack_power) {
+  THERMCTL_ASSERT(dt.value() > 0.0, "step duration must be positive");
+  const double target = params_.recirculation_k_per_w * rack_power.value();
+  const double alpha = 1.0 - std::exp(-dt.value() / params_.tau.value());
+  mixed_rise_ += (target - mixed_rise_) * alpha;
+}
+
+void RoomModel::settle(Watts rack_power) {
+  mixed_rise_ = params_.recirculation_k_per_w * rack_power.value();
+}
+
+Celsius RoomModel::inlet(std::size_t i) const {
+  THERMCTL_ASSERT(i < offsets_.size(), "node index out of range");
+  return Celsius{params_.crac_supply.value() + mixed_rise_ + offsets_[i]};
+}
+
+Celsius RoomModel::steady_state_inlet(std::size_t i, Watts rack_power) const {
+  THERMCTL_ASSERT(i < offsets_.size(), "node index out of range");
+  return Celsius{params_.crac_supply.value() +
+                 params_.recirculation_k_per_w * rack_power.value() + offsets_[i]};
+}
+
+}  // namespace thermctl::cluster

@@ -1,0 +1,59 @@
+// Machine-room air model: CRAC supply, recirculation, and hot pockets.
+//
+// The paper's motivation is data-center scale: "hot spots or pockets of
+// elevated temperatures ... can be easily formed when room air circulation
+// is not effective." This model closes that loop above the rack: each
+// node's inlet temperature relaxes (first-order, minutes-scale) toward
+//
+//   T_inlet_i = T_supply + recirculation · P_rack + offset_i
+//
+// so the rack's own dissipation feeds back into every node's ambient, and
+// per-node offsets model aisle geometry (the recirculation pockets the
+// examples use). A coarse abstraction of the CFD/neural-net models of Choi
+// and Moore et al. — enough to make "the room fights back" a simulated fact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace thermctl::cluster {
+
+struct RoomParams {
+  /// Cold-aisle supply temperature from the CRAC units.
+  Celsius crac_supply{26.0};
+  /// Inlet rise per watt of total rack dissipation (recirculated fraction).
+  double recirculation_k_per_w = 0.006;
+  /// Room air mixing time constant.
+  Seconds tau{120.0};
+};
+
+class RoomModel {
+ public:
+  RoomModel(std::size_t node_count, RoomParams params = {});
+
+  /// Static per-node inlet offset (aisle position, blanking panels…).
+  void set_node_offset(std::size_t i, CelsiusDelta offset);
+
+  /// Advances room mixing by `dt` under the rack's current dissipation.
+  void step(Seconds dt, Watts rack_power);
+
+  /// Jumps straight to equilibrium for the given dissipation.
+  void settle(Watts rack_power);
+
+  [[nodiscard]] Celsius inlet(std::size_t i) const;
+  [[nodiscard]] std::size_t node_count() const { return offsets_.size(); }
+
+  /// Equilibrium inlet for node `i` at `rack_power` (analytic target).
+  [[nodiscard]] Celsius steady_state_inlet(std::size_t i, Watts rack_power) const;
+
+  [[nodiscard]] const RoomParams& params() const { return params_; }
+
+ private:
+  RoomParams params_;
+  std::vector<double> offsets_;
+  double mixed_rise_ = 0.0;  // current common recirculation rise, degC
+};
+
+}  // namespace thermctl::cluster

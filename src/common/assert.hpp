@@ -1,0 +1,24 @@
+// Lightweight contract checking.
+//
+// THERMCTL_ASSERT is an always-on precondition/invariant check: simulation
+// code is not performance critical enough to justify silently corrupting a
+// run, so violations abort with a useful message in every build type.
+#pragma once
+
+#include <string_view>
+
+namespace thermctl {
+
+/// Prints a diagnostic to stderr and aborts. Used by THERMCTL_ASSERT; exposed
+/// so tests can exercise the formatting path via death tests.
+[[noreturn]] void assert_fail(std::string_view expr, std::string_view file, int line,
+                              std::string_view msg);
+
+}  // namespace thermctl
+
+#define THERMCTL_ASSERT(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::thermctl::assert_fail(#expr, __FILE__, __LINE__, (msg));        \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,60 @@
+#include "common/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace thermctl {
+
+std::string format_number(double v, int max_decimals) {
+  if (!std::isfinite(v)) {
+    return v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", max_decimals, v);
+  std::string s{buf};
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') {
+      s.pop_back();
+    }
+    if (!s.empty() && s.back() == '.') {
+      s.pop_back();
+    }
+  }
+  return s;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : path_(path), out_(path), columns_(columns.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  THERMCTL_ASSERT(!columns.empty(), "CSV needs at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::span<const double> values) {
+  THERMCTL_ASSERT(values.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      out_ << ',';
+    }
+    out_ << format_number(values[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  row(std::span<const double>{values.begin(), values.size()});
+}
+
+}  // namespace thermctl

@@ -1,0 +1,40 @@
+// CSV series output.
+//
+// Every bench writes the series behind its figure as CSV next to the printed
+// summary, so results can be re-plotted outside the harness. The writer is
+// deliberately minimal: fixed column set declared up front, one row per call.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace thermctl {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  /// Writes one data row; `values.size()` must equal the column count.
+  void row(std::span<const double> values);
+  void row(std::initializer_list<double> values);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Formats a double with trailing-zero trimming ("42", "42.5", "42.125").
+[[nodiscard]] std::string format_number(double v, int max_decimals = 6);
+
+}  // namespace thermctl

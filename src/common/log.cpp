@@ -1,0 +1,60 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace thermctl {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger::Logger() { set_sink(nullptr); }
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, std::string_view component, std::string_view msg) {
+      std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+                   static_cast<int>(to_string(level).size()), to_string(level).data(),
+                   static_cast<int>(component.size()), component.data(),
+                   static_cast<int>(msg.size()), msg.data());
+    };
+  }
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view msg) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) {
+    return;
+  }
+  sink_(level, component, msg);
+}
+
+void Logger::logf(LogLevel level, std::string_view component, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) {
+    return;
+  }
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  log(level, component, buf);
+}
+
+}  // namespace thermctl

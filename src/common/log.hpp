@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// Controllers and drivers log mode transitions (frequency changes, PWM
+// retargets, tDVFS triggers) — the same events the paper's figures annotate.
+// The default sink is stderr; tests install a capturing sink to assert on
+// event sequences.
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace thermctl {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component, std::string_view msg)>;
+
+  /// Process-wide logger instance.
+  static Logger& instance();
+
+  /// Messages below `level` are dropped.
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replaces the output sink; pass nullptr to restore the stderr default.
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view component, std::string_view msg);
+
+  /// printf-style convenience.
+  void logf(LogLevel level, std::string_view component, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+#define THERMCTL_LOG_DEBUG(component, ...) \
+  ::thermctl::Logger::instance().logf(::thermctl::LogLevel::kDebug, (component), __VA_ARGS__)
+#define THERMCTL_LOG_INFO(component, ...) \
+  ::thermctl::Logger::instance().logf(::thermctl::LogLevel::kInfo, (component), __VA_ARGS__)
+#define THERMCTL_LOG_WARN(component, ...) \
+  ::thermctl::Logger::instance().logf(::thermctl::LogLevel::kWarn, (component), __VA_ARGS__)
+
+}  // namespace thermctl

@@ -1,0 +1,67 @@
+// Fixed-capacity ring buffer.
+//
+// Backbone of the paper's level-two temperature window (a fixed-size FIFO of
+// level-one averages) and of the metrics recorder's bounded history. Capacity
+// is a runtime parameter because window sizes are tunables under study
+// (see bench/ablation_window_sizes).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace thermctl {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    THERMCTL_ASSERT(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == buf_.size(); }
+
+  /// Appends `v`; if full, the oldest element is dropped.
+  void push(const T& v) {
+    buf_[(head_ + size_) % buf_.size()] = v;
+    if (full()) {
+      head_ = (head_ + 1) % buf_.size();
+    } else {
+      ++size_;
+    }
+  }
+
+  /// Oldest element (the FIFO "front" in the paper's level-two window).
+  [[nodiscard]] const T& front() const {
+    THERMCTL_ASSERT(!empty(), "front() on empty ring buffer");
+    return buf_[head_];
+  }
+
+  /// Newest element (the FIFO "rear").
+  [[nodiscard]] const T& back() const {
+    THERMCTL_ASSERT(!empty(), "back() on empty ring buffer");
+    return buf_[(head_ + size_ - 1) % buf_.size()];
+  }
+
+  /// Element `i` positions from the oldest (0 == front).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    THERMCTL_ASSERT(i < size_, "ring buffer index out of range");
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace thermctl

@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (sensor noise, workload phase
+// jitter, per-rank imbalance) draws from an explicitly seeded generator so
+// that experiments are exactly reproducible run-to-run — a hard requirement
+// for regression-testing the controller against recorded trajectories.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64: small, fast and
+// statistically strong enough for simulation noise.
+#pragma once
+
+#include <cstdint>
+
+namespace thermctl {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit draw (xoshiro256** step).
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Marsaglia polar; deterministic given the stream.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = sqrt_approx(-2.0 * log_approx(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    // Plain modulo draw; the bias is < 2^-53 for the n used in simulation.
+    return n == 0 ? 0 : next_u64() % n;
+  }
+
+  /// Derives an independent child stream, e.g. one per cluster node.
+  Rng fork() { return Rng{next_u64() ^ 0xd1342543de82ef95ULL}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  // Thin indirections so <cmath> stays out of this hot header's interface.
+  static double sqrt_approx(double x);
+  static double log_approx(double x);
+
+  std::uint64_t state_[4] = {};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+inline double Rng::sqrt_approx(double x) { return __builtin_sqrt(x); }
+inline double Rng::log_approx(double x) { return __builtin_log(x); }
+
+}  // namespace thermctl

@@ -1,0 +1,75 @@
+// Simulation clock.
+//
+// Time is tracked as an integer count of microseconds since simulation start.
+// Integer ticks keep repeated small steps exact (no floating-point drift in
+// "is it time to sample?" comparisons), which matters because the paper's
+// controller is driven by a strict 4 Hz sampling schedule.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace thermctl {
+
+/// A point on the simulation timeline (microsecond resolution).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime from_us(std::int64_t us) { return SimTime{us}; }
+  [[nodiscard]] static constexpr SimTime from_ms(std::int64_t ms) { return SimTime{ms * 1000}; }
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e6)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t us() const { return us_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(us_) * 1e-6; }
+
+  friend constexpr auto operator<=>(const SimTime&, const SimTime&) = default;
+
+  friend constexpr SimTime operator+(SimTime t, Seconds d) {
+    return SimTime{t.us_ + static_cast<std::int64_t>(d.value() * 1e6)};
+  }
+  friend constexpr Seconds operator-(SimTime a, SimTime b) {
+    return Seconds{static_cast<double>(a.us_ - b.us_) * 1e-6};
+  }
+
+  constexpr SimTime& advance_us(std::int64_t us) {
+    us_ += us;
+    return *this;
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// A fixed-period schedule: fires every `period_us` microseconds, starting at
+/// `phase_us`. Used to drive sensor sampling, controller intervals and meter
+/// readings from the engine's fine-grained physics loop.
+class PeriodicSchedule {
+ public:
+  constexpr PeriodicSchedule() = default;
+  constexpr PeriodicSchedule(std::int64_t period_us, std::int64_t phase_us = 0)
+      : period_us_(period_us), next_us_(phase_us) {}
+
+  /// Returns true (and advances the schedule) if the schedule fires at or
+  /// before `now`. Call in a loop if multiple periods may have elapsed.
+  constexpr bool due(SimTime now) {
+    if (period_us_ <= 0 || now.us() < next_us_) {
+      return false;
+    }
+    next_us_ += period_us_;
+    return true;
+  }
+
+  [[nodiscard]] constexpr std::int64_t period_us() const { return period_us_; }
+
+ private:
+  std::int64_t period_us_ = 0;
+  std::int64_t next_us_ = 0;
+};
+
+}  // namespace thermctl

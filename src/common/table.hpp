@@ -1,0 +1,31 @@
+// Aligned console tables.
+//
+// The benches print paper-style tables (Table 1 rows, figure summary series)
+// to stdout; this formatter right-aligns numeric cells under their headers so
+// the output is directly readable in a terminal or diffable in CI logs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace thermctl {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row of preformatted cells; width must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `decimals` places.
+  void add_row(const std::string& label, const std::vector<double>& values, int decimals = 2);
+
+  /// Renders the table with a separator line under the header.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace thermctl

@@ -1,0 +1,193 @@
+// Strong physical-quantity types.
+//
+// The thermal-control domain mixes many scalar quantities (temperatures,
+// temperature differences, powers, frequencies, PWM duty cycles, fan RPMs,
+// voltages, airflows). Passing them all around as `double` invites the classic
+// argument-swap bug, so each quantity is a distinct arithmetic wrapper
+// (C++ Core Guidelines I.4: make interfaces precisely and strongly typed).
+//
+// The wrapper is intentionally thin: `value()` returns the underlying double
+// and the types convert explicitly, never implicitly. Only physically
+// meaningful cross-type operations are defined (e.g. Celsius − Celsius →
+// CelsiusDelta; Watts × Seconds → Joules).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace thermctl {
+
+/// CRTP base providing ordering, additive arithmetic, and scalar scaling for a
+/// strongly typed quantity. Derived types inherit constructors.
+template <typename Derived>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr auto operator<=>(const Quantity&, const Quantity&) = default;
+
+  friend constexpr Derived operator+(Derived a, Derived b) { return Derived{a.value_ + b.value_}; }
+  friend constexpr Derived operator-(Derived a, Derived b) { return Derived{a.value_ - b.value_}; }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.value_}; }
+  friend constexpr Derived operator*(Derived a, double s) { return Derived{a.value_ * s}; }
+  friend constexpr Derived operator*(double s, Derived a) { return Derived{s * a.value_}; }
+  friend constexpr Derived operator/(Derived a, double s) { return Derived{a.value_ / s}; }
+  /// Ratio of two like quantities is a dimensionless double.
+  friend constexpr double operator/(Derived a, Derived b) { return a.value_ / b.value_; }
+
+  constexpr Derived& operator+=(Derived o) {
+    value_ += o.value_;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived o) {
+    value_ -= o.value_;
+    return static_cast<Derived&>(*this);
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Temperature difference in kelvin/°C. Separate from absolute temperature so
+/// `Celsius + Celsius` does not compile.
+class CelsiusDelta : public Quantity<CelsiusDelta> {
+  using Quantity::Quantity;
+};
+
+/// Absolute temperature in degrees Celsius.
+class Celsius {
+ public:
+  constexpr Celsius() = default;
+  constexpr explicit Celsius(double v) : value_(v) {}
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr auto operator<=>(const Celsius&, const Celsius&) = default;
+  friend constexpr CelsiusDelta operator-(Celsius a, Celsius b) {
+    return CelsiusDelta{a.value_ - b.value_};
+  }
+  friend constexpr Celsius operator+(Celsius t, CelsiusDelta d) {
+    return Celsius{t.value_ + d.value()};
+  }
+  friend constexpr Celsius operator+(CelsiusDelta d, Celsius t) { return t + d; }
+  friend constexpr Celsius operator-(Celsius t, CelsiusDelta d) {
+    return Celsius{t.value_ - d.value()};
+  }
+  constexpr Celsius& operator+=(CelsiusDelta d) {
+    value_ += d.value();
+    return *this;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Joules : public Quantity<Joules> {
+  using Quantity::Quantity;
+};
+
+class Seconds : public Quantity<Seconds> {
+  using Quantity::Quantity;
+};
+
+class Watts : public Quantity<Watts> {
+  using Quantity::Quantity;
+};
+
+/// Watts × Seconds → Joules (energy accumulation in the power meter and
+/// metrics recorder).
+constexpr Joules operator*(Watts p, Seconds t) { return Joules{p.value() * t.value()}; }
+constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+
+/// CPU core frequency in GHz (the paper's P-states are 1.0–2.4 GHz).
+class GigaHertz : public Quantity<GigaHertz> {
+  using Quantity::Quantity;
+};
+
+class Volts : public Quantity<Volts> {
+  using Quantity::Quantity;
+};
+
+/// Fan revolutions per minute.
+class Rpm : public Quantity<Rpm> {
+  using Quantity::Quantity;
+};
+
+/// Volumetric airflow in cubic feet per minute, the conventional unit for
+/// chassis fans.
+class Cfm : public Quantity<Cfm> {
+  using Quantity::Quantity;
+};
+
+/// Thermal resistance in K/W.
+class KelvinPerWatt : public Quantity<KelvinPerWatt> {
+  using Quantity::Quantity;
+};
+
+/// Heat capacity in J/K.
+class JoulesPerKelvin : public Quantity<JoulesPerKelvin> {
+  using Quantity::Quantity;
+};
+
+/// PWM duty cycle in percent, clamped to [0, 100]. The ADT7467 register is an
+/// 8-bit value; DutyCycle is the driver-facing percentage representation.
+class DutyCycle {
+ public:
+  constexpr DutyCycle() = default;
+  constexpr explicit DutyCycle(double percent)
+      : percent_(percent < 0.0 ? 0.0 : (percent > 100.0 ? 100.0 : percent)) {}
+
+  [[nodiscard]] constexpr double percent() const { return percent_; }
+  /// Fraction in [0, 1], convenient for power/airflow laws.
+  [[nodiscard]] constexpr double fraction() const { return percent_ / 100.0; }
+
+  friend constexpr auto operator<=>(const DutyCycle&, const DutyCycle&) = default;
+
+ private:
+  double percent_ = 0.0;
+};
+
+/// CPU utilization as a fraction in [0, 1].
+class Utilization {
+ public:
+  constexpr Utilization() = default;
+  constexpr explicit Utilization(double fraction)
+      : fraction_(fraction < 0.0 ? 0.0 : (fraction > 1.0 ? 1.0 : fraction)) {}
+
+  [[nodiscard]] constexpr double fraction() const { return fraction_; }
+  [[nodiscard]] constexpr double percent() const { return fraction_ * 100.0; }
+
+  friend constexpr auto operator<=>(const Utilization&, const Utilization&) = default;
+
+ private:
+  double fraction_ = 0.0;
+};
+
+namespace literals {
+
+constexpr Celsius operator""_degC(long double v) { return Celsius{static_cast<double>(v)}; }
+constexpr Celsius operator""_degC(unsigned long long v) { return Celsius{static_cast<double>(v)}; }
+constexpr CelsiusDelta operator""_dK(long double v) { return CelsiusDelta{static_cast<double>(v)}; }
+constexpr CelsiusDelta operator""_dK(unsigned long long v) {
+  return CelsiusDelta{static_cast<double>(v)};
+}
+constexpr Watts operator""_W(long double v) { return Watts{static_cast<double>(v)}; }
+constexpr Watts operator""_W(unsigned long long v) { return Watts{static_cast<double>(v)}; }
+constexpr Seconds operator""_s(long double v) { return Seconds{static_cast<double>(v)}; }
+constexpr Seconds operator""_s(unsigned long long v) { return Seconds{static_cast<double>(v)}; }
+constexpr GigaHertz operator""_GHz(long double v) { return GigaHertz{static_cast<double>(v)}; }
+constexpr GigaHertz operator""_GHz(unsigned long long v) {
+  return GigaHertz{static_cast<double>(v)};
+}
+constexpr Volts operator""_V(long double v) { return Volts{static_cast<double>(v)}; }
+constexpr Rpm operator""_rpm(unsigned long long v) { return Rpm{static_cast<double>(v)}; }
+constexpr DutyCycle operator""_pwm(long double v) { return DutyCycle{static_cast<double>(v)}; }
+constexpr DutyCycle operator""_pwm(unsigned long long v) {
+  return DutyCycle{static_cast<double>(v)};
+}
+
+}  // namespace literals
+
+}  // namespace thermctl

@@ -1,0 +1,75 @@
+#include "core/control_array.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace thermctl::core {
+
+ThermalControlArray::ThermalControlArray(std::vector<double> available_modes, std::size_t n,
+                                         PolicyParam pp)
+    : available_(std::move(available_modes)), cells_(n), pp_(pp) {
+  THERMCTL_ASSERT(!available_.empty(), "need at least one physical mode");
+  THERMCTL_ASSERT(n >= 2, "control array needs at least two cells");
+  fill();
+}
+
+std::size_t ThermalControlArray::eq1_np(PolicyParam pp, std::size_t n) {
+  const double num = static_cast<double>(pp.value - PolicyParam::kMin) *
+                     static_cast<double>(n - 1);
+  const double den = static_cast<double>(PolicyParam::kMax - PolicyParam::kMin);
+  return static_cast<std::size_t>(std::floor(num / den)) + 1;
+}
+
+void ThermalControlArray::fill() {
+  const std::size_t n = cells_.size();
+  np_ = eq1_np(pp_, n);
+  THERMCTL_ASSERT(np_ >= 1 && np_ <= n, "Eq. (1) produced an out-of-range n_p");
+
+  const std::size_t m = available_.size();
+
+  // Cells [n_p, N] (1-based) take the most effective mode g_N.
+  for (std::size_t i = np_; i <= n; ++i) {
+    cells_[i - 1] = available_.back();
+  }
+
+  // Cells [1, n_p−1] take an evenly extracted subset of the physical modes,
+  // least effective first. The ratio (n_p−1)/m decides whether modes are
+  // skipped (< 1) or duplicated (> 1, when N exceeds the physical count).
+  const std::size_t ramp = np_ - 1;
+  for (std::size_t i = 1; i <= ramp; ++i) {
+    const std::size_t pick = (i - 1) * m / ramp;  // floor; < m since i-1 < ramp
+    cells_[i - 1] = available_[pick];
+  }
+  // §3.2.2 boundary conditions: "The first array element g1 always stores
+  // the least effective temperature control mode, the last element gN always
+  // stores the most effective mode." The ramp guarantees this whenever
+  // n_p >= 2; for n_p == 1 (maximally aggressive fills) cell 1 must be
+  // forced back to the least effective mode.
+  cells_.front() = available_.front();
+}
+
+double ThermalControlArray::mode(std::size_t i) const {
+  THERMCTL_ASSERT(i < cells_.size(), "control-array index out of range");
+  return cells_[i];
+}
+
+void ThermalControlArray::set_policy(PolicyParam pp) {
+  pp_ = pp;
+  fill();
+}
+
+std::size_t ThermalControlArray::index_of_nearest(double mode_value) const {
+  std::size_t best = 0;
+  double best_err = std::abs(cells_[0] - mode_value);
+  for (std::size_t i = 1; i < cells_.size(); ++i) {
+    const double err = std::abs(cells_[i] - mode_value);
+    if (err < best_err) {
+      best_err = err;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace thermctl::core

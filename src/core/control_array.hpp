@@ -1,0 +1,71 @@
+// The thermal control array (§3.2.2) — the paper's unifying abstraction.
+//
+// Every thermal technique (fan PWM, DVFS, sleep states, …) is reduced to an
+// array of N modes stored in non-descending order of cooling effectiveness.
+// The user policy parameter Pp shapes how the array is filled via Eq. (1):
+//
+//   n_p = ⌊ (Pp − Pmin)(N − 1) / (Pmax − Pmin) ⌋ + 1
+//
+// Cells [n_p, N] (1-based) hold the most effective mode g_N; cells
+// [1, n_p−1] hold a subset of the physically available modes *evenly
+// extracted* from the full set. A small Pp ⇒ small n_p ⇒ most of the array
+// is the strongest mode and a small index increment produces a large cooling
+// increment (aggressive, temperature-oriented). A large Pp ⇒ a long gentle
+// ramp (cost-oriented).
+//
+// Modes are doubles whose *meaning* belongs to the technique (duty percent
+// for fans, GHz for DVFS); the array itself only promises the effectiveness
+// ordering given at construction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace thermctl::core {
+
+class ThermalControlArray {
+ public:
+  /// `available_modes` must be ordered least → most effective (e.g. fan duty
+  /// ascending, CPU frequency descending). `n` is the array bound N, which
+  /// may exceed the number of physical modes (duplicates are then used).
+  ThermalControlArray(std::vector<double> available_modes, std::size_t n, PolicyParam pp);
+
+  /// Number of cells N.
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+  /// Eq. (1)'s special index (1-based, as in the paper).
+  [[nodiscard]] std::size_t np() const { return np_; }
+
+  /// Mode at 0-based index i (cell i+1 in the paper's 1-based notation).
+  [[nodiscard]] double mode(std::size_t i) const;
+
+  /// The least / most effective modes (cells 1 and N).
+  [[nodiscard]] double least_effective() const { return cells_.front(); }
+  [[nodiscard]] double most_effective() const { return cells_.back(); }
+
+  [[nodiscard]] std::span<const double> cells() const { return cells_; }
+  [[nodiscard]] std::span<const double> available_modes() const { return available_; }
+  [[nodiscard]] PolicyParam policy() const { return pp_; }
+
+  /// Recomputes the fill for a new policy (user re-tunes Pp at runtime).
+  void set_policy(PolicyParam pp);
+
+  /// Index of the cell whose mode is nearest `mode_value` (first match).
+  [[nodiscard]] std::size_t index_of_nearest(double mode_value) const;
+
+  /// Eq. (1) by itself, exposed for tests and documentation.
+  [[nodiscard]] static std::size_t eq1_np(PolicyParam pp, std::size_t n);
+
+ private:
+  void fill();
+
+  std::vector<double> available_;
+  std::vector<double> cells_;
+  PolicyParam pp_;
+  std::size_t np_ = 1;
+};
+
+}  // namespace thermctl::core

@@ -1,0 +1,65 @@
+#include "core/cpuspeed.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace thermctl::core {
+
+CpuspeedGovernor::CpuspeedGovernor(JiffyFn busy, JiffyFn total, sysfs::CpufreqPolicy& cpufreq,
+                                   CpuspeedConfig config)
+    : busy_(std::move(busy)), total_(std::move(total)), cpufreq_(cpufreq), config_(config) {
+  THERMCTL_ASSERT(static_cast<bool>(busy_) && static_cast<bool>(total_),
+                  "governor needs jiffy sources");
+  THERMCTL_ASSERT(config_.up_threshold > config_.down_threshold,
+                  "up threshold must exceed down threshold");
+}
+
+CpuspeedGovernor::CpuspeedGovernor(const sysfs::VirtualFs& fs,
+                                   const sysfs::ProcStat& proc_stat,
+                                   sysfs::CpufreqPolicy& cpufreq, CpuspeedConfig config)
+    : CpuspeedGovernor(
+          [&fs, &proc_stat] { return proc_stat.read(fs).value_or(sysfs::JiffySnapshot{}).busy; },
+          [&fs, &proc_stat] { return proc_stat.read(fs).value_or(sysfs::JiffySnapshot{}).total; },
+          cpufreq, config) {}
+
+void CpuspeedGovernor::on_interval(SimTime now) {
+  (void)now;
+  const std::uint64_t busy = busy_();
+  const std::uint64_t total = total_();
+  if (!primed_) {
+    prev_busy_ = busy;
+    prev_total_ = total;
+    primed_ = true;
+    return;
+  }
+  const std::uint64_t d_busy = busy - prev_busy_;
+  const std::uint64_t d_total = total - prev_total_;
+  prev_busy_ = busy;
+  prev_total_ = total;
+  if (d_total == 0) {
+    return;
+  }
+  last_util_ = static_cast<double>(d_busy) / static_cast<double>(d_total);
+
+  if (last_util_ >= config_.up_threshold) {
+    // Busy: jump straight to the fastest frequency (cpuspeed behaviour).
+    cpufreq_.set_khz(cpufreq_.max_khz());
+    return;
+  }
+  if (last_util_ <= config_.down_threshold) {
+    // Idle enough: step down one rung of the ladder.
+    std::vector<double> ladder = cpufreq_.available_ghz();  // descending
+    const long cur = cpufreq_.cur_khz();
+    for (std::size_t i = 0; i + 1 < ladder.size(); ++i) {
+      const long khz = sysfs::CpufreqPolicy::to_khz(GigaHertz{ladder[i]});
+      if (khz == cur) {
+        cpufreq_.set_khz(sysfs::CpufreqPolicy::to_khz(GigaHertz{ladder[i + 1]}));
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace thermctl::core

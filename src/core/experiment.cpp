@@ -1,0 +1,218 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "workload/app.hpp"
+
+namespace thermctl::core {
+
+ExperimentConfig paper_platform() {
+  ExperimentConfig cfg;
+  cfg.nodes = 4;
+  cfg.pp = PolicyParam::moderate();
+  cfg.tdvfs.threshold = Celsius{51.0};
+  cfg.node_params.sample_period = Seconds{0.25};  // 4 samples per second
+  cfg.engine.physics_dt = Seconds{0.05};
+  cfg.engine.record_period = Seconds{0.25};
+  return cfg;
+}
+
+namespace {
+
+/// Everything the harness allocates for a run; kept alive until the engine
+/// finishes.
+struct Rig {
+  std::unique_ptr<cluster::Cluster> cluster;
+  std::unique_ptr<cluster::Engine> engine;
+  std::unique_ptr<workload::ParallelApp> app;
+  std::vector<workload::SegmentLoad> loads;
+  std::vector<std::unique_ptr<DynamicFanController>> fans;
+  std::vector<std::unique_ptr<TdvfsDaemon>> tdvfs;
+  std::vector<std::unique_ptr<CpuspeedGovernor>> cpuspeed;
+};
+
+void build_workload(Rig& rig, const ExperimentConfig& config) {
+  Rng rng{config.seed};
+  switch (config.workload) {
+    case WorkloadKind::kIdle:
+      break;
+    case WorkloadKind::kCpuBurn: {
+      // One cpu-burn per node, uncoupled (no barriers).
+      std::vector<workload::Program> programs;
+      programs.reserve(config.nodes);
+      for (std::size_t i = 0; i < config.nodes; ++i) {
+        programs.push_back(workload::cpu_burn_program(config.cpu_burn_duration));
+      }
+      rig.app = std::make_unique<workload::ParallelApp>("cpu-burn", std::move(programs));
+      break;
+    }
+    case WorkloadKind::kNpbBt:
+    case WorkloadKind::kNpbLu: {
+      workload::NpbParams params = config.workload == WorkloadKind::kNpbBt
+                                       ? workload::bt_class_b()
+                                       : workload::lu_class_b();
+      if (config.npb_iterations_override > 0) {
+        params.iterations = config.npb_iterations_override;
+      }
+      auto programs =
+          workload::make_npb_programs(params, static_cast<int>(config.nodes), rng);
+      const char* name = config.workload == WorkloadKind::kNpbBt ? "BT.B" : "LU.B";
+      rig.app = std::make_unique<workload::ParallelApp>(name, std::move(programs));
+      break;
+    }
+    case WorkloadKind::kCpuBurnCycles: {
+      // Three instances separated by idle gaps; total ~ cpu_burn_duration.
+      const double instance = config.cpu_burn_duration.value() / 3.0 - 12.0;
+      rig.loads.reserve(config.nodes);
+      for (std::size_t i = 0; i < config.nodes; ++i) {
+        std::vector<workload::LoadSegment> segments;
+        for (int k = 0; k < 3; ++k) {
+          segments.push_back({Seconds{12.0}, 0.04, 0.04, 0.0, Seconds{0.0}, 0.01});
+          segments.push_back({Seconds{instance}, 1.0, 1.0, 0.0, Seconds{0.0}, 0.02});
+        }
+        rig.loads.emplace_back(std::move(segments), config.seed + i);
+      }
+      break;
+    }
+    case WorkloadKind::kFig2Profile: {
+      rig.loads.reserve(config.nodes);
+      for (std::size_t i = 0; i < config.nodes; ++i) {
+        rig.loads.push_back(workload::fig2_profile(1.0, config.seed + i));
+      }
+      break;
+    }
+  }
+
+  if (rig.app != nullptr) {
+    std::vector<std::size_t> mapping(config.nodes);
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      mapping[i] = i;
+    }
+    rig.engine->attach_app(*rig.app, std::move(mapping));
+  } else {
+    for (std::size_t i = 0; i < rig.loads.size(); ++i) {
+      rig.engine->set_node_load(i, &rig.loads[i]);
+    }
+  }
+}
+
+void build_fan_policy(Rig& rig, const ExperimentConfig& config) {
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    cluster::Node& node = rig.cluster->node(i);
+    switch (config.fan) {
+      case FanPolicyKind::kChipDefault: {
+        // Power-on behaviour is automatic mode; just honour the ceiling.
+        const auto st = node.fan_driver().set_max_duty(config.max_duty);
+        THERMCTL_ASSERT(st == sysfs::DriverStatus::kOk, "set_max_duty failed");
+        const auto mode = node.fan_driver().set_automatic_mode();
+        THERMCTL_ASSERT(mode == sysfs::DriverStatus::kOk, "auto mode failed");
+        break;
+      }
+      case FanPolicyKind::kStaticCurve: {
+        StaticFanPolicy policy{node.fan_driver(), StaticFanPolicy::Curve{}, config.max_duty};
+        THERMCTL_ASSERT(policy.apply(), "static fan policy apply failed");
+        break;
+      }
+      case FanPolicyKind::kConstantDuty: {
+        ConstantFanPolicy policy{node.hwmon(), config.constant_duty};
+        THERMCTL_ASSERT(policy.apply(), "constant fan policy apply failed");
+        break;
+      }
+      case FanPolicyKind::kDynamic: {
+        FanControlConfig fc = config.fan_cfg;
+        fc.pp = config.pp;
+        fc.max_duty = config.max_duty;
+        auto controller = std::make_unique<DynamicFanController>(node.hwmon(), fc);
+        DynamicFanController* raw = controller.get();
+        rig.fans.push_back(std::move(controller));
+        rig.engine->add_periodic(config.node_params.sample_period,
+                                 [raw](SimTime now) { raw->on_sample(now); });
+        break;
+      }
+    }
+  }
+}
+
+void build_dvfs_policy(Rig& rig, const ExperimentConfig& config) {
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    cluster::Node& node = rig.cluster->node(i);
+    switch (config.dvfs) {
+      case DvfsPolicyKind::kNone:
+        break;
+      case DvfsPolicyKind::kTdvfs: {
+        TdvfsConfig tc = config.tdvfs;
+        tc.pp = config.pp;
+        auto daemon = std::make_unique<TdvfsDaemon>(node.hwmon(), node.cpufreq(), tc);
+        TdvfsDaemon* raw = daemon.get();
+        rig.tdvfs.push_back(std::move(daemon));
+        rig.engine->add_periodic(config.node_params.sample_period,
+                                 [raw](SimTime now) { raw->on_sample(now); });
+        break;
+      }
+      case DvfsPolicyKind::kCpuspeed: {
+        // Daemon-faithful wiring: cpuspeed reads /proc/stat from the node.
+        auto governor = std::make_unique<CpuspeedGovernor>(
+            node.vfs(), node.proc_stat(), node.cpufreq(), config.cpuspeed);
+        CpuspeedGovernor* raw = governor.get();
+        rig.cpuspeed.push_back(std::move(governor));
+        rig.engine->add_periodic(config.cpuspeed.interval,
+                                 [raw](SimTime now) { raw->on_interval(now); });
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  THERMCTL_ASSERT(config.nodes > 0, "experiment needs nodes");
+
+  Rig rig;
+  cluster::NodeParams node_params = config.node_params;
+  node_params.seed = config.seed;
+  rig.cluster = std::make_unique<cluster::Cluster>(config.nodes, node_params);
+
+  // The machine idles before the job starts: settle at near-zero load.
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    rig.cluster->node(i).set_utilization(Utilization{0.02});
+  }
+  rig.cluster->settle_all();
+
+  cluster::EngineConfig engine_cfg = config.engine;
+  if (config.workload == WorkloadKind::kCpuBurn) {
+    engine_cfg.horizon =
+        Seconds{std::max(engine_cfg.horizon.value(), config.cpu_burn_duration.value() * 2.0)};
+  } else if (config.workload == WorkloadKind::kCpuBurnCycles) {
+    // Time-function load: the run ends exactly when the last instance does.
+    engine_cfg.horizon = config.cpu_burn_duration;
+  } else if (config.workload == WorkloadKind::kFig2Profile) {
+    engine_cfg.horizon = Seconds{245.0};
+  }
+  rig.engine = std::make_unique<cluster::Engine>(*rig.cluster, engine_cfg);
+
+  build_workload(rig, config);
+  build_fan_policy(rig, config);
+  build_dvfs_policy(rig, config);
+
+  ExperimentResult result;
+  result.run = rig.engine->run();
+
+  result.tdvfs_events.resize(config.nodes);
+  result.fan_events.resize(config.nodes);
+  for (std::size_t i = 0; i < rig.tdvfs.size(); ++i) {
+    result.tdvfs_events[i] = rig.tdvfs[i]->events();
+    for (const TdvfsEvent& e : result.tdvfs_events[i]) {
+      if (result.first_dvfs_trigger_s < 0.0 || e.time_s < result.first_dvfs_trigger_s) {
+        result.first_dvfs_trigger_s = e.time_s;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < rig.fans.size(); ++i) {
+    result.fan_events[i] = rig.fans[i]->events();
+  }
+  return result;
+}
+
+}  // namespace thermctl::core

@@ -1,0 +1,97 @@
+// Experiment harness.
+//
+// One declarative config describing a paper experiment — cluster size,
+// workload, fan policy, DVFS policy, Pp, fan ceiling — and a runner that
+// builds the full stack (cluster → sysfs planes → controllers → engine),
+// executes it, and returns the recorded result plus controller event logs.
+// Every bench, example and integration test goes through this entry point,
+// so experiment definitions stay single-sourced.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/engine.hpp"
+#include "cluster/metrics.hpp"
+#include "core/cpuspeed.hpp"
+#include "core/fan_policy.hpp"
+#include "core/policy.hpp"
+#include "core/tdvfs.hpp"
+#include "core/unified_controller.hpp"
+#include "workload/npb.hpp"
+#include "workload/synthetic.hpp"
+
+namespace thermctl::core {
+
+enum class FanPolicyKind {
+  kChipDefault,   // leave the chip's power-on automatic mode alone
+  kStaticCurve,   // the traditional Fig. 1 policy (baseline)
+  kConstantDuty,  // pinned duty (baseline)
+  kDynamic,       // the paper's history-based controller
+};
+
+enum class DvfsPolicyKind {
+  kNone,
+  kTdvfs,
+  kCpuspeed,
+};
+
+enum class WorkloadKind {
+  kIdle,
+  kCpuBurn,        // §4.2 stressor, one sustained instance
+  kCpuBurnCycles,  // three back-to-back cpu-burn instances with gaps between
+                   // them (§4.2 runs "three instances"; the inter-instance
+                   // dips are visible in Fig. 5's temperature traces)
+  kNpbBt,          // BT class B
+  kNpbLu,          // LU class B
+  kFig2Profile,    // the sudden/gradual/jitter composite
+};
+
+struct ExperimentConfig {
+  std::string name = "experiment";
+  std::size_t nodes = 4;
+  WorkloadKind workload = WorkloadKind::kNpbBt;
+  Seconds cpu_burn_duration{300.0};  // "each run lasts about five minutes"
+  /// Overrides the NPB iteration count (0 = benchmark default); lets tests
+  /// run miniature BT/LU instances.
+  int npb_iterations_override = 0;
+
+  FanPolicyKind fan = FanPolicyKind::kDynamic;
+  DvfsPolicyKind dvfs = DvfsPolicyKind::kNone;
+
+  PolicyParam pp{};
+  /// Fan ceiling — emulates less powerful fans (Figs. 6–10, Table 1).
+  DutyCycle max_duty{100.0};
+  /// Duty for kConstantDuty.
+  DutyCycle constant_duty{75.0};
+
+  TdvfsConfig tdvfs{};
+  CpuspeedConfig cpuspeed{};
+  FanControlConfig fan_cfg{};
+
+  cluster::NodeParams node_params{};
+  cluster::EngineConfig engine{};
+  std::uint64_t seed = 20260708;
+};
+
+struct ExperimentResult {
+  cluster::RunResult run;
+  /// Per-node tDVFS event logs (empty unless tDVFS ran on that node).
+  std::vector<std::vector<TdvfsEvent>> tdvfs_events;
+  /// Per-node dynamic-fan retarget logs.
+  std::vector<std::vector<FanEvent>> fan_events;
+  /// First DVFS intervention time across the cluster (-1 if none).
+  double first_dvfs_trigger_s = -1.0;
+};
+
+/// Builds, runs and tears down one experiment.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// The paper's platform defaults: 4-node power-aware cluster, Athlon64-class
+/// CPUs, 4300 RPM fans, 4 Hz sampling, tDVFS threshold 51 °C.
+[[nodiscard]] ExperimentConfig paper_platform();
+
+}  // namespace thermctl::core

@@ -1,0 +1,103 @@
+#include "core/fan_policy.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace thermctl::core {
+
+std::vector<double> DynamicFanController::duty_modes(const FanControlConfig& config) {
+  THERMCTL_ASSERT(config.max_duty.percent() > config.min_duty.percent(),
+                  "max duty must exceed min duty");
+  // "we discretize the continuous fan speed into ... distinct speeds from
+  // duty cycle of 1% to 100%" — integer percent steps, ascending
+  // effectiveness.
+  std::vector<double> modes;
+  const int lo = static_cast<int>(std::lround(config.min_duty.percent()));
+  const int hi = static_cast<int>(std::lround(config.max_duty.percent()));
+  modes.reserve(static_cast<std::size_t>(hi - lo + 1));
+  for (int d = lo; d <= hi; ++d) {
+    modes.push_back(static_cast<double>(d));
+  }
+  return modes;
+}
+
+DynamicFanController::DynamicFanController(sysfs::HwmonDevice& hwmon, FanControlConfig config)
+    : hwmon_(hwmon),
+      config_(config),
+      array_(duty_modes(config), config.array_size, config.pp),
+      selector_(config.selector, config.array_size),
+      window_(config.window) {}
+
+DutyCycle DynamicFanController::current_duty() const {
+  return DutyCycle{array_.mode(index_)};
+}
+
+void DynamicFanController::set_policy(PolicyParam pp) {
+  config_.pp = pp;
+  array_.set_policy(pp);
+  // Old history predicts behaviour under the old fill; drop it.
+  window_.reset();
+}
+
+void DynamicFanController::on_sample(SimTime now) {
+  const Celsius reading = hwmon_.read_temperature();
+
+  if (!initialized_) {
+    // Take over from the BIOS/auto mode: claim manual PWM control, then
+    // start at the bottom of the array; the window walks the index up as
+    // the workload heats the die.
+    index_ = 0;
+    if (hwmon_.set_manual_mode()) {
+      hwmon_.write_pwm(DutyCycle{array_.least_effective()});
+    }
+    initialized_ = true;
+  }
+
+  const auto round = window_.add_sample(reading);
+  if (!round.has_value()) {
+    return;
+  }
+
+  const ModeDecision decision = selector_.decide(index_, *round);
+  if (!decision.changed) {
+    return;
+  }
+
+  const double from = array_.mode(index_);
+  const double to = array_.mode(decision.target);
+  index_ = decision.target;
+  if (to != from) {
+    if (hwmon_.write_pwm(DutyCycle{to})) {
+      ++retargets_;
+      events_.push_back(FanEvent{now.seconds(), from, to, decision.used_level2});
+      THERMCTL_LOG_DEBUG("fanctl", "t=%.2fs duty %.0f%% -> %.0f%% (%s)", now.seconds(), from,
+                         to, decision.used_level2 ? "gradual" : "sudden");
+    }
+  }
+}
+
+StaticFanPolicy::StaticFanPolicy(sysfs::Adt7467Driver& driver, Curve curve, DutyCycle max_duty)
+    : driver_(driver), curve_(curve), max_duty_(max_duty) {
+  THERMCTL_ASSERT(curve.tmax > curve.tmin, "curve Tmax must exceed Tmin");
+}
+
+bool StaticFanPolicy::apply() {
+  using sysfs::DriverStatus;
+  if (driver_.configure_auto_curve(curve_.pwm_min, curve_.tmin, curve_.tmax - curve_.tmin) !=
+      DriverStatus::kOk) {
+    return false;
+  }
+  if (driver_.set_max_duty(max_duty_) != DriverStatus::kOk) {
+    return false;
+  }
+  return driver_.set_automatic_mode() == DriverStatus::kOk;
+}
+
+ConstantFanPolicy::ConstantFanPolicy(sysfs::HwmonDevice& hwmon, DutyCycle duty)
+    : hwmon_(hwmon), duty_(duty) {}
+
+bool ConstantFanPolicy::apply() { return hwmon_.set_manual_mode() && hwmon_.write_pwm(duty_); }
+
+}  // namespace thermctl::core

@@ -1,0 +1,53 @@
+#include "core/mode_selector.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace thermctl::core {
+
+ModeSelector::ModeSelector(ModeSelectorConfig config, std::size_t array_size)
+    : config_(config), array_size_(array_size) {
+  THERMCTL_ASSERT(array_size_ >= 2, "mode selector needs at least two modes");
+  THERMCTL_ASSERT(config_.tmax > config_.tmin, "t_max must exceed t_min");
+  c_ = static_cast<double>(array_size_ - 1) /
+       (config_.tmax.value() - config_.tmin.value());
+}
+
+std::size_t ModeSelector::apply(std::size_t current, CelsiusDelta dt) const {
+  if (std::abs(dt.value()) < config_.deadband.value()) {
+    return current;
+  }
+  // Truncation toward zero: a variation must be worth at least one full cell
+  // before the mode moves.
+  const double raw = c_ * dt.value();
+  const long step = static_cast<long>(raw);
+  long target = static_cast<long>(current) + step;
+  if (target < 0) {
+    target = 0;
+  }
+  const long max_index = static_cast<long>(array_size_) - 1;
+  if (target > max_index) {
+    target = max_index;
+  }
+  return static_cast<std::size_t>(target);
+}
+
+ModeDecision ModeSelector::decide(std::size_t current, const WindowRound& round) const {
+  ModeDecision d;
+  d.target = apply(current, round.level1_delta);
+  if (d.target != current) {
+    d.changed = true;
+    return d;
+  }
+  if (round.level2_valid) {
+    d.target = apply(current, round.level2_delta);
+    if (d.target != current) {
+      d.changed = true;
+      d.used_level2 = true;
+    }
+  }
+  return d;
+}
+
+}  // namespace thermctl::core

@@ -1,0 +1,93 @@
+#include "core/predictive_fan.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace thermctl::core {
+
+namespace {
+
+std::vector<double> duty_modes(const FanControlConfig& config) {
+  std::vector<double> modes;
+  const int lo = static_cast<int>(std::lround(config.min_duty.percent()));
+  const int hi = static_cast<int>(std::lround(config.max_duty.percent()));
+  for (int d = lo; d <= hi; ++d) {
+    modes.push_back(static_cast<double>(d));
+  }
+  return modes;
+}
+
+}  // namespace
+
+PredictiveFanController::PredictiveFanController(sysfs::HwmonDevice& hwmon,
+                                                 sysfs::RaplDomain& rapl,
+                                                 PredictiveFanConfig config)
+    : hwmon_(hwmon),
+      rapl_(rapl),
+      config_(config),
+      array_(duty_modes(config.base), config.base.array_size, config.base.pp),
+      selector_(config.base.selector, config.base.array_size),
+      window_(config.base.window) {}
+
+void PredictiveFanController::on_sample(SimTime now) {
+  const Celsius reading = hwmon_.read_temperature();
+
+  if (!initialized_) {
+    index_ = 0;
+    if (hwmon_.set_manual_mode()) {
+      hwmon_.write_pwm(DutyCycle{array_.least_effective()});
+    }
+    last_energy_uj_ = rapl_.energy_uj();
+    last_round_time_ = now;
+    initialized_ = true;
+  }
+
+  const auto round = window_.add_sample(reading);
+  if (!round.has_value()) {
+    return;
+  }
+
+  // Average package power over the just-completed round, from RAPL deltas.
+  const std::uint64_t energy = rapl_.energy_uj();
+  const double span_s = (now - last_round_time_).value();
+  const double power_w =
+      span_s > 0.0 ? static_cast<double>(energy - last_energy_uj_) * 1e-6 / span_s : 0.0;
+  last_energy_uj_ = energy;
+  last_round_time_ = now;
+
+  // Feed-forward: the round-over-round power change, converted to the
+  // degrees it will eventually produce.
+  double feedforward_dt = 0.0;
+  if (last_round_power_w_ >= 0.0) {
+    const double dp = power_w - last_round_power_w_;
+    if (std::abs(dp) > config_.power_deadband_w) {
+      feedforward_dt = config_.power_gain * dp * config_.r_thermal;
+    }
+  }
+  last_round_power_w_ = power_w;
+
+  WindowRound augmented = *round;
+  augmented.level1_delta = augmented.level1_delta + CelsiusDelta{feedforward_dt};
+
+  const ModeDecision decision = selector_.decide(index_, augmented);
+  // What history alone would have decided, for attribution.
+  const bool history_would_move = selector_.decide(index_, *round).changed;
+  if (!decision.changed) {
+    return;
+  }
+  const double from = array_.mode(index_);
+  const double to = array_.mode(decision.target);
+  index_ = decision.target;
+  if (to != from && hwmon_.write_pwm(DutyCycle{to})) {
+    ++retargets_;
+    if (feedforward_dt != 0.0 && !history_would_move) {
+      ++feedforward_;  // the counter term alone caused this move
+    }
+    events_.push_back(FanEvent{now.seconds(), from, to, decision.used_level2});
+    THERMCTL_LOG_DEBUG("predfan", "t=%.2fs duty %.0f%% -> %.0f%% (ff=%.2f degC)",
+                       now.seconds(), from, to, feedforward_dt);
+  }
+}
+
+}  // namespace thermctl::core

@@ -1,0 +1,92 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace thermctl::core {
+
+namespace {
+
+struct TimelineEntry {
+  double time_s;
+  std::string text;
+};
+
+std::string format_line(const char* fmt, double a, double b = 0.0, double c = 0.0) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, fmt, a, b, c);
+  return std::string{buf};
+}
+
+}  // namespace
+
+std::string render_verdict(const ExperimentResult& result) {
+  std::ostringstream out;
+  out << (result.run.app_completed ? "completed" : "horizon reached") << " in "
+      << format_number(result.run.exec_time_s, 1) << " s; hottest die "
+      << format_number(result.run.max_die_temp(), 1) << " degC; avg node power "
+      << format_number(result.run.avg_power_w(), 1) << " W; "
+      << result.run.total_freq_transitions() << " frequency transitions";
+  return out.str();
+}
+
+std::string render_report(const ExperimentResult& result, const ReportOptions& options) {
+  std::ostringstream out;
+  out << render_verdict(result) << "\n";
+
+  if (options.per_node) {
+    TextTable table{{"node", "avg die (degC)", "max die", "avg duty (%)", "avg power (W)",
+                     "freq changes", "PROCHOT"}};
+    for (std::size_t i = 0; i < result.run.summaries.size(); ++i) {
+      const cluster::NodeSummary& s = result.run.summaries[i];
+      table.add_row("node" + std::to_string(i),
+                    {s.avg_die_temp, s.max_die_temp, s.avg_duty, s.avg_power_w,
+                     static_cast<double>(s.freq_transitions),
+                     static_cast<double>(s.prochot_events)},
+                    1);
+    }
+    out << table.render();
+  }
+
+  if (options.events) {
+    std::vector<TimelineEntry> timeline;
+    for (std::size_t n = 0; n < result.tdvfs_events.size(); ++n) {
+      for (const TdvfsEvent& e : result.tdvfs_events[n]) {
+        timeline.push_back(
+            {e.time_s, "node" + std::to_string(n) + " tDVFS " +
+                           format_line("%.1f -> %.1f GHz", e.from_ghz, e.to_ghz)});
+      }
+    }
+    for (std::size_t n = 0; n < result.fan_events.size(); ++n) {
+      for (const FanEvent& e : result.fan_events[n]) {
+        timeline.push_back(
+            {e.time_s, "node" + std::to_string(n) + " fan " +
+                           format_line("%.0f%% -> %.0f%% duty", e.from_duty, e.to_duty) +
+                           (e.used_level2 ? " (gradual)" : "")});
+      }
+    }
+    std::sort(timeline.begin(), timeline.end(),
+              [](const TimelineEntry& a, const TimelineEntry& b) { return a.time_s < b.time_s; });
+
+    if (!timeline.empty()) {
+      out << "controller timeline";
+      const std::size_t cap =
+          options.max_events == 0 ? timeline.size() : options.max_events;
+      if (timeline.size() > cap) {
+        out << " (first " << cap << " of " << timeline.size() << ")";
+      }
+      out << ":\n";
+      for (std::size_t i = 0; i < std::min(cap, timeline.size()); ++i) {
+        out << "  t=" << format_number(timeline[i].time_s, 1) << "s  " << timeline[i].text
+            << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace thermctl::core

@@ -1,0 +1,31 @@
+// Run reporting: turn an ExperimentResult into the summary a human reads.
+//
+// One place for the numbers every consumer prints (thermctld, examples,
+// post-run analysis): per-node table, cluster aggregates, controller event
+// timeline, and a compact verdict line. Pure formatting — all analysis stays
+// in the metrics layer.
+#pragma once
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace thermctl::core {
+
+struct ReportOptions {
+  /// Include the per-node breakdown table.
+  bool per_node = true;
+  /// Include the merged controller event timeline (tDVFS + fan retargets).
+  bool events = true;
+  /// Cap on timeline rows (0 = unlimited).
+  std::size_t max_events = 20;
+};
+
+/// Renders a human-readable report of an experiment run.
+[[nodiscard]] std::string render_report(const ExperimentResult& result,
+                                        const ReportOptions& options = {});
+
+/// One-line verdict: completion, hottest die, power, transition count.
+[[nodiscard]] std::string render_verdict(const ExperimentResult& result);
+
+}  // namespace thermctl::core

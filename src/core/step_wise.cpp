@@ -1,0 +1,56 @@
+#include "core/step_wise.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace thermctl::core {
+
+StepWiseGovernor::StepWiseGovernor(sysfs::ThermalZone& zone, StepWiseConfig config)
+    : zone_(zone), config_(config) {}
+
+void StepWiseGovernor::on_sample(SimTime now) {
+  (void)now;
+  const double temp = zone_.temperature().value();
+  const double trend = last_temp_ <= -1e8 ? 0.0 : temp - last_temp_;
+  last_temp_ = temp;
+
+  bool above_passive = false;
+  for (const sysfs::TripPoint& trip : zone_.trips()) {
+    if (trip.type == sysfs::TripType::kCritical) {
+      if (temp >= trip.temperature.value()) {
+        if (!critical_latched_) {
+          ++critical_;
+          critical_latched_ = true;
+          THERMCTL_LOG_WARN("step_wise", "critical trip crossed at %.1f C", temp);
+        }
+      } else {
+        critical_latched_ = false;
+      }
+      continue;
+    }
+    if (temp >= trip.temperature.value()) {
+      above_passive = true;
+    }
+  }
+
+  const bool rising = trend > config_.trend_deadband_c;
+  const bool falling = trend < -config_.trend_deadband_c;
+
+  if (above_passive && rising) {
+    for (sysfs::CoolingDevice* dev : zone_.bound_devices()) {
+      if (dev->cooling_state() < dev->max_cooling_state() &&
+          dev->set_cooling_state(dev->cooling_state() + 1)) {
+        ++steps_up_;
+      }
+    }
+  } else if (!above_passive && falling) {
+    for (sysfs::CoolingDevice* dev : zone_.bound_devices()) {
+      if (dev->cooling_state() > 0 && dev->set_cooling_state(dev->cooling_state() - 1)) {
+        ++steps_down_;
+      }
+    }
+  }
+}
+
+}  // namespace thermctl::core

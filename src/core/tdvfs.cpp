@@ -1,0 +1,97 @@
+#include "core/tdvfs.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace thermctl::core {
+
+TdvfsDaemon::TdvfsDaemon(sysfs::HwmonDevice& hwmon, sysfs::CpufreqPolicy& cpufreq,
+                         TdvfsConfig config)
+    : hwmon_(hwmon),
+      cpufreq_(cpufreq),
+      config_(config),
+      array_(
+          [&cpufreq] {
+            // Frequencies ordered fastest (least effective at cooling) to
+            // slowest (most effective).
+            std::vector<double> modes;
+            const double max_ghz = sysfs::CpufreqPolicy::from_khz(cpufreq.max_khz()).value();
+            const double min_ghz = sysfs::CpufreqPolicy::from_khz(cpufreq.min_khz()).value();
+            THERMCTL_ASSERT(max_ghz > 0.0 && min_ghz > 0.0, "cpufreq bounds unavailable");
+            modes = cpufreq.available_ghz();
+            std::sort(modes.begin(), modes.end(), std::greater<>());
+            return modes;
+          }(),
+          config.array_size, config.pp),
+      selector_(config.selector, config.array_size),
+      window_(config.window) {
+  THERMCTL_ASSERT(config_.consistency_rounds >= 1, "consistency must be >= 1 round");
+  THERMCTL_ASSERT(config_.restore_rounds >= 1, "restore consistency must be >= 1 round");
+}
+
+GigaHertz TdvfsDaemon::current_target() const { return GigaHertz{array_.mode(index_)}; }
+
+void TdvfsDaemon::set_policy(PolicyParam pp) {
+  config_.pp = pp;
+  array_.set_policy(pp);
+  window_.reset();
+}
+
+void TdvfsDaemon::retarget(SimTime now, std::size_t target) {
+  const double from = array_.mode(index_);
+  const double to = array_.mode(target);
+  index_ = target;
+  if (to == from) {
+    return;
+  }
+  cpufreq_.set_khz(sysfs::CpufreqPolicy::to_khz(GigaHertz{to}));
+  events_.push_back(TdvfsEvent{now.seconds(), from, to});
+  THERMCTL_LOG_INFO("tdvfs", "t=%.2fs frequency %.1f GHz -> %.1f GHz", now.seconds(), from, to);
+}
+
+void TdvfsDaemon::on_sample(SimTime now) {
+  const auto round = window_.add_sample(hwmon_.read_temperature());
+  if (!round.has_value()) {
+    return;
+  }
+
+  const double avg = round->level1_average.value();
+  if (avg > config_.threshold.value()) {
+    ++rounds_above_;
+    rounds_below_ = 0;
+  } else if (avg < config_.threshold.value() - config_.hysteresis.value()) {
+    ++rounds_below_;
+    rounds_above_ = 0;
+  } else {
+    // Inside the hysteresis band: neither trend is "consistent".
+    rounds_above_ = 0;
+    rounds_below_ = 0;
+  }
+
+  if (rounds_above_ >= config_.consistency_rounds) {
+    // Consistently hot: each trigger must actually change the operating
+    // frequency, so the floor of the move is the next cell holding a
+    // *distinct* mode (the Pp fill may duplicate modes across cells); the
+    // window's prediction can push further (i + c·Δt).
+    std::size_t next_distinct = index_;
+    while (next_distinct + 1 < array_.size() &&
+           array_.mode(next_distinct) == array_.mode(index_)) {
+      ++next_distinct;
+    }
+    const ModeDecision d = selector_.decide(index_, *round);
+    std::size_t target = d.changed ? std::max(d.target, next_distinct) : next_distinct;
+    target = std::min(target, array_.size() - 1);
+    retarget(now, target);
+    rounds_above_ = 0;
+  } else if (rounds_below_ >= config_.restore_rounds && index_ != 0) {
+    // Consistently cool again: restore the original frequency outright.
+    retarget(now, 0);
+    rounds_below_ = 0;
+  }
+}
+
+}  // namespace thermctl::core

@@ -1,0 +1,92 @@
+// tDVFS — the temperature-aware DVFS daemon (§4.1, §4.3).
+//
+// The paper's in-band technique: "our strategy for DVFS control is not to
+// scale down frequency unless necessary because low frequencies impact
+// application performance ... we trigger frequency scaling when the
+// temperature reaches a threshold." Concretely:
+//
+//  * scale DOWN only when the round-average temperature has been
+//    *consistently* above the threshold (51 °C on the paper's platform) for
+//    `consistency_rounds` window rounds — single hot rounds and jitter do
+//    not trigger (the red-circled non-response in Fig. 8);
+//  * how far down is governed by the same thermal control array / Pp
+//    machinery as the fan (frequencies ordered fastest → slowest by
+//    effectiveness), so one Pp steers both techniques;
+//  * scale back UP to the original frequency once the average has been
+//    consistently below (threshold − hysteresis), "so as to avoid
+//    performance loss".
+//
+// Actuation goes through the cpufreq sysfs path; transition counts (Table 1)
+// therefore come from the same `stats/total_trans` a real system reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/units.hpp"
+#include "core/control_array.hpp"
+#include "core/mode_selector.hpp"
+#include "core/policy.hpp"
+#include "core/two_level_window.hpp"
+#include "sysfs/cpufreq.hpp"
+#include "sysfs/hwmon.hpp"
+
+namespace thermctl::core {
+
+struct TdvfsConfig {
+  PolicyParam pp{};
+  /// Trigger threshold (the paper's experiments use 51 °C).
+  Celsius threshold{51.0};
+  /// Scale back up once average temperature < threshold − hysteresis.
+  CelsiusDelta hysteresis{2.0};
+  /// Window rounds the average must stay above threshold to count as
+  /// "consistent" (rounds are ~1 s at the paper's rates).
+  int consistency_rounds = 3;
+  /// Rounds below (threshold − hysteresis) before restoring the original
+  /// frequency. Deliberately longer than the trigger consistency: restoring
+  /// eagerly right after a down-scale causes down/up thrash, and transitions
+  /// are the reliability cost Table 1 scores.
+  int restore_rounds = 10;
+  /// Thermal control array bound N for the frequency modes.
+  std::size_t array_size = 16;
+  ModeSelectorConfig selector{};
+  WindowConfig window{};
+};
+
+struct TdvfsEvent {
+  double time_s = 0.0;
+  double from_ghz = 0.0;
+  double to_ghz = 0.0;
+};
+
+class TdvfsDaemon {
+ public:
+  TdvfsDaemon(sysfs::HwmonDevice& hwmon, sysfs::CpufreqPolicy& cpufreq, TdvfsConfig config);
+
+  /// Daemon tick (call at the sensor sampling rate).
+  void on_sample(SimTime now);
+
+  [[nodiscard]] std::size_t current_index() const { return index_; }
+  [[nodiscard]] GigaHertz current_target() const;
+  [[nodiscard]] const std::vector<TdvfsEvent>& events() const { return events_; }
+  [[nodiscard]] const ThermalControlArray& array() const { return array_; }
+
+  void set_policy(PolicyParam pp);
+
+ private:
+  void retarget(SimTime now, std::size_t target);
+
+  sysfs::HwmonDevice& hwmon_;
+  sysfs::CpufreqPolicy& cpufreq_;
+  TdvfsConfig config_;
+  ThermalControlArray array_;
+  ModeSelector selector_;
+  TwoLevelWindow window_;
+  std::size_t index_ = 0;  // 0 = least effective = original (fastest) mode
+  int rounds_above_ = 0;
+  int rounds_below_ = 0;
+  std::vector<TdvfsEvent> events_;
+};
+
+}  // namespace thermctl::core

@@ -1,0 +1,102 @@
+#include "core/tempest.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace thermctl::core {
+
+std::string_view to_string(cluster::ActivityCode code) {
+  switch (code) {
+    case cluster::ActivityCode::kNone:
+      return "(no rank)";
+    case cluster::ActivityCode::kCompute:
+      return "compute";
+    case cluster::ActivityCode::kCommunicate:
+      return "communicate";
+    case cluster::ActivityCode::kIdlePhase:
+      return "idle";
+    case cluster::ActivityCode::kBarrier:
+      return "barrier wait";
+    case cluster::ActivityCode::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+TempestReport attribute_heat(const cluster::NodeSeries& series, double record_dt_s) {
+  THERMCTL_ASSERT(record_dt_s > 0.0, "recording period must be positive");
+  THERMCTL_ASSERT(series.activity.size() == series.die_temp.size(),
+                  "activity series misaligned");
+  TempestReport report;
+  if (series.die_temp.size() < 2) {
+    return report;
+  }
+
+  std::array<double, 6> util_sum{};
+  std::array<double, 6> temp_sum{};
+  std::array<std::size_t, 6> count{};
+  std::size_t present = 0;
+
+  for (std::size_t i = 1; i < series.die_temp.size(); ++i) {
+    const int code = static_cast<int>(series.activity[i]);
+    THERMCTL_ASSERT(code >= 0 && code < 6, "activity code out of range");
+    const double dt_temp = series.die_temp[i] - series.die_temp[i - 1];
+    ActivityStats& stats = report.by_activity[static_cast<std::size_t>(code)];
+    stats.time_s += record_dt_s;
+    util_sum[static_cast<std::size_t>(code)] += series.util[i];
+    temp_sum[static_cast<std::size_t>(code)] += series.die_temp[i];
+    ++count[static_cast<std::size_t>(code)];
+    if (code != 0) {
+      ++present;
+    }
+    if (dt_temp > 0.0) {
+      stats.heating_c += dt_temp;
+      report.total_heating_c += dt_temp;
+    } else {
+      stats.cooling_c += -dt_temp;
+    }
+  }
+
+  double best = -1.0;
+  for (std::size_t k = 0; k < 6; ++k) {
+    ActivityStats& stats = report.by_activity[k];
+    if (count[k] > 0) {
+      stats.avg_util = util_sum[k] / static_cast<double>(count[k]);
+      stats.avg_temp = temp_sum[k] / static_cast<double>(count[k]);
+    }
+    if (k != 0 && present > 0) {
+      stats.time_share = static_cast<double>(count[k]) / static_cast<double>(present);
+    }
+    if (k != 0 && stats.heating_c > best) {
+      best = stats.heating_c;
+      report.hottest = static_cast<cluster::ActivityCode>(k);
+    }
+  }
+  return report;
+}
+
+std::string render_tempest(const TempestReport& report) {
+  std::ostringstream out;
+  TextTable table{{"activity", "time (s)", "share (%)", "avg util", "avg temp (degC)",
+                   "heating (degC)", "cooling (degC)"}};
+  for (std::size_t k = 1; k < 6; ++k) {
+    const ActivityStats& stats = report.by_activity[k];
+    if (stats.time_s <= 0.0) {
+      continue;
+    }
+    table.add_row(std::string{to_string(static_cast<cluster::ActivityCode>(k))},
+                  {stats.time_s, stats.time_share * 100.0, stats.avg_util, stats.avg_temp,
+                   stats.heating_c, stats.cooling_c},
+                  2);
+  }
+  out << table.render();
+  out << "hot spot: " << to_string(report.hottest) << " ("
+      << format_number(report.total_heating_c, 1) << " degC total heating)\n";
+  return out.str();
+}
+
+}  // namespace thermctl::core

@@ -1,0 +1,51 @@
+// Tempest-style heat attribution (reference [28]: Cameron et al.,
+// "Tempest: a portable tool to identify hot spots in parallel code" — the
+// tool the paper's authors used to characterize their workloads, §3.1).
+//
+// Correlates the recorded program-activity series (compute / communicate /
+// idle / barrier per rank per sample) with the simultaneous temperature
+// series and attributes heating to activity classes:
+//
+//   heating contribution of class K = Σ max(ΔT, 0) over samples in K
+//
+// plus time share, average utilization and average temperature per class.
+// The output answers the question the paper's §3.1 taxonomy depends on:
+// *which parts of the parallel code make the die hot* — compute slabs heat,
+// exchanges and barrier waits cool or hold.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "cluster/metrics.hpp"
+
+namespace thermctl::core {
+
+struct ActivityStats {
+  double time_s = 0.0;
+  double time_share = 0.0;     // of samples with a rank present
+  double avg_util = 0.0;
+  double avg_temp = 0.0;
+  double heating_c = 0.0;      // sum of positive per-sample temperature deltas
+  double cooling_c = 0.0;      // sum of negative deltas (magnitude)
+};
+
+struct TempestReport {
+  /// Indexed by cluster::ActivityCode (kNone..kFinished).
+  std::array<ActivityStats, 6> by_activity{};
+  double total_heating_c = 0.0;
+  /// Activity class contributing the most heating (the "hot spot").
+  cluster::ActivityCode hottest = cluster::ActivityCode::kNone;
+};
+
+[[nodiscard]] std::string_view to_string(cluster::ActivityCode code);
+
+/// Attributes one node's recorded run to activity classes. `record_dt_s` is
+/// the recording period (RunResult times spacing).
+[[nodiscard]] TempestReport attribute_heat(const cluster::NodeSeries& series,
+                                           double record_dt_s);
+
+/// Human-readable attribution table.
+[[nodiscard]] std::string render_tempest(const TempestReport& report);
+
+}  // namespace thermctl::core

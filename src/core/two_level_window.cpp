@@ -1,0 +1,56 @@
+#include "core/two_level_window.hpp"
+
+#include "common/assert.hpp"
+
+namespace thermctl::core {
+
+TwoLevelWindow::TwoLevelWindow(WindowConfig config)
+    : config_(config), level2_(config.level2_size) {
+  THERMCTL_ASSERT(config_.level1_size >= 2 && config_.level1_size % 2 == 0,
+                  "level-one window must be even-sized and >= 2");
+  THERMCTL_ASSERT(config_.level2_size >= 2, "level-two FIFO must hold >= 2 rounds");
+  level1_.reserve(config_.level1_size);
+}
+
+void TwoLevelWindow::reset() {
+  level1_.clear();
+  level2_.clear();
+}
+
+std::optional<WindowRound> TwoLevelWindow::add_sample(Celsius t) {
+  level1_.push_back(t);
+  if (level1_.size() < config_.level1_size) {
+    return std::nullopt;
+  }
+
+  // Round complete: Δt_L1 = sum(second half) − sum(first half).
+  const std::size_t half = config_.level1_size / 2;
+  double first = 0.0;
+  double second = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < level1_.size(); ++i) {
+    const double v = level1_[i].value();
+    total += v;
+    if (i < half) {
+      first += v;
+    } else {
+      second += v;
+    }
+  }
+
+  WindowRound round;
+  round.level1_delta = CelsiusDelta{second - first};
+  round.level1_average = Celsius{total / static_cast<double>(config_.level1_size)};
+
+  // Push the round average into the FIFO, then read Δt_L2 = rear − front.
+  level2_.push(round.level1_average);
+  if (level2_.size() >= 2) {
+    round.level2_delta = level2_.back() - level2_.front();
+    round.level2_valid = true;
+  }
+
+  level1_.clear();  // "cells ... cleared out for next round of sampling"
+  return round;
+}
+
+}  // namespace thermctl::core

@@ -1,0 +1,71 @@
+// The paper's two-level, history-based temperature window (§3.2.1, Fig. 3).
+//
+// Level one: a small array (default 4 entries) of the most recent raw
+// samples. When it fills, the window computes
+//
+//   Δt_L1 = Σ(second half) − Σ(first half)
+//
+// — a sum-difference that responds to *sustained* change (Type I "sudden")
+// while averaging out single-sample jitter (Type III). The level-one average
+// is then pushed into the level-two FIFO (default 5 entries) and the
+// level-one array is cleared for the next round.
+//
+// Level two: the FIFO of round averages tracks coarse-grained history;
+//
+//   Δt_L2 = rear − front
+//
+// predicts *gradual* trends (Type II) spanning several rounds.
+//
+// With the paper's 4 Hz sampling and a 4-entry level-one array, rounds
+// complete once per second and the level-two FIFO spans five seconds.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/ring_buffer.hpp"
+#include "common/units.hpp"
+
+namespace thermctl::core {
+
+struct WindowConfig {
+  std::size_t level1_size = 4;  // must be even (split into halves)
+  std::size_t level2_size = 5;
+};
+
+/// Result of a completed level-one round.
+struct WindowRound {
+  CelsiusDelta level1_delta{};   // Δt_L1, degrees over half a round
+  CelsiusDelta level2_delta{};   // Δt_L2 (zero until the FIFO holds ≥ 2 rounds)
+  Celsius level1_average{};      // round average pushed into level two
+  bool level2_valid = false;     // FIFO had ≥ 2 entries when Δt_L2 was read
+};
+
+class TwoLevelWindow {
+ public:
+  explicit TwoLevelWindow(WindowConfig config = {});
+
+  /// Adds a sample; returns a WindowRound when this sample completes a
+  /// level-one round, otherwise nullopt.
+  std::optional<WindowRound> add_sample(Celsius t);
+
+  /// Discards all history (e.g. after a controller mode change that makes
+  /// old samples unrepresentative).
+  void reset();
+
+  [[nodiscard]] const WindowConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t level1_fill() const { return level1_.size(); }
+  [[nodiscard]] std::size_t level2_fill() const { return level2_.size(); }
+
+  /// Front (oldest) and rear (newest) of the level-two FIFO.
+  [[nodiscard]] Celsius level2_front() const { return level2_.front(); }
+  [[nodiscard]] Celsius level2_rear() const { return level2_.back(); }
+
+ private:
+  WindowConfig config_;
+  std::vector<Celsius> level1_;
+  RingBuffer<Celsius> level2_;
+};
+
+}  // namespace thermctl::core

@@ -1,0 +1,52 @@
+#include "core/unified_controller.hpp"
+
+namespace thermctl::core {
+
+UnifiedConfig UnifiedController::harmonize(UnifiedConfig config) {
+  // One Pp steers every technique — overwrite whatever the sub-configs held.
+  config.fan.pp = config.pp;
+  config.tdvfs.pp = config.pp;
+  config.idle.pp = config.pp;
+  return config;
+}
+
+UnifiedController::UnifiedController(sysfs::HwmonDevice& hwmon, sysfs::CpufreqPolicy& cpufreq,
+                                     UnifiedConfig config)
+    : fan_(hwmon, harmonize(config).fan), dvfs_(hwmon, cpufreq, harmonize(config).tdvfs) {}
+
+UnifiedController::UnifiedController(sysfs::HwmonDevice& hwmon, sysfs::CpufreqPolicy& cpufreq,
+                                     sysfs::PowerClampDevice& clamp, UnifiedConfig config)
+    : fan_(hwmon, harmonize(config).fan), dvfs_(hwmon, cpufreq, harmonize(config).tdvfs) {
+  if (config.enable_idle_injection) {
+    idle_.emplace(hwmon, clamp, harmonize(config).idle);
+  }
+}
+
+void UnifiedController::on_sample(SimTime now) {
+  // Staged by intrusiveness: the fan costs no application performance, so
+  // it gets first shot at the new sample; tDVFS acts only above its
+  // threshold; idle injection, the bluntest instrument, backstops above a
+  // still-higher threshold.
+  fan_.on_sample(now);
+  dvfs_.on_sample(now);
+  if (idle_.has_value()) {
+    idle_->on_sample(now);
+  }
+}
+
+void UnifiedController::set_policy(PolicyParam pp) {
+  fan_.set_policy(pp);
+  dvfs_.set_policy(pp);
+  if (idle_.has_value()) {
+    idle_->set_policy(pp);
+  }
+}
+
+double UnifiedController::first_dvfs_trigger_s() const {
+  if (dvfs_.events().empty()) {
+    return -1.0;
+  }
+  return dvfs_.events().front().time_s;
+}
+
+}  // namespace thermctl::core

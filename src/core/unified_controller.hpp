@@ -1,0 +1,72 @@
+// The unified in-band + out-of-band controller (§4.4).
+//
+// Coordination as the paper defines it: "use fan to control temperature if
+// possible, and trigger tDVFS to scale down frequency only when temperature
+// is above a threshold." Both techniques are driven from the same sensor
+// stream, are filled from the same thermal control array machinery, and take
+// one shared policy parameter Pp — a small Pp makes the *fan* aggressive,
+// which keeps temperature below the tDVFS threshold longer and defers the
+// in-band (performance-costly) response; a large Pp conserves fan power and
+// lets tDVFS fire earlier. That interplay is exactly Fig. 10.
+#pragma once
+
+#include <optional>
+
+#include "common/sim_time.hpp"
+#include "core/fan_policy.hpp"
+#include "core/idle_injection.hpp"
+#include "core/policy.hpp"
+#include "core/tdvfs.hpp"
+
+namespace thermctl::core {
+
+struct UnifiedConfig {
+  PolicyParam pp{};
+  FanControlConfig fan{};
+  TdvfsConfig tdvfs{};
+  /// Optional third technique (sleep-state / idle-injection backstop).
+  /// Requires the clamp-aware constructor; its threshold should sit above
+  /// tdvfs.threshold so it only engages when DVFS alone is losing.
+  bool enable_idle_injection = false;
+  IdleInjectionConfig idle{};
+};
+
+class UnifiedController {
+ public:
+  /// Both sub-controllers act on the same node through its sysfs planes.
+  UnifiedController(sysfs::HwmonDevice& hwmon, sysfs::CpufreqPolicy& cpufreq,
+                    UnifiedConfig config);
+
+  /// Three-technique variant: fan + DVFS + idle-injection backstop (enabled
+  /// via config.enable_idle_injection).
+  UnifiedController(sysfs::HwmonDevice& hwmon, sysfs::CpufreqPolicy& cpufreq,
+                    sysfs::PowerClampDevice& clamp, UnifiedConfig config);
+
+  /// One controller tick at the sensor sampling rate. The out-of-band
+  /// technique runs first (it is free), then the in-band one.
+  void on_sample(SimTime now);
+
+  /// Applies one Pp to both techniques (the paper's single-knob contract).
+  void set_policy(PolicyParam pp);
+
+  [[nodiscard]] DynamicFanController& fan() { return fan_; }
+  [[nodiscard]] const DynamicFanController& fan() const { return fan_; }
+  [[nodiscard]] TdvfsDaemon& dvfs() { return dvfs_; }
+  [[nodiscard]] const TdvfsDaemon& dvfs() const { return dvfs_; }
+  [[nodiscard]] bool has_idle_injection() const { return idle_.has_value(); }
+  [[nodiscard]] IdleInjectionController& idle_injection() { return *idle_; }
+  [[nodiscard]] const IdleInjectionController& idle_injection() const { return *idle_; }
+
+  /// Time of the first in-band (DVFS) intervention, if any — the "trigger
+  /// time" Fig. 10 compares across Pp.
+  [[nodiscard]] double first_dvfs_trigger_s() const;
+
+ private:
+  static UnifiedConfig harmonize(UnifiedConfig config);
+
+  DynamicFanController fan_;
+  TdvfsDaemon dvfs_;
+  std::optional<IdleInjectionController> idle_;
+};
+
+}  // namespace thermctl::core

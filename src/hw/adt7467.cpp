@@ -1,0 +1,119 @@
+#include "hw/adt7467.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace thermctl::hw {
+
+Adt7467::Adt7467() { refresh_output(); }
+
+std::uint8_t Adt7467::duty_to_reg(DutyCycle d) {
+  return static_cast<std::uint8_t>(std::lround(d.fraction() * 255.0));
+}
+
+DutyCycle Adt7467::reg_to_duty(std::uint8_t v) {
+  return DutyCycle{static_cast<double>(v) / 255.0 * 100.0};
+}
+
+void Adt7467::set_measured_temperature(Celsius t) {
+  const double clamped = std::clamp(t.value(), -128.0, 127.0);
+  temp_remote1_ = static_cast<std::int8_t>(std::lround(clamped));
+  refresh_output();
+}
+
+void Adt7467::set_measured_rpm(Rpm rpm) {
+  if (rpm.value() < 100.0) {
+    tach1_ = 0xFFFF;  // stalled / too slow to measure
+  } else {
+    const double count = kTachClock / rpm.value();
+    tach1_ = static_cast<std::uint16_t>(std::min(count, 65534.0));
+  }
+}
+
+bool Adt7467::manual_mode() const { return (pwm1_config_ >> 5) == kBehaviourManual; }
+
+DutyCycle Adt7467::auto_curve(Celsius t) const {
+  const double tmin = static_cast<double>(tmin_remote1_);
+  const double trange = std::max(1.0, static_cast<double>(trange_remote1_));
+  const double duty_min = reg_to_duty(pwm1_min_).percent();
+  if (t.value() <= tmin) {
+    return DutyCycle{duty_min};
+  }
+  const double frac = std::min(1.0, (t.value() - tmin) / trange);
+  return DutyCycle{duty_min + frac * (100.0 - duty_min)};
+}
+
+void Adt7467::refresh_output() {
+  if (!manual_mode()) {
+    pwm1_duty_ = std::min(
+        duty_to_reg(auto_curve(Celsius{static_cast<double>(temp_remote1_)})), pwm1_max_);
+  }
+}
+
+DutyCycle Adt7467::output_duty() const { return reg_to_duty(pwm1_duty_); }
+
+std::optional<std::uint8_t> Adt7467::read_register(std::uint8_t reg) {
+  switch (reg) {
+    case kRegTempRemote1:
+      return static_cast<std::uint8_t>(temp_remote1_);
+    case kRegTach1Low:
+      return static_cast<std::uint8_t>(tach1_ & 0xFF);
+    case kRegTach1High:
+      return static_cast<std::uint8_t>(tach1_ >> 8);
+    case kRegPwm1Duty:
+      return pwm1_duty_;
+    case kRegPwm1Max:
+      return pwm1_max_;
+    case kRegPwm1Config:
+      return pwm1_config_;
+    case kRegPwm1Min:
+      return pwm1_min_;
+    case kRegTminRemote1:
+      return static_cast<std::uint8_t>(tmin_remote1_);
+    case kRegTrangeRemote1:
+      return trange_remote1_;
+    case kRegDeviceId:
+      return kDeviceId;
+    case kRegCompanyId:
+      return kCompanyId;
+    default:
+      return std::nullopt;  // register NAK
+  }
+}
+
+bool Adt7467::write_register(std::uint8_t reg, std::uint8_t value) {
+  switch (reg) {
+    case kRegPwm1Duty:
+      // Writable only under manual behaviour; the real part ignores writes in
+      // automatic mode — we NAK so driver bugs surface loudly.
+      if (!manual_mode()) {
+        return false;
+      }
+      pwm1_duty_ = value;
+      return true;
+    case kRegPwm1Max:
+      pwm1_max_ = value;
+      refresh_output();
+      return true;
+    case kRegPwm1Config:
+      pwm1_config_ = value;
+      refresh_output();
+      return true;
+    case kRegPwm1Min:
+      pwm1_min_ = value;
+      refresh_output();
+      return true;
+    case kRegTminRemote1:
+      tmin_remote1_ = static_cast<std::int8_t>(value);
+      refresh_output();
+      return true;
+    case kRegTrangeRemote1:
+      trange_remote1_ = value;
+      refresh_output();
+      return true;
+    default:
+      return false;  // read-only or unknown register
+  }
+}
+
+}  // namespace thermctl::hw

@@ -1,0 +1,78 @@
+#include "hw/cpu_device.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace thermctl::hw {
+
+CpuDevice::CpuDevice(CpuParams params)
+    : params_(std::move(params)), idle_injector_(params_.idle) {
+  THERMCTL_ASSERT(!params_.pstates.empty(), "CPU needs at least one P-state");
+  for (std::size_t i = 1; i < params_.pstates.size(); ++i) {
+    THERMCTL_ASSERT(params_.pstates[i].frequency < params_.pstates[i - 1].frequency,
+                    "P-states must be in descending frequency order");
+  }
+  THERMCTL_ASSERT(params_.k_dyn > 0.0 && params_.k_leak >= 0.0, "power coefficients invalid");
+}
+
+void CpuDevice::set_pstate(std::size_t index) {
+  THERMCTL_ASSERT(index < params_.pstates.size(), "P-state index out of range");
+  if (index != current_) {
+    current_ = index;
+    ++transitions_;
+  }
+}
+
+void CpuDevice::set_frequency(GigaHertz f) {
+  std::size_t best = 0;
+  double best_err = 1e30;
+  for (std::size_t i = 0; i < params_.pstates.size(); ++i) {
+    const double err = std::abs(params_.pstates[i].frequency.value() - f.value());
+    if (err < best_err) {
+      best_err = err;
+      best = i;
+    }
+  }
+  set_pstate(best);
+}
+
+Watts CpuDevice::power() const {
+  const PState& ps = params_.pstates[current_];
+  const double v2 = ps.voltage.value() * ps.voltage.value();
+  const double activity =
+      params_.idle_activity + (1.0 - params_.idle_activity) * utilization_.fraction();
+  // PROCHOT clock-gates: dynamic power tracks the delivered (effective)
+  // frequency while voltage stays at the OS-selected P-state. Forced-idle
+  // injection scales both components by its per-C-state retention.
+  const double p_dyn = params_.k_dyn * v2 * effective_frequency().value() * activity *
+                       idle_injector_.dynamic_power_factor();
+  const double p_leak =
+      params_.k_leak * v2 *
+      (1.0 + params_.leakage_alpha * (die_temperature_.value() - params_.t_ref.value())) *
+      idle_injector_.leakage_power_factor();
+  return Watts{p_dyn + std::max(0.0, p_leak)};
+}
+
+void CpuDevice::advance_counters(Seconds dt) {
+  // Counters in units of 1e6 cycles / microjoules so 64 bits last for any
+  // plausible simulation length.
+  const double aperf_inc = work_capacity(dt) * 1e3;  // GHz-s -> Mcycles
+  const double mperf_inc = max_frequency().value() * dt.value() * 1e3;
+  const double energy_inc = power().value() * dt.value() * 1e6;  // J -> uJ
+
+  aperf_frac_ += aperf_inc;
+  mperf_frac_ += mperf_inc;
+  energy_frac_ += energy_inc;
+  const auto a = static_cast<std::uint64_t>(aperf_frac_);
+  const auto m = static_cast<std::uint64_t>(mperf_frac_);
+  const auto e = static_cast<std::uint64_t>(energy_frac_);
+  aperf_ += a;
+  mperf_ += m;
+  energy_uj_ += e;
+  aperf_frac_ -= static_cast<double>(a);
+  mperf_frac_ -= static_cast<double>(m);
+  energy_frac_ -= static_cast<double>(e);
+}
+
+}  // namespace thermctl::hw

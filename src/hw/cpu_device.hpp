@@ -1,0 +1,166 @@
+// DVFS-capable CPU device model.
+//
+// Models the evaluation platform's AMD Athlon64 4000+ : five P-states
+// (2.4/2.2/2.0/1.8/1.0 GHz), per-state core voltage, and a power model with
+// the structure the paper's argument relies on —
+//
+//   P = P_dyn + P_leak
+//   P_dyn  = k_dyn * V^2 * f * activity      (activity tracks utilization)
+//   P_leak = k_leak * V^2 * (1 + alpha*(T_die - T_ref))
+//
+// so that scaling frequency down reduces power super-linearly (via the
+// accompanying voltage drop, the paper's "cubic" claim) while leakage couples
+// power back to die temperature.
+//
+// Frequency transitions are not free: each one stalls execution briefly
+// (voltage ramp) and is counted, because Table 1 scores governors by the
+// number of transitions they inflict (a reliability proxy).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hw/cstates.hpp"
+
+namespace thermctl::hw {
+
+/// One DVFS operating point.
+struct PState {
+  GigaHertz frequency{};
+  Volts voltage{};
+};
+
+struct CpuParams {
+  /// P-states in descending frequency order (index 0 = fastest). Defaults to
+  /// the Athlon64 4000+ ladder from the paper with plausible VID voltages.
+  std::vector<PState> pstates{
+      {GigaHertz{2.4}, Volts{1.40}}, {GigaHertz{2.2}, Volts{1.325}},
+      {GigaHertz{2.0}, Volts{1.25}}, {GigaHertz{1.8}, Volts{1.20}},
+      {GigaHertz{1.0}, Volts{1.10}},
+  };
+  /// Dynamic power coefficient, W / (V^2 * GHz). 14.0 gives ~66 W of
+  /// dynamic power flat-out at 2.4 GHz / 1.4 V (Athlon64 4000+ class).
+  double k_dyn = 14.0;
+  /// Leakage coefficient, W / V^2 (~ 5.6 W at 1.4 V and T_ref).
+  double k_leak = 2.85;
+  /// Leakage temperature sensitivity per kelvin above t_ref.
+  double leakage_alpha = 0.012;
+  Celsius t_ref{45.0};
+  /// Floor activity when idle (OS housekeeping, clock tree).
+  double idle_activity = 0.06;
+  /// Execution stall per frequency transition (voltage ramp + relock).
+  Seconds transition_stall{0.000150};
+  /// ACPI idle-state ladder + injection mechanics (§3.2.2's third
+  /// technique).
+  IdleInjectorParams idle{};
+};
+
+class CpuDevice {
+ public:
+  explicit CpuDevice(CpuParams params = {});
+
+  [[nodiscard]] std::span<const PState> pstates() const { return params_.pstates; }
+  [[nodiscard]] std::size_t pstate_count() const { return params_.pstates.size(); }
+
+  /// Currently active P-state index (0 = fastest).
+  [[nodiscard]] std::size_t pstate_index() const { return current_; }
+  [[nodiscard]] GigaHertz frequency() const { return params_.pstates[current_].frequency; }
+  [[nodiscard]] Volts voltage() const { return params_.pstates[current_].voltage; }
+  [[nodiscard]] GigaHertz max_frequency() const { return params_.pstates.front().frequency; }
+  [[nodiscard]] GigaHertz min_frequency() const { return params_.pstates.back().frequency; }
+
+  /// Requests a P-state switch; counts a transition when the index changes.
+  void set_pstate(std::size_t index);
+
+  /// Requests the P-state whose frequency is nearest `f`.
+  void set_frequency(GigaHertz f);
+
+  /// Hardware thermal throttle (PROCHOT#). While asserted the core clock is
+  /// gated down to the slowest P-state frequency *without* changing the
+  /// OS-visible P-state — exactly how real parts behave: cpufreq still
+  /// reports the requested frequency, but work completes at the throttled
+  /// rate. Not counted as a transition.
+  void set_thermal_throttle(bool asserted) { throttled_ = asserted; }
+  [[nodiscard]] bool thermal_throttled() const { return throttled_; }
+
+  /// Frequency actually delivered to execution (accounts for PROCHOT).
+  [[nodiscard]] GigaHertz effective_frequency() const {
+    return throttled_ ? min_frequency() : frequency();
+  }
+
+  /// Instantaneous utilization imposed by the workload model.
+  void set_utilization(Utilization u) { utilization_ = u; }
+  [[nodiscard]] Utilization utilization() const { return utilization_; }
+
+  /// Die temperature feedback for the leakage term.
+  void set_die_temperature(Celsius t) { die_temperature_ = t; }
+
+  /// Instantaneous electrical power at the current operating point.
+  [[nodiscard]] Watts power() const;
+
+  /// Number of completed frequency transitions since construction.
+  [[nodiscard]] std::uint64_t transition_count() const { return transitions_; }
+
+  /// Total execution stall accumulated from transitions.
+  [[nodiscard]] Seconds transition_stall_total() const {
+    return Seconds{static_cast<double>(transitions_) * params_.transition_stall.value()};
+  }
+
+  /// Work executed during `dt` at the current frequency and utilization, in
+  /// normalized units of GHz-seconds (cycles / 1e9). The workload model uses
+  /// this to advance application progress. Accounts for PROCHOT throttling
+  /// and forced-idle injection.
+  [[nodiscard]] double work_capacity(Seconds dt) const {
+    return effective_frequency().value() * utilization_.fraction() * dt.value() *
+           idle_injector_.throughput_factor();
+  }
+
+  /// The frequency the workload effectively progresses at, folding in both
+  /// PROCHOT and idle injection — what the cluster engine feeds the app.
+  [[nodiscard]] GigaHertz delivered_frequency() const {
+    return GigaHertz{effective_frequency().value() * idle_injector_.throughput_factor()};
+  }
+
+  /// The ACPI idle-injection mechanism (sleep-state thermal control).
+  [[nodiscard]] IdleInjector& idle_injector() { return idle_injector_; }
+  [[nodiscard]] const IdleInjector& idle_injector() const { return idle_injector_; }
+
+  // ---- hardware counters (the paper's future-work prediction inputs) ----
+
+  /// Advances the counter block by `dt` at the current operating point.
+  /// Called once per physics step by the owning node.
+  void advance_counters(Seconds dt);
+
+  /// APERF-style counter: cycles actually delivered (frequency, throttling,
+  /// idle injection and utilization all fold in).
+  [[nodiscard]] std::uint64_t aperf() const { return aperf_; }
+
+  /// MPERF-style counter: cycles at the nominal (max) frequency regardless
+  /// of load — the time base. aperf/mperf deltas give delivered speed.
+  [[nodiscard]] std::uint64_t mperf() const { return mperf_; }
+
+  /// RAPL-style accumulated package energy in microjoules.
+  [[nodiscard]] std::uint64_t energy_uj() const { return energy_uj_; }
+
+  [[nodiscard]] const CpuParams& params() const { return params_; }
+
+ private:
+  CpuParams params_;
+  IdleInjector idle_injector_;
+  std::size_t current_ = 0;
+  Utilization utilization_{0.0};
+  Celsius die_temperature_{40.0};
+  std::uint64_t transitions_ = 0;
+  bool throttled_ = false;
+  std::uint64_t aperf_ = 0;
+  std::uint64_t mperf_ = 0;
+  std::uint64_t energy_uj_ = 0;
+  double aperf_frac_ = 0.0;   // sub-cycle carries
+  double mperf_frac_ = 0.0;
+  double energy_frac_ = 0.0;
+};
+
+}  // namespace thermctl::hw

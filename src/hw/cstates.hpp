@@ -1,0 +1,83 @@
+// ACPI processor idle states (C-states) and forced-idle injection.
+//
+// §3.2.2 names "valid sleep states for ACPI-compatible system" as a third
+// population for the thermal control array, alongside fan speeds and DVFS
+// frequencies. The actuation mechanism for sleep-state thermal control on
+// real systems is *idle injection* (Linux's intel_powerclamp): the OS
+// forces the core into a chosen C-state for a duty-cycled fraction of each
+// period, trading throughput for heat linearly.
+//
+// The model: a table of C-states with per-state power retention (C1 halts
+// the clock, deeper states gate voltage and flush caches) and wake-up
+// latency (which costs extra throughput at high injection rates).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace thermctl::hw {
+
+struct CState {
+  std::string name;
+  /// Fraction of *dynamic* power still burned while resident (clock gating
+  /// leaves ~0; shallow halt keeps caches snooping).
+  double dynamic_retention = 0.0;
+  /// Fraction of leakage power still burned (deep states gate voltage).
+  double leakage_retention = 1.0;
+  /// Wake-up latency per injection period (entry+exit, lost to execution).
+  Seconds wakeup_latency{0.0};
+};
+
+/// Athlon64-era ladder: C1 (HLT), C1E (HLT + reduced LDT clock), C2 (stop
+/// grant). Ordered shallow → deep: deeper saves more, wakes slower.
+[[nodiscard]] std::vector<CState> default_cstates();
+
+struct IdleInjectorParams {
+  std::vector<CState> cstates = default_cstates();
+  /// Injection period: one forced-idle pulse per period (powerclamp uses
+  /// ~6 ms windows; we use a coarser 50 ms to match the physics step).
+  Seconds period{0.05};
+  /// Maximum legal injection fraction (powerclamp caps at 50%).
+  double max_fraction = 0.5;
+};
+
+/// Duty-cycled forced idle on one CPU. The CpuDevice consults this to scale
+/// its delivered work and power; the sysfs PowerClamp device drives it.
+class IdleInjector {
+ public:
+  explicit IdleInjector(IdleInjectorParams params = {});
+
+  [[nodiscard]] const std::vector<CState>& cstates() const { return params_.cstates; }
+  [[nodiscard]] std::size_t cstate_count() const { return params_.cstates.size(); }
+
+  /// Commands injection of `fraction` of each period spent in C-state
+  /// `state` (0-based into cstates()). Fraction is clamped to
+  /// [0, max_fraction]; state must be valid.
+  void set_injection(double fraction, std::size_t state);
+  void stop() { fraction_ = 0.0; }
+
+  [[nodiscard]] double fraction() const { return fraction_; }
+  [[nodiscard]] std::size_t state() const { return state_; }
+  [[nodiscard]] bool active() const { return fraction_ > 0.0; }
+
+  /// Fraction of nominal throughput delivered under the current injection:
+  /// the idle slice itself plus the wake-up latency per period.
+  [[nodiscard]] double throughput_factor() const;
+
+  /// Multipliers applied to the CPU's dynamic / leakage power under the
+  /// current injection (time-weighted between C0 and the chosen state).
+  [[nodiscard]] double dynamic_power_factor() const;
+  [[nodiscard]] double leakage_power_factor() const;
+
+  [[nodiscard]] const IdleInjectorParams& params() const { return params_; }
+
+ private:
+  IdleInjectorParams params_;
+  double fraction_ = 0.0;
+  std::size_t state_ = 0;
+};
+
+}  // namespace thermctl::hw

@@ -1,0 +1,72 @@
+// PWM-controlled cooling fan model.
+//
+// Reproduces the out-of-band actuator of the paper's platform: a CPU fan with
+// a 4300 RPM ceiling whose speed is commanded through a PWM duty cycle
+// (Fig. 1). The model captures the properties the experiments depend on:
+//
+//  * PWM→RPM: linear above a stall threshold (a real fan does not spin below
+//    a few percent duty).
+//  * Rotor inertia: RPM follows the command with a first-order lag, so fan
+//    response is fast (~1 s) but not instantaneous.
+//  * Airflow ∝ RPM (fan laws), feeding the convection model.
+//  * Electrical power ∝ RPM^3 (fan affinity laws) — the cost side of
+//    aggressive fan policies in Figs. 5–7.
+//  * Failure injection: a stuck rotor for the emergency scenarios.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace thermctl::hw {
+
+struct FanParams {
+  Rpm max_rpm{4300.0};
+  /// Duty below which the rotor stalls (no rotation).
+  DutyCycle stall_duty{4.0};
+  /// Airflow at max RPM.
+  Cfm max_airflow{32.0};
+  /// Electrical power at max RPM (affinity-law cubic from here).
+  Watts max_power{5.5};
+  /// Standby electronics draw even when stalled.
+  Watts idle_power{0.2};
+  /// Rotor spin-up/down time constant.
+  Seconds rotor_tau{0.8};
+};
+
+class FanDevice {
+ public:
+  explicit FanDevice(FanParams params = {});
+
+  /// Commands a PWM duty cycle; takes effect through the rotor lag.
+  void set_duty(DutyCycle duty);
+  [[nodiscard]] DutyCycle duty() const { return duty_; }
+
+  /// Advances rotor dynamics.
+  void step(Seconds dt);
+
+  [[nodiscard]] Rpm rpm() const { return Rpm{rpm_}; }
+  [[nodiscard]] Cfm airflow() const;
+  [[nodiscard]] Watts power() const;
+
+  /// Steady-state RPM for a duty command (the rotor lag's fixed point).
+  [[nodiscard]] Rpm target_rpm(DutyCycle duty) const;
+
+  /// Snaps the rotor to its steady state for the current duty (experiment
+  /// priming).
+  void settle() { rpm_ = target_rpm(duty_).value(); }
+
+  /// Injects a stuck-rotor fault: the fan ignores commands and coasts to a
+  /// halt. `clear_fault` restores normal operation.
+  void inject_stuck_fault() { stuck_ = true; }
+  void clear_fault() { stuck_ = false; }
+  [[nodiscard]] bool faulted() const { return stuck_; }
+
+  [[nodiscard]] const FanParams& params() const { return params_; }
+
+ private:
+  FanParams params_;
+  DutyCycle duty_{0.0};
+  double rpm_ = 0.0;
+  bool stuck_ = false;
+};
+
+}  // namespace thermctl::hw

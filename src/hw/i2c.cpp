@@ -1,0 +1,52 @@
+#include "hw/i2c.hpp"
+
+#include "common/assert.hpp"
+
+namespace thermctl::hw {
+
+void I2cBus::attach(std::uint8_t address, I2cSlave* dev) {
+  THERMCTL_ASSERT(dev != nullptr, "cannot attach null device");
+  THERMCTL_ASSERT(address <= 0x7f, "7-bit address out of range");
+  THERMCTL_ASSERT(!devices_.contains(address), "address already in use");
+  devices_[address] = dev;
+}
+
+void I2cBus::detach(std::uint8_t address) { devices_.erase(address); }
+
+void I2cBus::record(I2cTransaction t) {
+  if (log_limit_ != 0 && log_.size() >= log_limit_) {
+    log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(log_limit_ / 2));
+  }
+  log_.push_back(t);
+}
+
+I2cStatus I2cBus::read_byte_data(std::uint8_t address, std::uint8_t reg, std::uint8_t& out) {
+  I2cTransaction t{address, reg, 0, /*is_write=*/false, I2cStatus::kOk};
+  if (faulted_) {
+    t.status = I2cStatus::kBusFault;
+  } else if (auto it = devices_.find(address); it == devices_.end()) {
+    t.status = I2cStatus::kAddressNak;
+  } else if (auto v = it->second->read_register(reg); !v.has_value()) {
+    t.status = I2cStatus::kRegisterNak;
+  } else {
+    out = *v;
+    t.value = *v;
+  }
+  record(t);
+  return t.status;
+}
+
+I2cStatus I2cBus::write_byte_data(std::uint8_t address, std::uint8_t reg, std::uint8_t value) {
+  I2cTransaction t{address, reg, value, /*is_write=*/true, I2cStatus::kOk};
+  if (faulted_) {
+    t.status = I2cStatus::kBusFault;
+  } else if (auto it = devices_.find(address); it == devices_.end()) {
+    t.status = I2cStatus::kAddressNak;
+  } else if (!it->second->write_register(reg, value)) {
+    t.status = I2cStatus::kRegisterNak;
+  }
+  record(t);
+  return t.status;
+}
+
+}  // namespace thermctl::hw

@@ -1,0 +1,76 @@
+// SMBus/i2c bus simulation.
+//
+// The paper connects the ADT7467 fan controller through an i2c link and
+// drives it from a custom Linux driver. To keep that software layering real,
+// the simulated driver talks to the simulated chip only through this bus —
+// register reads/writes addressed by 7-bit device address, with NAK errors
+// for absent devices or rejected registers. A transaction log supports both
+// debugging and the protocol-level tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace thermctl::hw {
+
+/// Result of an i2c transfer.
+enum class I2cStatus : std::uint8_t {
+  kOk,
+  kAddressNak,   // no device at address
+  kRegisterNak,  // device rejected the register offset
+  kBusFault,     // injected electrical fault
+};
+
+/// Device-side interface: a chip that can be attached to the bus.
+class I2cSlave {
+ public:
+  virtual ~I2cSlave() = default;
+
+  /// Reads one register byte; nullopt => register NAK.
+  virtual std::optional<std::uint8_t> read_register(std::uint8_t reg) = 0;
+
+  /// Writes one register byte; false => register NAK (read-only/unknown).
+  virtual bool write_register(std::uint8_t reg, std::uint8_t value) = 0;
+};
+
+struct I2cTransaction {
+  std::uint8_t address = 0;
+  std::uint8_t reg = 0;
+  std::uint8_t value = 0;
+  bool is_write = false;
+  I2cStatus status = I2cStatus::kOk;
+};
+
+class I2cBus {
+ public:
+  /// Attaches `dev` at `address` (7-bit). The bus does not own the device.
+  void attach(std::uint8_t address, I2cSlave* dev);
+  void detach(std::uint8_t address);
+
+  /// SMBus "read byte data".
+  I2cStatus read_byte_data(std::uint8_t address, std::uint8_t reg, std::uint8_t& out);
+
+  /// SMBus "write byte data".
+  I2cStatus write_byte_data(std::uint8_t address, std::uint8_t reg, std::uint8_t value);
+
+  /// Injects/clears a bus-level electrical fault (all transfers fail).
+  void inject_bus_fault() { faulted_ = true; }
+  void clear_bus_fault() { faulted_ = false; }
+
+  [[nodiscard]] const std::vector<I2cTransaction>& log() const { return log_; }
+  void clear_log() { log_.clear(); }
+  /// Caps the log so long simulations don't grow unbounded (0 = unlimited).
+  void set_log_limit(std::size_t limit) { log_limit_ = limit; }
+
+ private:
+  void record(I2cTransaction t);
+
+  std::map<std::uint8_t, I2cSlave*> devices_;
+  std::vector<I2cTransaction> log_;
+  std::size_t log_limit_ = 4096;
+  bool faulted_ = false;
+};
+
+}  // namespace thermctl::hw

@@ -1,0 +1,42 @@
+#include "hw/power_meter.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace thermctl::hw {
+
+PowerMeter::PowerMeter(std::function<Watts()> dc_load, PowerMeterParams params)
+    : dc_load_(std::move(dc_load)), params_(params) {
+  THERMCTL_ASSERT(static_cast<bool>(dc_load_), "power meter needs a load source");
+  THERMCTL_ASSERT(params_.psu_efficiency > 0.0 && params_.psu_efficiency <= 1.0,
+                  "PSU efficiency must be in (0, 1]");
+}
+
+Watts PowerMeter::read() const {
+  const double dc = params_.base_load.value() + dc_load_().value();
+  const double ac = dc / params_.psu_efficiency;
+  const double r = params_.resolution_watts;
+  return Watts{std::round(ac / r) * r};
+}
+
+void PowerMeter::integrate(Seconds dt) {
+  THERMCTL_ASSERT(dt.value() >= 0.0, "negative integration interval");
+  const double dc = params_.base_load.value() + dc_load_().value();
+  energy_joules_ += dc / params_.psu_efficiency * dt.value();
+  elapsed_seconds_ += dt.value();
+}
+
+Watts PowerMeter::average_power() const {
+  if (elapsed_seconds_ <= 0.0) {
+    return Watts{0.0};
+  }
+  return Watts{energy_joules_ / elapsed_seconds_};
+}
+
+void PowerMeter::reset() {
+  energy_joules_ = 0.0;
+  elapsed_seconds_ = 0.0;
+}
+
+}  // namespace thermctl::hw

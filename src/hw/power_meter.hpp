@@ -1,0 +1,56 @@
+// System power meter model (Watts up? Pro ES stand-in).
+//
+// Table 1's "Ave Power" and power-delay-product columns come from a wall
+// meter sampling whole-system draw at ~1 Hz. The model sums component powers
+// through a PSU-efficiency curve and integrates energy between samples, so
+// averages computed from its reading history have the same semantics as the
+// paper's instrument.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace thermctl::hw {
+
+struct PowerMeterParams {
+  /// Constant platform draw (board, DRAM, disk, NIC) behind the PSU.
+  /// Calibrated so a loaded node meters ~95-100 W AC (Table 1's range).
+  Watts base_load{35.0};
+  /// PSU efficiency at the loads of interest (AC draw = DC load / eff).
+  double psu_efficiency = 0.85;
+  /// Meter display resolution.
+  double resolution_watts = 0.1;
+};
+
+class PowerMeter {
+ public:
+  /// `dc_load` returns the instantaneous DC-side component power sum
+  /// (CPU + fan + anything else the node registers).
+  PowerMeter(std::function<Watts()> dc_load, PowerMeterParams params = {});
+
+  /// Instantaneous AC-side power as the meter would display it.
+  [[nodiscard]] Watts read() const;
+
+  /// Advances the internal energy integral by `dt` at the current load.
+  void integrate(Seconds dt);
+
+  /// Energy accumulated so far (the meter's kWh counter, in joules).
+  [[nodiscard]] Joules energy() const { return Joules{energy_joules_}; }
+
+  /// Average power over the integration window so far.
+  [[nodiscard]] Watts average_power() const;
+
+  void reset();
+
+  [[nodiscard]] const PowerMeterParams& params() const { return params_; }
+
+ private:
+  std::function<Watts()> dc_load_;
+  PowerMeterParams params_;
+  double energy_joules_ = 0.0;
+  double elapsed_seconds_ = 0.0;
+};
+
+}  // namespace thermctl::hw

@@ -1,0 +1,31 @@
+#include "hw/thermal_sensor.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace thermctl::hw {
+
+ThermalSensor::ThermalSensor(std::function<Celsius()> source, SensorParams params, Rng rng)
+    : source_(std::move(source)), params_(params), rng_(rng) {
+  THERMCTL_ASSERT(static_cast<bool>(source_), "sensor needs a source");
+  THERMCTL_ASSERT(params_.quantization_degc > 0.0, "quantization step must be positive");
+  THERMCTL_ASSERT(params_.noise_sigma_degc >= 0.0, "noise sigma must be non-negative");
+}
+
+Celsius ThermalSensor::sample() {
+  if (stuck_ && has_reading_) {
+    return last_;
+  }
+  double v = source_().value() + params_.offset_degc;
+  if (params_.noise_sigma_degc > 0.0) {
+    v += rng_.normal(0.0, params_.noise_sigma_degc);
+  }
+  const double q = params_.quantization_degc;
+  v = std::round(v / q) * q;
+  last_ = Celsius{v};
+  has_reading_ = true;
+  return last_;
+}
+
+}  // namespace thermctl::hw

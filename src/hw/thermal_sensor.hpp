@@ -1,0 +1,54 @@
+// Digital thermal sensor model.
+//
+// The controller never sees the true die temperature — it sees what the
+// on-die diode + ADC report: a quantized, noisy, sample-and-hold value at a
+// fixed rate (the paper samples at 4 Hz via lm-sensors). Quantization noise
+// is precisely what produces the "jitter" (Type III) behaviour the two-level
+// window must ignore, so the sensor model is load-bearing for the evaluation.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace thermctl::hw {
+
+struct SensorParams {
+  /// ADC step (lm-sensors k8temp exposes 1 °C; the ADT7467 remote channel
+  /// resolves 0.25 °C — default to the finer one, experiments can coarsen).
+  double quantization_degc = 0.25;
+  /// Gaussian measurement noise before quantization (1 sigma).
+  double noise_sigma_degc = 0.18;
+  /// Fixed calibration offset.
+  double offset_degc = 0.0;
+};
+
+class ThermalSensor {
+ public:
+  /// `source` returns the true temperature being measured.
+  ThermalSensor(std::function<Celsius()> source, SensorParams params, Rng rng);
+
+  /// Takes a new reading (called on the sampling schedule) and returns it.
+  Celsius sample();
+
+  /// Most recent reading without resampling (sample-and-hold).
+  [[nodiscard]] Celsius last_reading() const { return last_; }
+
+  /// Fault injection: the sensor reports a frozen value until cleared.
+  void inject_stuck_fault() { stuck_ = true; }
+  void clear_fault() { stuck_ = false; }
+  [[nodiscard]] bool faulted() const { return stuck_; }
+
+  [[nodiscard]] const SensorParams& params() const { return params_; }
+
+ private:
+  std::function<Celsius()> source_;
+  SensorParams params_;
+  Rng rng_;
+  Celsius last_{0.0};
+  bool stuck_ = false;
+  bool has_reading_ = false;
+};
+
+}  // namespace thermctl::hw

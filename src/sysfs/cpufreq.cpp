@@ -1,0 +1,72 @@
+#include "sysfs/cpufreq.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace thermctl::sysfs {
+
+CpufreqPolicy::CpufreqPolicy(VirtualFs& fs, std::string root, int index, hw::CpuDevice& cpu)
+    : fs_(fs), dir_(root + "/cpu" + std::to_string(index) + "/cpufreq"), cpu_(cpu) {
+  fs_.add_attribute(dir_ + "/scaling_available_frequencies", [this] {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < cpu_.pstate_count(); ++i) {
+      if (i > 0) {
+        out << ' ';
+      }
+      out << to_khz(cpu_.pstates()[i].frequency);
+    }
+    return out.str();
+  });
+  fs_.add_attribute(dir_ + "/scaling_cur_freq",
+                    [this] { return std::to_string(to_khz(cpu_.frequency())); });
+  fs_.add_attribute(dir_ + "/cpuinfo_max_freq",
+                    [this] { return std::to_string(to_khz(cpu_.max_frequency())); });
+  fs_.add_attribute(dir_ + "/cpuinfo_min_freq",
+                    [this] { return std::to_string(to_khz(cpu_.min_frequency())); });
+  fs_.add_attribute(dir_ + "/scaling_governor", [] { return std::string{"userspace"}; });
+  fs_.add_attribute(
+      dir_ + "/scaling_setspeed", [this] { return std::to_string(to_khz(cpu_.frequency())); },
+      [this](const std::string& value) {
+        char* end = nullptr;
+        const long khz = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || khz <= 0) {
+          return false;
+        }
+        cpu_.set_frequency(from_khz(khz));
+        return true;
+      });
+  fs_.add_attribute(dir_ + "/stats/total_trans",
+                    [this] { return std::to_string(cpu_.transition_count()); });
+}
+
+CpufreqPolicy::~CpufreqPolicy() {
+  for (const auto& name :
+       {"/scaling_available_frequencies", "/scaling_cur_freq", "/cpuinfo_max_freq",
+        "/cpuinfo_min_freq", "/scaling_governor", "/scaling_setspeed", "/stats/total_trans"}) {
+    fs_.remove_attribute(dir_ + name);
+  }
+}
+
+long CpufreqPolicy::cur_khz() const { return fs_.read_long(dir_ + "/scaling_cur_freq").value_or(0); }
+
+long CpufreqPolicy::max_khz() const { return fs_.read_long(dir_ + "/cpuinfo_max_freq").value_or(0); }
+
+long CpufreqPolicy::min_khz() const { return fs_.read_long(dir_ + "/cpuinfo_min_freq").value_or(0); }
+
+bool CpufreqPolicy::set_khz(long khz) { return fs_.write_long(dir_ + "/scaling_setspeed", khz); }
+
+std::vector<double> CpufreqPolicy::available_ghz() const {
+  std::vector<double> out;
+  const auto contents = fs_.read(dir_ + "/scaling_available_frequencies");
+  if (!contents.has_value()) {
+    return out;
+  }
+  std::istringstream in{*contents};
+  long khz = 0;
+  while (in >> khz) {
+    out.push_back(from_khz(khz).value());
+  }
+  return out;
+}
+
+}  // namespace thermctl::sysfs

@@ -1,0 +1,54 @@
+// cpufreq sysfs binding.
+//
+// Exposes a CpuDevice through the Linux cpufreq userspace-governor contract:
+// frequencies are kHz strings, `scaling_setspeed` accepts a target, and
+// `stats/total_trans` counts transitions (the number Table 1 reports).
+// Governors in src/core talk to the CPU only through this interface, exactly
+// as the paper's tDVFS and CPUSPEED daemons talked to /sys.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "hw/cpu_device.hpp"
+#include "sysfs/vfs.hpp"
+
+namespace thermctl::sysfs {
+
+class CpufreqPolicy {
+ public:
+  /// Registers the cpufreq attribute set for `cpu` under
+  /// `<root>/cpu<index>/cpufreq/` in `fs`. The policy does not own the device.
+  CpufreqPolicy(VirtualFs& fs, std::string root, int index, hw::CpuDevice& cpu);
+  ~CpufreqPolicy();
+
+  CpufreqPolicy(const CpufreqPolicy&) = delete;
+  CpufreqPolicy& operator=(const CpufreqPolicy&) = delete;
+
+  [[nodiscard]] const std::string& directory() const { return dir_; }
+
+  /// Convenience accessors mirroring the attribute contents.
+  [[nodiscard]] long cur_khz() const;
+  [[nodiscard]] long max_khz() const;
+  [[nodiscard]] long min_khz() const;
+
+  /// Sets frequency through the same path a sysfs write would take.
+  bool set_khz(long khz);
+
+  /// Parses scaling_available_frequencies into GHz values (file order).
+  [[nodiscard]] std::vector<double> available_ghz() const;
+
+  // lround, not truncation: 2.2 GHz * 1e6 lands just below 2200000 in
+  // binary floating point, and a truncated 2199999 would never match the
+  // ladder entries parsed back from the attribute text.
+  static long to_khz(GigaHertz f) { return std::lround(f.value() * 1e6); }
+  static GigaHertz from_khz(long khz) { return GigaHertz{static_cast<double>(khz) * 1e-6}; }
+
+ private:
+  VirtualFs& fs_;
+  std::string dir_;
+  hw::CpuDevice& cpu_;
+};
+
+}  // namespace thermctl::sysfs

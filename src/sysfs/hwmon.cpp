@@ -1,0 +1,75 @@
+#include "sysfs/hwmon.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "hw/adt7467.hpp"
+
+namespace thermctl::sysfs {
+
+HwmonDevice::HwmonDevice(VirtualFs& fs, std::string root, int index, hw::ThermalSensor& sensor,
+                         Adt7467Driver& driver)
+    : fs_(fs), dir_(root + "/hwmon" + std::to_string(index)), sensor_(sensor), driver_(driver) {
+  fs_.add_attribute(dir_ + "/name", [] { return std::string{"adt7467"}; });
+  fs_.add_attribute(dir_ + "/temp1_input", [this] {
+    // Kernel convention: millidegrees Celsius.
+    return std::to_string(static_cast<long>(std::lround(sensor_.last_reading().value() * 1000.0)));
+  });
+  fs_.add_attribute(dir_ + "/fan1_input", [this] {
+    std::optional<Rpm> rpm;
+    if (driver_.read_rpm(rpm) != DriverStatus::kOk || !rpm.has_value()) {
+      return std::string{"0"};
+    }
+    return std::to_string(static_cast<long>(std::lround(rpm->value())));
+  });
+  fs_.add_attribute(
+      dir_ + "/pwm1",
+      [this] {
+        DutyCycle d;
+        if (driver_.read_duty(d) != DriverStatus::kOk) {
+          return std::string{"0"};
+        }
+        return std::to_string(static_cast<int>(hw::Adt7467::duty_to_reg(d)));
+      },
+      [this](const std::string& value) {
+        char* end = nullptr;
+        const long raw = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || raw < 0 || raw > 255) {
+          return false;
+        }
+        return driver_.set_duty(hw::Adt7467::reg_to_duty(static_cast<std::uint8_t>(raw))) ==
+               DriverStatus::kOk;
+      });
+  fs_.add_attribute(
+      dir_ + "/pwm1_enable", [] { return std::string{"1"}; },
+      [this](const std::string& value) {
+        if (value == "1") {
+          return driver_.set_manual_mode() == DriverStatus::kOk;
+        }
+        if (value == "2") {
+          return driver_.set_automatic_mode() == DriverStatus::kOk;
+        }
+        return false;
+      });
+}
+
+HwmonDevice::~HwmonDevice() {
+  for (const auto& name : {"/name", "/temp1_input", "/fan1_input", "/pwm1", "/pwm1_enable"}) {
+    fs_.remove_attribute(dir_ + name);
+  }
+}
+
+Celsius HwmonDevice::read_temperature() const {
+  const long milli = fs_.read_long(dir_ + "/temp1_input").value_or(0);
+  return Celsius{static_cast<double>(milli) / 1000.0};
+}
+
+bool HwmonDevice::write_pwm(DutyCycle duty) {
+  return fs_.write_long(dir_ + "/pwm1", hw::Adt7467::duty_to_reg(duty));
+}
+
+bool HwmonDevice::set_manual_mode() { return fs_.write(dir_ + "/pwm1_enable", "1"); }
+
+bool HwmonDevice::set_automatic_mode() { return fs_.write(dir_ + "/pwm1_enable", "2"); }
+
+}  // namespace thermctl::sysfs

@@ -1,0 +1,50 @@
+// hwmon sysfs binding (the lm-sensors surface).
+//
+// The paper samples CPU temperature "through lm-sensors"; lm-sensors reads
+// the hwmon class tree. This binding publishes a thermal sensor, fan tach and
+// PWM control as hwmon attributes with the kernel's conventions: temperatures
+// in millidegrees (`temp1_input`), fan speed in RPM (`fan1_input`), PWM as
+// 0–255 (`pwm1`) with `pwm1_enable` selecting automatic (2) or manual (1)
+// mode.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "hw/thermal_sensor.hpp"
+#include "sysfs/adt7467_driver.hpp"
+#include "sysfs/vfs.hpp"
+
+namespace thermctl::sysfs {
+
+class HwmonDevice {
+ public:
+  /// Publishes `<root>/hwmon<index>/...` backed by `sensor` (temperature) and
+  /// `driver` (fan/PWM path). Neither is owned.
+  HwmonDevice(VirtualFs& fs, std::string root, int index, hw::ThermalSensor& sensor,
+              Adt7467Driver& driver);
+  ~HwmonDevice();
+
+  HwmonDevice(const HwmonDevice&) = delete;
+  HwmonDevice& operator=(const HwmonDevice&) = delete;
+
+  [[nodiscard]] const std::string& directory() const { return dir_; }
+
+  /// Reads temp1_input and converts from millidegrees.
+  [[nodiscard]] Celsius read_temperature() const;
+
+  /// Writes pwm1 (0-255 encoding) through the sysfs path.
+  bool write_pwm(DutyCycle duty);
+
+  /// pwm1_enable = 1 (manual) / 2 (automatic), the lm-sensors convention.
+  bool set_manual_mode();
+  bool set_automatic_mode();
+
+ private:
+  VirtualFs& fs_;
+  std::string dir_;
+  hw::ThermalSensor& sensor_;
+  Adt7467Driver& driver_;
+};
+
+}  // namespace thermctl::sysfs

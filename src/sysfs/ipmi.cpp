@@ -1,0 +1,80 @@
+#include "sysfs/ipmi.hpp"
+
+#include "common/assert.hpp"
+
+namespace thermctl::sysfs {
+
+std::uint8_t BmcEndpoint::add_sensor(std::string name, std::string unit, SensorFn read) {
+  THERMCTL_ASSERT(static_cast<bool>(read), "sensor needs a read function");
+  THERMCTL_ASSERT(next_sensor_ != 0, "sensor repository full");
+  const std::uint8_t num = next_sensor_++;
+  sensors_[num] = Sensor{std::move(name), std::move(unit), std::move(read)};
+  return num;
+}
+
+IpmiCompletion BmcEndpoint::get_sensor_reading(std::uint8_t sensor, SensorReading& out) const {
+  if (!reachable_) {
+    return IpmiCompletion::kDestinationUnavailable;
+  }
+  auto it = sensors_.find(sensor);
+  if (it == sensors_.end()) {
+    return IpmiCompletion::kInvalidSensor;
+  }
+  out.value = it->second.read();
+  out.unit = it->second.unit;
+  return IpmiCompletion::kOk;
+}
+
+std::vector<std::pair<std::uint8_t, std::string>> BmcEndpoint::list_sensors() const {
+  std::vector<std::pair<std::uint8_t, std::string>> out;
+  out.reserve(sensors_.size());
+  for (const auto& [num, s] : sensors_) {
+    out.emplace_back(num, s.name);
+  }
+  return out;
+}
+
+IpmiCompletion BmcEndpoint::set_fan_override(std::optional<DutyCycle> duty) {
+  if (!reachable_) {
+    return IpmiCompletion::kDestinationUnavailable;
+  }
+  if (!fan_override_) {
+    return IpmiCompletion::kInvalidCommand;
+  }
+  fan_override_(duty);
+  return IpmiCompletion::kOk;
+}
+
+void IpmiNetwork::attach(int node_id, BmcEndpoint* bmc) {
+  THERMCTL_ASSERT(bmc != nullptr, "cannot attach null BMC");
+  THERMCTL_ASSERT(!endpoints_.contains(node_id), "node id already attached");
+  endpoints_[node_id] = bmc;
+}
+
+IpmiCompletion IpmiNetwork::get_sensor_reading(int node_id, std::uint8_t sensor,
+                                               SensorReading& out) const {
+  auto it = endpoints_.find(node_id);
+  if (it == endpoints_.end()) {
+    return IpmiCompletion::kDestinationUnavailable;
+  }
+  return it->second->get_sensor_reading(sensor, out);
+}
+
+IpmiCompletion IpmiNetwork::set_fan_override(int node_id, std::optional<DutyCycle> duty) {
+  auto it = endpoints_.find(node_id);
+  if (it == endpoints_.end()) {
+    return IpmiCompletion::kDestinationUnavailable;
+  }
+  return it->second->set_fan_override(duty);
+}
+
+std::vector<int> IpmiNetwork::nodes() const {
+  std::vector<int> out;
+  out.reserve(endpoints_.size());
+  for (const auto& [id, _] : endpoints_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace thermctl::sysfs

@@ -1,0 +1,35 @@
+#include "sysfs/powercap.hpp"
+
+namespace thermctl::sysfs {
+
+RaplDomain::RaplDomain(VirtualFs& fs, std::string root, int index, hw::CpuDevice& cpu)
+    : fs_(fs), dir_(root + "/intel-rapl:" + std::to_string(index)), cpu_(cpu) {
+  fs_.add_attribute(dir_ + "/name", [] { return std::string{"package-0"}; });
+  fs_.add_attribute(dir_ + "/energy_uj",
+                    [this] { return std::to_string(cpu_.energy_uj()); });
+  fs_.add_attribute(dir_ + "/aperf", [this] { return std::to_string(cpu_.aperf()); });
+  fs_.add_attribute(dir_ + "/mperf", [this] { return std::to_string(cpu_.mperf()); });
+}
+
+RaplDomain::~RaplDomain() {
+  for (const auto& name : {"/name", "/energy_uj", "/aperf", "/mperf"}) {
+    fs_.remove_attribute(dir_ + name);
+  }
+}
+
+std::uint64_t RaplDomain::energy_uj() const {
+  const auto v = fs_.read(dir_ + "/energy_uj");
+  return v.has_value() ? std::stoull(*v) : 0;
+}
+
+std::uint64_t RaplDomain::aperf() const {
+  const auto v = fs_.read(dir_ + "/aperf");
+  return v.has_value() ? std::stoull(*v) : 0;
+}
+
+std::uint64_t RaplDomain::mperf() const {
+  const auto v = fs_.read(dir_ + "/mperf");
+  return v.has_value() ? std::stoull(*v) : 0;
+}
+
+}  // namespace thermctl::sysfs

@@ -1,0 +1,43 @@
+// RAPL powercap sysfs binding.
+//
+// Linux exposes the CPU's running-average-power-limit energy counters under
+// /sys/class/powercap/intel-rapl:<N>/energy_uj. Counter-augmented
+// controllers (the paper's future-work §5 item: "integration of hardware
+// counter and data in our techniques to improve our prediction mechanisms")
+// read package power from here instead of waiting for it to appear as
+// temperature.
+#pragma once
+
+#include <string>
+
+#include "hw/cpu_device.hpp"
+#include "sysfs/vfs.hpp"
+
+namespace thermctl::sysfs {
+
+class RaplDomain {
+ public:
+  /// Registers `<root>/intel-rapl:<index>/...` backed by `cpu`'s counters.
+  RaplDomain(VirtualFs& fs, std::string root, int index, hw::CpuDevice& cpu);
+  ~RaplDomain();
+
+  RaplDomain(const RaplDomain&) = delete;
+  RaplDomain& operator=(const RaplDomain&) = delete;
+
+  [[nodiscard]] const std::string& directory() const { return dir_; }
+
+  /// Current accumulated energy in microjoules (the energy_uj attribute).
+  [[nodiscard]] std::uint64_t energy_uj() const;
+
+  /// APERF/MPERF exposed alongside (a simulation convenience; real systems
+  /// read these via MSRs, but the semantic content is identical).
+  [[nodiscard]] std::uint64_t aperf() const;
+  [[nodiscard]] std::uint64_t mperf() const;
+
+ private:
+  VirtualFs& fs_;
+  std::string dir_;
+  hw::CpuDevice& cpu_;
+};
+
+}  // namespace thermctl::sysfs

@@ -1,0 +1,49 @@
+#include "sysfs/powerclamp.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace thermctl::sysfs {
+
+PowerClampDevice::PowerClampDevice(VirtualFs& fs, std::string root, int index,
+                                   hw::CpuDevice& cpu)
+    : fs_(fs),
+      dir_(root + "/cooling_device" + std::to_string(index)),
+      cpu_(cpu),
+      cstate_(cpu.idle_injector().cstate_count() - 1) {
+  fs_.add_attribute(dir_ + "/type", [] { return std::string{"intel_powerclamp"}; });
+  fs_.add_attribute(dir_ + "/max_state", [this] { return std::to_string(max_state()); });
+  fs_.add_attribute(
+      dir_ + "/cur_state",
+      [this] {
+        return std::to_string(
+            static_cast<long>(std::lround(cpu_.idle_injector().fraction() * 100.0)));
+      },
+      [this](const std::string& value) {
+        char* end = nullptr;
+        const long state = std::strtol(value.c_str(), &end, 10);
+        if (end == value.c_str() || state < 0 || state > max_state()) {
+          return false;
+        }
+        cpu_.idle_injector().set_injection(static_cast<double>(state) / 100.0, cstate_);
+        return true;
+      });
+}
+
+PowerClampDevice::~PowerClampDevice() {
+  for (const auto& name : {"/type", "/max_state", "/cur_state"}) {
+    fs_.remove_attribute(dir_ + name);
+  }
+}
+
+long PowerClampDevice::max_state() const {
+  return static_cast<long>(std::lround(cpu_.idle_injector().params().max_fraction * 100.0));
+}
+
+long PowerClampDevice::cur_state() const { return fs_.read_long(dir_ + "/cur_state").value_or(0); }
+
+bool PowerClampDevice::set_cur_state(long state) {
+  return fs_.write_long(dir_ + "/cur_state", state);
+}
+
+}  // namespace thermctl::sysfs

@@ -1,0 +1,95 @@
+#include "sysfs/thermal_zone.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace thermctl::sysfs {
+
+ThermalZone::ThermalZone(VirtualFs& fs, std::string root, int index, std::string type,
+                         std::function<Celsius()> read_temp)
+    : fs_(fs),
+      dir_(root + "/thermal_zone" + std::to_string(index)),
+      read_temp_(std::move(read_temp)) {
+  THERMCTL_ASSERT(static_cast<bool>(read_temp_), "zone needs a temperature source");
+  fs_.add_attribute(dir_ + "/type", [type] { return type; });
+  fs_.add_attribute(dir_ + "/temp", [this] {
+    return std::to_string(static_cast<long>(std::lround(read_temp_().value() * 1000.0)));
+  });
+}
+
+ThermalZone::~ThermalZone() {
+  fs_.remove_attribute(dir_ + "/type");
+  fs_.remove_attribute(dir_ + "/temp");
+  for (std::size_t i = 0; i < trips_.size(); ++i) {
+    fs_.remove_attribute(dir_ + "/trip_point_" + std::to_string(i) + "_temp");
+    fs_.remove_attribute(dir_ + "/trip_point_" + std::to_string(i) + "_type");
+  }
+}
+
+std::size_t ThermalZone::add_trip(TripPoint trip) {
+  const std::size_t index = trips_.size();
+  trips_.push_back(trip);
+  const std::string base = dir_ + "/trip_point_" + std::to_string(index);
+  fs_.add_attribute(base + "_temp", [this, index] {
+    return std::to_string(
+        static_cast<long>(std::lround(trips_[index].temperature.value() * 1000.0)));
+  });
+  fs_.add_attribute(base + "_type", [this, index] {
+    return std::string{trips_[index].type == TripType::kCritical ? "critical" : "passive"};
+  });
+  return index;
+}
+
+void ThermalZone::bind(CoolingDevice* device) {
+  THERMCTL_ASSERT(device != nullptr, "cannot bind null cooling device");
+  devices_.push_back(device);
+}
+
+FanCoolingAdapter::FanCoolingAdapter(std::function<bool(DutyCycle)> write_duty,
+                                     DutyCycle min_duty, DutyCycle max_duty, long states)
+    : write_duty_(std::move(write_duty)),
+      min_duty_(min_duty),
+      max_duty_(max_duty),
+      states_(states) {
+  THERMCTL_ASSERT(static_cast<bool>(write_duty_), "fan adapter needs an actuator");
+  THERMCTL_ASSERT(states_ >= 1, "need at least one cooling state");
+  THERMCTL_ASSERT(max_duty_.percent() > min_duty_.percent(), "duty range inverted");
+}
+
+bool FanCoolingAdapter::set_cooling_state(long state) {
+  if (state < 0 || state > states_) {
+    return false;
+  }
+  const double frac = static_cast<double>(state) / static_cast<double>(states_);
+  const double duty =
+      min_duty_.percent() + frac * (max_duty_.percent() - min_duty_.percent());
+  if (!write_duty_(DutyCycle{duty})) {
+    return false;
+  }
+  state_ = state;
+  return true;
+}
+
+DvfsCoolingAdapter::DvfsCoolingAdapter(std::function<bool(long)> set_khz,
+                                       std::vector<long> ladder_khz)
+    : set_khz_(std::move(set_khz)), ladder_khz_(std::move(ladder_khz)) {
+  THERMCTL_ASSERT(static_cast<bool>(set_khz_), "dvfs adapter needs an actuator");
+  THERMCTL_ASSERT(ladder_khz_.size() >= 2, "need at least two frequencies");
+  THERMCTL_ASSERT(std::is_sorted(ladder_khz_.rbegin(), ladder_khz_.rend()),
+                  "ladder must be descending");
+}
+
+bool DvfsCoolingAdapter::set_cooling_state(long state) {
+  if (state < 0 || state > max_cooling_state()) {
+    return false;
+  }
+  if (!set_khz_(ladder_khz_[static_cast<std::size_t>(state)])) {
+    return false;
+  }
+  state_ = state;
+  return true;
+}
+
+}  // namespace thermctl::sysfs

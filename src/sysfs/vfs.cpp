@@ -1,0 +1,69 @@
+#include "sysfs/vfs.hpp"
+
+#include <cstdlib>
+
+#include "common/assert.hpp"
+
+namespace thermctl::sysfs {
+
+void VirtualFs::add_attribute(const std::string& path, ReadFn read, WriteFn write) {
+  THERMCTL_ASSERT(!path.empty() && path.front() == '/', "attribute path must be absolute");
+  THERMCTL_ASSERT(read || write, "attribute needs at least one handler");
+  THERMCTL_ASSERT(!attrs_.contains(path), "attribute already registered");
+  attrs_[path] = Attribute{std::move(read), std::move(write)};
+}
+
+void VirtualFs::remove_attribute(const std::string& path) { attrs_.erase(path); }
+
+bool VirtualFs::exists(const std::string& path) const { return attrs_.contains(path); }
+
+std::optional<std::string> VirtualFs::read(const std::string& path) const {
+  auto it = attrs_.find(path);
+  if (it == attrs_.end() || !it->second.read) {
+    return std::nullopt;
+  }
+  return it->second.read();
+}
+
+std::optional<long> VirtualFs::read_long(const std::string& path) const {
+  auto contents = read(path);
+  if (!contents.has_value()) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(contents->c_str(), &end, 10);
+  if (end == contents->c_str()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+bool VirtualFs::write(const std::string& path, const std::string& value) {
+  auto it = attrs_.find(path);
+  if (it == attrs_.end() || !it->second.write) {
+    return false;
+  }
+  return it->second.write(value);
+}
+
+bool VirtualFs::write_long(const std::string& path, long value) {
+  return write(path, std::to_string(value));
+}
+
+std::vector<std::string> VirtualFs::list(const std::string& dir_prefix) const {
+  std::string prefix = dir_prefix;
+  if (prefix.empty() || prefix.back() != '/') {
+    prefix += '/';
+  }
+  std::vector<std::string> out;
+  // std::map iterates in sorted order; prefix range scan.
+  for (auto it = attrs_.lower_bound(prefix); it != attrs_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;
+    }
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+}  // namespace thermctl::sysfs

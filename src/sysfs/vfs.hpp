@@ -1,0 +1,56 @@
+// Virtual sysfs attribute tree.
+//
+// On the paper's platform the in-band control plane is Linux sysfs: cpufreq
+// exposes frequency knobs, hwmon exposes temperatures and PWM. The simulated
+// node reproduces that layer as a tree of string-valued attributes so
+// governors and tools interact with the "OS" the same way a real daemon
+// would (read/write small text files), rather than poking C++ objects
+// directly. Tests exercise the exact attribute grammar (e.g. millidegrees in
+// temp*_input).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace thermctl::sysfs {
+
+/// Read handler: produces the attribute's current contents.
+using ReadFn = std::function<std::string()>;
+/// Write handler: consumes a value; returns false on rejection (-EINVAL).
+using WriteFn = std::function<bool(const std::string&)>;
+
+class VirtualFs {
+ public:
+  /// Registers an attribute at `path` (e.g. "/sys/class/hwmon/hwmon0/temp1_input").
+  /// Either handler may be null for write-only / read-only attributes.
+  void add_attribute(const std::string& path, ReadFn read, WriteFn write = nullptr);
+
+  void remove_attribute(const std::string& path);
+
+  [[nodiscard]] bool exists(const std::string& path) const;
+
+  /// Reads an attribute; nullopt if missing or write-only (-EACCES).
+  [[nodiscard]] std::optional<std::string> read(const std::string& path) const;
+
+  /// Reads and parses as a long integer; nullopt on missing/parse failure.
+  [[nodiscard]] std::optional<long> read_long(const std::string& path) const;
+
+  /// Writes an attribute; false if missing, read-only, or rejected.
+  bool write(const std::string& path, const std::string& value);
+  bool write_long(const std::string& path, long value);
+
+  /// All attribute paths under a directory prefix, sorted.
+  [[nodiscard]] std::vector<std::string> list(const std::string& dir_prefix) const;
+
+ private:
+  struct Attribute {
+    ReadFn read;
+    WriteFn write;
+  };
+  std::map<std::string, Attribute> attrs_;
+};
+
+}  // namespace thermctl::sysfs

@@ -1,0 +1,22 @@
+#include "thermal/convection.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace thermctl::thermal {
+
+ConvectionModel::ConvectionModel(const ConvectionParams& p) : params_(p) {
+  THERMCTL_ASSERT(p.g_natural > 0.0, "natural-convection conductance must be positive");
+  THERMCTL_ASSERT(p.g_forced >= 0.0, "forced-convection coefficient must be non-negative");
+  THERMCTL_ASSERT(p.exponent > 0.0 && p.exponent <= 1.5, "implausible airflow exponent");
+  THERMCTL_ASSERT(p.r_conduction.value() >= 0.0, "conduction resistance must be non-negative");
+}
+
+KelvinPerWatt ConvectionModel::resistance(Cfm v) const {
+  THERMCTL_ASSERT(v.value() >= 0.0, "negative airflow");
+  const double g = params_.g_natural + params_.g_forced * std::pow(v.value(), params_.exponent);
+  return KelvinPerWatt{params_.r_conduction.value() + 1.0 / g};
+}
+
+}  // namespace thermctl::thermal

@@ -1,0 +1,47 @@
+#include "thermal/package_model.hpp"
+
+namespace thermctl::thermal {
+
+PackageModel::PackageModel(const PackageParams& params)
+    : params_(params), convection_(params.convection) {
+  // Build the three-node chain. Initial temperatures start at ambient; callers
+  // that want a hot start use settle() after setting power/airflow.
+  die_ = net_.add_node("die", params_.c_die, params_.ambient);
+  heatsink_ = net_.add_node("heatsink", params_.c_heatsink, params_.ambient);
+  ambient_ = net_.add_fixed_node("ambient", params_.ambient);
+  die_hs_edge_ = net_.add_edge(die_, heatsink_, params_.r_die_heatsink);
+  hs_amb_edge_ = net_.add_edge(heatsink_, ambient_, convection_.still_air_resistance());
+}
+
+void PackageModel::set_cpu_power(Watts p) { net_.set_power(die_, p); }
+
+void PackageModel::set_airflow(Cfm v) {
+  airflow_ = v;
+  net_.set_resistance(hs_amb_edge_, convection_.resistance(v));
+}
+
+void PackageModel::set_ambient(Celsius t) {
+  params_.ambient = t;
+  net_.set_fixed_temperature(ambient_, t);
+}
+
+void PackageModel::step(Seconds dt) { net_.step(dt); }
+
+void PackageModel::settle() { net_.settle(); }
+
+Celsius PackageModel::die_temperature() const { return net_.temperature(die_); }
+
+Celsius PackageModel::heatsink_temperature() const { return net_.temperature(heatsink_); }
+
+Celsius PackageModel::ambient_temperature() const { return net_.temperature(ambient_); }
+
+Watts PackageModel::cpu_power() const { return net_.power(die_); }
+
+Celsius PackageModel::steady_state_die(Watts p, Cfm v) const {
+  // In steady state all die power flows through both resistances in series.
+  const double r_total =
+      params_.r_die_heatsink.value() + convection_.resistance(v).value();
+  return Celsius{params_.ambient.value() + p.value() * r_total};
+}
+
+}  // namespace thermctl::thermal

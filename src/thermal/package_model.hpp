@@ -1,0 +1,75 @@
+// CPU package thermal model: die → heatsink → ambient.
+//
+// A three-node RC instantiation tuned to reproduce the thermal envelope the
+// paper reports for its AMD Athlon64 4000+ nodes: idle die temperatures just
+// below the static fan curve's Tmin (38 °C), sustained full-power temperatures
+// in the 50–70 °C band depending on fan speed, die time constants of a few
+// seconds (the "sudden" behaviour of Fig. 2) and heatsink time constants of
+// tens of seconds (the "gradual" behaviour).
+#pragma once
+
+#include "common/units.hpp"
+#include "thermal/convection.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace thermctl::thermal {
+
+struct PackageParams {
+  /// Die + integrated heat spreader lumped capacitance (die transient of a
+  /// couple of seconds — the Fig. 2 "sudden" timescale).
+  JoulesPerKelvin c_die{22.0};
+  /// Heatsink mass capacitance (minute-scale drift — the "gradual"
+  /// timescale).
+  JoulesPerKelvin c_heatsink{150.0};
+  /// Die-to-heatsink (TIM + spreader) resistance; sets the instantaneous die
+  /// jump on a load step (~6 °C at cpu-burn power).
+  KelvinPerWatt r_die_heatsink{0.10};
+  /// Chassis/inlet air temperature seen by the heatsink.
+  Celsius ambient{29.5};
+  ConvectionParams convection{};
+};
+
+/// Owns an RcNetwork wired as die—heatsink—ambient with fan-speed-dependent
+/// convection on the heatsink-ambient edge.
+class PackageModel {
+ public:
+  explicit PackageModel(const PackageParams& params);
+
+  /// Power dissipated in the die for subsequent steps.
+  void set_cpu_power(Watts p);
+  /// Airflow delivered by the fan across the heatsink.
+  void set_airflow(Cfm v);
+  /// Chassis inlet temperature (hot-spot / HVAC scenarios).
+  void set_ambient(Celsius t);
+
+  void step(Seconds dt);
+
+  /// Primes the model at equilibrium for the current power/airflow.
+  void settle();
+
+  [[nodiscard]] Celsius die_temperature() const;
+  [[nodiscard]] Celsius heatsink_temperature() const;
+  [[nodiscard]] Celsius ambient_temperature() const;
+  [[nodiscard]] Cfm airflow() const { return airflow_; }
+  [[nodiscard]] Watts cpu_power() const;
+
+  /// Steady-state die temperature for a hypothetical (power, airflow) point —
+  /// the analytic solution of the two-resistor chain. Useful for calibration
+  /// and for the model-validation tests.
+  [[nodiscard]] Celsius steady_state_die(Watts p, Cfm v) const;
+
+  [[nodiscard]] const PackageParams& params() const { return params_; }
+
+ private:
+  PackageParams params_;
+  ConvectionModel convection_;
+  RcNetwork net_;
+  NodeId die_{};
+  NodeId heatsink_{};
+  NodeId ambient_{};
+  EdgeId die_hs_edge_{};
+  EdgeId hs_amb_edge_{};
+  Cfm airflow_{0.0};
+};
+
+}  // namespace thermctl::thermal

@@ -1,0 +1,137 @@
+#include "thermal/rc_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace thermctl::thermal {
+
+NodeId RcNetwork::add_node(std::string name, JoulesPerKelvin c, Celsius t0) {
+  THERMCTL_ASSERT(c.value() > 0.0, "dynamic node needs positive capacitance");
+  nodes_.push_back(Node{std::move(name), c.value(), t0.value(), 0.0, false});
+  flux_.push_back(0.0);
+  return NodeId{nodes_.size() - 1};
+}
+
+NodeId RcNetwork::add_fixed_node(std::string name, Celsius t) {
+  nodes_.push_back(Node{std::move(name), 0.0, t.value(), 0.0, true});
+  flux_.push_back(0.0);
+  return NodeId{nodes_.size() - 1};
+}
+
+EdgeId RcNetwork::add_edge(NodeId a, NodeId b, KelvinPerWatt r) {
+  THERMCTL_ASSERT(a.index < nodes_.size() && b.index < nodes_.size(), "edge node out of range");
+  THERMCTL_ASSERT(a.index != b.index, "self-edge");
+  THERMCTL_ASSERT(r.value() > 0.0, "thermal resistance must be positive");
+  edges_.push_back(Edge{a.index, b.index, 1.0 / r.value()});
+  return EdgeId{edges_.size() - 1};
+}
+
+void RcNetwork::set_resistance(EdgeId e, KelvinPerWatt r) {
+  THERMCTL_ASSERT(e.index < edges_.size(), "edge out of range");
+  THERMCTL_ASSERT(r.value() > 0.0, "thermal resistance must be positive");
+  edges_[e.index].conductance = 1.0 / r.value();
+}
+
+KelvinPerWatt RcNetwork::resistance(EdgeId e) const {
+  THERMCTL_ASSERT(e.index < edges_.size(), "edge out of range");
+  return KelvinPerWatt{1.0 / edges_[e.index].conductance};
+}
+
+void RcNetwork::set_power(NodeId n, Watts p) {
+  THERMCTL_ASSERT(n.index < nodes_.size(), "node out of range");
+  THERMCTL_ASSERT(!nodes_[n.index].fixed, "cannot inject power into a fixed node");
+  nodes_[n.index].power = p.value();
+}
+
+Watts RcNetwork::power(NodeId n) const {
+  THERMCTL_ASSERT(n.index < nodes_.size(), "node out of range");
+  return Watts{nodes_[n.index].power};
+}
+
+void RcNetwork::set_fixed_temperature(NodeId n, Celsius t) {
+  THERMCTL_ASSERT(n.index < nodes_.size(), "node out of range");
+  THERMCTL_ASSERT(nodes_[n.index].fixed, "not a fixed node");
+  nodes_[n.index].temperature = t.value();
+}
+
+void RcNetwork::set_temperature(NodeId n, Celsius t) {
+  THERMCTL_ASSERT(n.index < nodes_.size(), "node out of range");
+  nodes_[n.index].temperature = t.value();
+}
+
+Celsius RcNetwork::temperature(NodeId n) const {
+  THERMCTL_ASSERT(n.index < nodes_.size(), "node out of range");
+  return Celsius{nodes_[n.index].temperature};
+}
+
+const std::string& RcNetwork::node_name(NodeId n) const {
+  THERMCTL_ASSERT(n.index < nodes_.size(), "node out of range");
+  return nodes_[n.index].name;
+}
+
+Seconds RcNetwork::min_time_constant() const {
+  // tau_i = C_i / G_i where G_i is the total conductance attached to node i.
+  std::vector<double> conductance(nodes_.size(), 0.0);
+  for (const Edge& e : edges_) {
+    conductance[e.a] += e.conductance;
+    conductance[e.b] += e.conductance;
+  }
+  double min_tau = 1e30;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].fixed && conductance[i] > 0.0) {
+      min_tau = std::min(min_tau, nodes_[i].capacitance / conductance[i]);
+    }
+  }
+  return Seconds{min_tau};
+}
+
+void RcNetwork::euler_substep(double dt) {
+  std::fill(flux_.begin(), flux_.end(), 0.0);
+  for (const Edge& e : edges_) {
+    const double q = (nodes_[e.a].temperature - nodes_[e.b].temperature) * e.conductance;
+    flux_[e.a] -= q;
+    flux_[e.b] += q;
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& n = nodes_[i];
+    if (!n.fixed) {
+      n.temperature += dt * (n.power + flux_[i]) / n.capacitance;
+    }
+  }
+}
+
+void RcNetwork::step(Seconds dt) {
+  THERMCTL_ASSERT(dt.value() > 0.0, "step duration must be positive");
+  // Explicit Euler is stable for dt < 2*tau; keep sub-steps below tau/8 for
+  // accuracy (sub-degree error per time constant) on top of the stability
+  // margin.
+  const double max_sub = std::max(1e-6, min_time_constant().value() / 8.0);
+  const int substeps = std::max(1, static_cast<int>(std::ceil(dt.value() / max_sub)));
+  const double h = dt.value() / substeps;
+  for (int s = 0; s < substeps; ++s) {
+    euler_substep(h);
+  }
+}
+
+void RcNetwork::settle(int max_iterations, double tolerance_kelvin) {
+  // March the network with large (but stable) steps until quiescent.
+  const double h = min_time_constant().value() / 2.0;
+  for (int it = 0; it < max_iterations; ++it) {
+    std::vector<double> before(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      before[i] = nodes_[i].temperature;
+    }
+    euler_substep(h);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      delta = std::max(delta, std::abs(nodes_[i].temperature - before[i]));
+    }
+    if (delta < tolerance_kelvin) {
+      return;
+    }
+  }
+}
+
+}  // namespace thermctl::thermal

@@ -1,0 +1,104 @@
+// Lumped-parameter RC thermal network.
+//
+// The standard compact model for package-level thermals (cf. Skadron et al.,
+// "Temperature-aware microarchitecture", and the RC web-farm model of
+// Ferreira et al. cited by the paper): temperatures are node potentials, heat
+// flows are currents, thermal resistances are conductances between nodes, and
+// heat capacities integrate the imbalance.
+//
+//   C_i * dT_i/dt = P_i(t) + sum_j (T_j - T_i) / R_ij
+//
+// Nodes are either *dynamic* (finite capacitance, integrated) or *fixed*
+// (boundary conditions such as ambient air). Edge resistances may be updated
+// between steps — that is how fan-speed-dependent convection enters the model.
+//
+// Integration is explicit Euler with automatic sub-stepping: the solver
+// splits a requested step so that every sub-step is comfortably below the
+// smallest node time constant, which keeps the scheme stable for the stiff
+// die/heatsink combination without dragging in an implicit solver.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace thermctl::thermal {
+
+/// Handle to a network node.
+struct NodeId {
+  std::size_t index = 0;
+  friend constexpr bool operator==(NodeId, NodeId) = default;
+};
+
+/// Handle to a network edge (thermal resistance between two nodes).
+struct EdgeId {
+  std::size_t index = 0;
+  friend constexpr bool operator==(EdgeId, EdgeId) = default;
+};
+
+class RcNetwork {
+ public:
+  /// Adds a dynamic node with heat capacity `c` and initial temperature `t0`.
+  NodeId add_node(std::string name, JoulesPerKelvin c, Celsius t0);
+
+  /// Adds a fixed-temperature boundary node (e.g. ambient air).
+  NodeId add_fixed_node(std::string name, Celsius t);
+
+  /// Connects two nodes with thermal resistance `r` (> 0).
+  EdgeId add_edge(NodeId a, NodeId b, KelvinPerWatt r);
+
+  /// Updates an edge's resistance (fan-dependent convection).
+  void set_resistance(EdgeId e, KelvinPerWatt r);
+  [[nodiscard]] KelvinPerWatt resistance(EdgeId e) const;
+
+  /// Sets the power injected into a dynamic node for the next step(s).
+  void set_power(NodeId n, Watts p);
+  [[nodiscard]] Watts power(NodeId n) const;
+
+  /// Overrides a fixed node's boundary temperature (ambient drift, hot spots).
+  void set_fixed_temperature(NodeId n, Celsius t);
+
+  /// Forces a dynamic node's state (initialization / steady-state priming).
+  void set_temperature(NodeId n, Celsius t);
+
+  [[nodiscard]] Celsius temperature(NodeId n) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::string& node_name(NodeId n) const;
+
+  /// Advances the network by `dt`, sub-stepping internally for stability.
+  void step(Seconds dt);
+
+  /// Solves for the steady state under the current powers/resistances by
+  /// fixed-point iteration, and writes it into the node temperatures. Used to
+  /// prime experiments that start from thermal equilibrium (machine idling
+  /// before the benchmark launches).
+  void settle(int max_iterations = 200000, double tolerance_kelvin = 1e-7);
+
+  /// Smallest dynamic-node time constant under current resistances; the
+  /// stability bound the sub-stepper enforces against.
+  [[nodiscard]] Seconds min_time_constant() const;
+
+ private:
+  struct Node {
+    std::string name;
+    double capacitance = 0.0;  // J/K; 0 marks a fixed node
+    double temperature = 0.0;  // degC
+    double power = 0.0;        // W
+    bool fixed = false;
+  };
+  struct Edge {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    double conductance = 0.0;  // W/K
+  };
+
+  void euler_substep(double dt);
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<double> flux_;  // scratch: net heat into each node (W)
+};
+
+}  // namespace thermctl::thermal

@@ -1,0 +1,227 @@
+#include "workload/app.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace thermctl::workload {
+
+namespace {
+constexpr double kEps = 1e-12;
+constexpr double kIdleUtil = 0.02;  // finished ranks tick over at OS idle
+}  // namespace
+
+double total_work(const Program& p) {
+  double w = 0.0;
+  for (const Phase& ph : p) {
+    w += ph.work_ghz_s;
+  }
+  return w;
+}
+
+Seconds total_fixed_wall(const Program& p) {
+  double t = 0.0;
+  for (const Phase& ph : p) {
+    t += ph.wall.value();
+  }
+  return Seconds{t};
+}
+
+Seconds ideal_duration(const Program& p, GigaHertz f) {
+  THERMCTL_ASSERT(f.value() > 0.0, "frequency must be positive");
+  return Seconds{total_work(p) / f.value() + total_fixed_wall(p).value()};
+}
+
+ParallelApp::ParallelApp(std::string name, std::vector<Program> rank_programs,
+                         Utilization wait_util)
+    : name_(std::move(name)), wait_util_(wait_util) {
+  THERMCTL_ASSERT(!rank_programs.empty(), "app needs at least one rank");
+  // All ranks must agree on the number of barriers or the app would hang.
+  std::size_t barriers = 0;
+  for (std::size_t r = 0; r < rank_programs.size(); ++r) {
+    std::size_t count = 0;
+    for (const Phase& ph : rank_programs[r]) {
+      if (ph.kind == PhaseKind::kBarrier) {
+        ++count;
+      }
+    }
+    if (r == 0) {
+      barriers = count;
+    } else {
+      THERMCTL_ASSERT(count == barriers, "rank programs disagree on barrier count");
+    }
+  }
+  ranks_.reserve(rank_programs.size());
+  for (auto& prog : rank_programs) {
+    Rank rank;
+    rank.program = std::move(prog);
+    ranks_.push_back(std::move(rank));
+    load_phase(ranks_.back());
+  }
+}
+
+void ParallelApp::load_phase(Rank& r) {
+  if (r.phase >= r.program.size()) {
+    r.finished = true;
+    return;
+  }
+  const Phase& ph = r.program[r.phase];
+  r.remaining_work = ph.work_ghz_s;
+  r.remaining_wall = ph.wall.value();
+}
+
+bool ParallelApp::barrier_releasable(std::size_t epoch) const {
+  bool any_waiting = false;
+  for (const Rank& r : ranks_) {
+    if (r.finished) {
+      continue;
+    }
+    if (r.barriers_reached < epoch) {
+      return false;
+    }
+    any_waiting = true;
+  }
+  // All-finished (or empty) must not release further epochs, or the release
+  // loop would spin forever once the app completes.
+  return any_waiting;
+}
+
+void ParallelApp::run_rank(Rank& r, GigaHertz f) {
+  while (r.budget > kEps && !r.finished) {
+    if (r.stall_remaining > kEps) {
+      const double t = std::min(r.budget, r.stall_remaining);
+      r.stall_remaining -= t;
+      r.busy_accum += r.stall_util * t;
+      r.budget -= t;
+      continue;
+    }
+    const Phase& ph = r.program[r.phase];
+    switch (ph.kind) {
+      case PhaseKind::kCompute: {
+        const double needed = r.remaining_work / f.value();
+        const double t = std::min(r.budget, needed);
+        r.remaining_work -= f.value() * t;
+        r.busy_accum += ph.util.fraction() * t;
+        r.budget -= t;
+        if (r.remaining_work <= kEps) {
+          ++r.phase;
+          load_phase(r);
+        }
+        break;
+      }
+      case PhaseKind::kCommunicate:
+      case PhaseKind::kIdle: {
+        const double t = std::min(r.budget, r.remaining_wall);
+        r.remaining_wall -= t;
+        r.busy_accum += ph.util.fraction() * t;
+        r.budget -= t;
+        if (r.remaining_wall <= kEps) {
+          ++r.phase;
+          load_phase(r);
+        }
+        break;
+      }
+      case PhaseKind::kBarrier: {
+        // Barrier phases load with work == 0; remaining_work doubles as the
+        // "already checked in" marker so arrival is counted exactly once.
+        if (r.remaining_work == 0.0) {
+          r.remaining_work = 1.0;  // checked in
+          ++r.barriers_reached;
+        }
+        if (barrier_epoch_ >= r.barriers_reached) {
+          ++r.phase;  // barrier already released; pass through
+          load_phase(r);
+          break;
+        }
+        return;  // blocked; budget (if any) may be consumed as wait later
+      }
+    }
+  }
+}
+
+std::vector<Utilization> ParallelApp::step(Seconds dt, std::span<const GigaHertz> frequencies) {
+  THERMCTL_ASSERT(dt.value() > 0.0, "step duration must be positive");
+  THERMCTL_ASSERT(frequencies.size() == ranks_.size(), "one frequency per rank required");
+  for (Rank& r : ranks_) {
+    r.budget = dt.value();
+    r.busy_accum = 0.0;
+  }
+
+  // Advance everyone, releasing barriers as they fill, until quiescent.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < ranks_.size(); ++i) {
+      Rank& r = ranks_[i];
+      if (r.finished && r.budget > kEps) {
+        r.busy_accum += kIdleUtil * r.budget;
+        r.budget = 0.0;
+        continue;
+      }
+      run_rank(r, frequencies[i]);
+    }
+    while (barrier_releasable(barrier_epoch_ + 1)) {
+      ++barrier_epoch_;
+      progress = true;
+    }
+  }
+
+  // Whatever budget is left on blocked ranks is barrier waiting time.
+  for (Rank& r : ranks_) {
+    if (r.budget > kEps) {
+      r.busy_accum += wait_util_.fraction() * r.budget;
+      r.barrier_wait += r.budget;
+      r.budget = 0.0;
+    }
+  }
+
+  elapsed_ += dt;
+  if (done() && completion_.value() == 0.0) {
+    completion_ = elapsed_;
+  }
+
+  std::vector<Utilization> out;
+  out.reserve(ranks_.size());
+  for (Rank& r : ranks_) {
+    out.emplace_back(std::clamp(r.busy_accum / dt.value(), 0.0, 1.0));
+  }
+  return out;
+}
+
+bool ParallelApp::done() const {
+  return std::all_of(ranks_.begin(), ranks_.end(), [](const Rank& r) { return r.finished; });
+}
+
+double ParallelApp::progress() const {
+  double min_frac = 1.0;
+  for (const Rank& r : ranks_) {
+    const double frac = r.program.empty()
+                            ? 1.0
+                            : static_cast<double>(r.phase) / static_cast<double>(r.program.size());
+    min_frac = std::min(min_frac, r.finished ? 1.0 : frac);
+  }
+  return min_frac;
+}
+
+Seconds ParallelApp::barrier_wait_time(std::size_t r) const {
+  THERMCTL_ASSERT(r < ranks_.size(), "rank out of range");
+  return Seconds{ranks_[r].barrier_wait};
+}
+
+std::optional<PhaseKind> ParallelApp::current_phase_kind(std::size_t r) const {
+  THERMCTL_ASSERT(r < ranks_.size(), "rank out of range");
+  const Rank& rank = ranks_[r];
+  if (rank.finished) {
+    return std::nullopt;
+  }
+  return rank.program[rank.phase].kind;
+}
+
+void ParallelApp::inject_stall(std::size_t r, Seconds duration, Utilization util) {
+  THERMCTL_ASSERT(r < ranks_.size(), "rank out of range");
+  THERMCTL_ASSERT(duration.value() >= 0.0, "stall duration must be non-negative");
+  ranks_[r].stall_remaining += duration.value();
+  ranks_[r].stall_util = util.fraction();
+}
+
+}  // namespace thermctl::workload

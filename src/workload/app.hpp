@@ -1,0 +1,91 @@
+// Parallel application execution model.
+//
+// Runs N rank Programs in lockstep simulated time. Each step the caller
+// supplies per-rank CPU frequencies and a time slice; the model advances each
+// rank through its phases (compute stretches with 1/f, communication doesn't)
+// and resolves barriers *within* the slice so barrier latency is not
+// quantized to the step size. Outputs per-rank utilization for the slice —
+// the signal that drives CPU power, and that utilization-based governors
+// (CPUSPEED) key off.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "workload/phase.hpp"
+
+namespace thermctl::workload {
+
+class ParallelApp {
+ public:
+  /// `wait_util` is the CPU utilization while blocked in a barrier (blocking
+  /// MPI waits burn a little CPU on progress polling).
+  ParallelApp(std::string name, std::vector<Program> rank_programs,
+              Utilization wait_util = Utilization{0.10});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t rank_count() const { return ranks_.size(); }
+
+  /// Advances the app by `dt` with the given per-rank frequencies (size must
+  /// equal rank_count). Returns per-rank average utilization over the slice.
+  std::vector<Utilization> step(Seconds dt, std::span<const GigaHertz> frequencies);
+
+  [[nodiscard]] bool done() const;
+
+  /// Simulated wall time consumed so far.
+  [[nodiscard]] Seconds elapsed() const { return elapsed_; }
+
+  /// Wall time at which the last rank finished (valid once done()).
+  [[nodiscard]] Seconds completion_time() const { return completion_; }
+
+  /// Fraction of program phases completed by the slowest rank, in [0, 1].
+  [[nodiscard]] double progress() const;
+
+  /// Cumulative time rank `r` has spent blocked at barriers — the in-band
+  /// slowdown tax that coupled DVFS imposes on *other* nodes.
+  [[nodiscard]] Seconds barrier_wait_time(std::size_t r) const;
+
+  /// Injects an execution stall into rank `r` (checkpoint/restart cost of a
+  /// process migration, OS hiccup, …). The rank makes no program progress
+  /// for `duration` of simulated time, running at `util` (state transfer).
+  void inject_stall(std::size_t r, Seconds duration, Utilization util = Utilization{0.30});
+
+  /// What rank `r` is doing right now — the signal a Tempest-style profiler
+  /// samples to attribute heat to program activity. Barrier covers both
+  /// checked-in waiting and pending release; nullopt = program finished.
+  [[nodiscard]] std::optional<PhaseKind> current_phase_kind(std::size_t r) const;
+
+ private:
+  struct Rank {
+    Program program;
+    std::size_t phase = 0;          // current phase index
+    double remaining_work = 0.0;    // GHz-s left in current compute phase
+    double remaining_wall = 0.0;    // seconds left in current comm/idle phase
+    std::size_t barriers_reached = 0;
+    double busy_accum = 0.0;        // utilization-weighted seconds this step
+    double budget = 0.0;            // seconds left to consume this step
+    double barrier_wait = 0.0;      // lifetime barrier wait, seconds
+    double stall_remaining = 0.0;   // injected stall, seconds
+    double stall_util = 0.0;        // utilization while stalled
+    bool finished = false;
+  };
+
+  void load_phase(Rank& r);
+  /// Advances `r` until its budget is exhausted or it blocks at a barrier.
+  void run_rank(Rank& r, GigaHertz f);
+  /// True if every unfinished rank is blocked at barrier epoch `epoch`.
+  [[nodiscard]] bool barrier_releasable(std::size_t epoch) const;
+
+  std::string name_;
+  std::vector<Rank> ranks_;
+  Utilization wait_util_;
+  std::size_t barrier_epoch_ = 0;  // barriers fully released so far
+  Seconds elapsed_{0.0};
+  Seconds completion_{0.0};
+};
+
+}  // namespace thermctl::workload

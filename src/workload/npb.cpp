@@ -1,0 +1,105 @@
+#include "workload/npb.hpp"
+
+#include "common/assert.hpp"
+
+namespace thermctl::workload {
+
+NpbParams bt_class_b() {
+  NpbParams p;
+  p.iterations = 200;
+  // Calibrated to Table 1's 219 s at 2.4 GHz: 200 * (1.98/2.4 compute +
+  // 0.15 comm + 0.30 * 0.40 expected straggler time) ≈ 219 s. BT is
+  // compute-dominated; the straggled exchanges are what dip utilization.
+  p.work_per_iter_ghz_s = 1.98;
+  p.comm_per_iter = Seconds{0.15};
+  p.comm_subphases = 3;  // x/y/z face exchanges per timestep
+  p.comm_jitter = 0.30;
+  p.straggler_prob = 0.30;
+  p.straggler_extra = Seconds{0.40};
+  p.comm_util = Utilization{0.35};
+  p.work_jitter = 0.04;
+  p.rank_imbalance = 0.02;
+  p.rinse_period = 50;
+  p.rinse_factor = 1.6;
+  return p;
+}
+
+NpbParams lu_class_b() {
+  NpbParams p;
+  p.iterations = 250;
+  // ≈ 208 s at 2.4 GHz including expected straggler time.
+  p.work_per_iter_ghz_s = 1.58;
+  p.comm_per_iter = Seconds{0.10};
+  p.comm_subphases = 2;  // pipelined wavefront: fewer, lighter exchanges
+  p.comm_jitter = 0.35;
+  p.straggler_prob = 0.25;
+  p.straggler_extra = Seconds{0.30};
+  p.comm_util = Utilization{0.30};
+  p.work_jitter = 0.06;
+  p.rank_imbalance = 0.03;
+  p.rinse_period = 60;
+  p.rinse_factor = 1.4;
+  return p;
+}
+
+std::vector<Program> make_npb_programs(const NpbParams& params, int ranks, Rng& rng) {
+  THERMCTL_ASSERT(ranks > 0, "need at least one rank");
+  THERMCTL_ASSERT(params.iterations > 0, "need at least one iteration");
+  THERMCTL_ASSERT(params.comm_subphases >= 1, "need at least one exchange per iteration");
+  THERMCTL_ASSERT(params.work_jitter >= 0.0 && params.work_jitter < 1.0, "bad jitter");
+  THERMCTL_ASSERT(params.comm_jitter >= 0.0 && params.comm_jitter < 1.0, "bad comm jitter");
+  THERMCTL_ASSERT(params.rank_imbalance >= 0.0 && params.rank_imbalance < 1.0, "bad imbalance");
+  THERMCTL_ASSERT(params.straggler_prob >= 0.0 && params.straggler_prob <= 1.0,
+                  "bad straggler probability");
+
+  // Fixed per-rank speed factors for the whole run (data decomposition is
+  // static in NPB, so imbalance is persistent, not per-iteration noise).
+  std::vector<double> rank_factor(static_cast<std::size_t>(ranks));
+  for (auto& f : rank_factor) {
+    f = 1.0 + rng.uniform(-params.rank_imbalance, params.rank_imbalance);
+  }
+
+  const auto subs = static_cast<std::size_t>(params.comm_subphases);
+  std::vector<Program> programs(static_cast<std::size_t>(ranks));
+  for (auto& p : programs) {
+    p.reserve(static_cast<std::size_t>(params.iterations) * (2 * subs + 1) + 2);
+    // Startup: problem initialization (memory-bound, lower utilization).
+    p.push_back(comm_phase(Seconds{1.5}, Utilization{0.55}));
+    p.push_back(barrier_phase());
+  }
+
+  for (int it = 0; it < params.iterations; ++it) {
+    const bool rinse =
+        params.rinse_period > 0 && it > 0 && (it % params.rinse_period) == 0;
+    // Shared per-iteration randomness: ranks stay loosely correlated (same
+    // global solver state, collective exchanges) but not identical.
+    const double iter_jitter = 1.0 + rng.uniform(-params.work_jitter, params.work_jitter);
+    std::vector<double> comm_durations(subs);
+    for (auto& d : comm_durations) {
+      d = params.comm_per_iter.value() / static_cast<double>(subs) *
+          (1.0 + rng.uniform(-params.comm_jitter, params.comm_jitter));
+    }
+    // Network contention occasionally stretches one exchange — the
+    // low-utilization windows utilization-driven governors key off.
+    if (rng.uniform() < params.straggler_prob) {
+      comm_durations[rng.below(subs)] += params.straggler_extra.value();
+    }
+
+    for (int r = 0; r < ranks; ++r) {
+      auto& p = programs[static_cast<std::size_t>(r)];
+      double work = params.work_per_iter_ghz_s * iter_jitter *
+                    rank_factor[static_cast<std::size_t>(r)];
+      if (rinse) {
+        work *= params.rinse_factor;
+      }
+      for (std::size_t s = 0; s < subs; ++s) {
+        p.push_back(compute_phase(work / static_cast<double>(subs)));
+        p.push_back(comm_phase(Seconds{comm_durations[s]}, params.comm_util));
+      }
+      p.push_back(barrier_phase());
+    }
+  }
+  return programs;
+}
+
+}  // namespace thermctl::workload

@@ -1,0 +1,69 @@
+// NAS-Parallel-Benchmark-like workload generators.
+//
+// The paper evaluates on NPB BT and LU (class B, 4 ranks). Those codes are
+// bulk-synchronous iterative solvers: each time step does a slab of
+// floating-point work per rank, exchanges boundary data, and synchronizes.
+// Real NPB binaries cannot run here (no MPI cluster), so these generators
+// emit phase Programs with the same *temporal structure*: N iterations of
+// [compute | communicate | barrier], with per-rank, per-iteration work
+// imbalance. The structure is what matters to the experiments — it is the
+// alternation of high-utilization compute and low-utilization communication
+// that makes CPUSPEED thrash frequencies (Table 1) while the thermal load
+// stays "gradual" (Fig. 2).
+//
+// Default parameters are calibrated so BT.B.4 takes ≈ 219 s at 2.4 GHz
+// (Table 1's CPUSPEED/75% cell) and LU.B.4 ≈ 205 s.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "workload/phase.hpp"
+
+namespace thermctl::workload {
+
+struct NpbParams {
+  /// Benchmark iterations (NPB "time steps").
+  int iterations = 200;
+  /// Compute work per rank per iteration, GHz-seconds.
+  double work_per_iter_ghz_s = 1.80;
+  /// Total communication wall time per iteration (mean, across sub-phases).
+  Seconds comm_per_iter{0.30};
+  /// Exchange sub-phases per iteration (BT sweeps x/y/z faces: 3).
+  int comm_subphases = 3;
+  /// Relative variation of each exchange's duration (uniform ±). Real
+  /// interconnects make exchange times irregular; this is what keeps
+  /// utilization-driven governors from phase-locking onto the iteration
+  /// period.
+  double comm_jitter = 0.30;
+  /// Probability that one exchange in an iteration becomes a straggler
+  /// (network contention), extended by `straggler_extra`. Stragglers are the
+  /// low-utilization windows CPUSPEED reacts to.
+  double straggler_prob = 0.25;
+  Seconds straggler_extra{0.35};
+  /// Utilization during communication (progress engine + memcpy).
+  Utilization comm_util{0.35};
+  /// Relative per-iteration work jitter (uniform ±).
+  double work_jitter = 0.04;
+  /// Static per-rank imbalance (uniform ±, fixed for the whole run).
+  double rank_imbalance = 0.02;
+  /// Every `rinse_period` iterations insert a heavier "checkpoint" iteration
+  /// (NPB verification/norm steps); 0 disables.
+  int rinse_period = 50;
+  double rinse_factor = 1.6;
+};
+
+/// Per-rank programs for an NPB-like benchmark.
+[[nodiscard]] std::vector<Program> make_npb_programs(const NpbParams& params, int ranks,
+                                                     Rng& rng);
+
+/// BT class B on 4 ranks: longer compute slabs, moderate comm.
+[[nodiscard]] NpbParams bt_class_b();
+
+/// LU class B on 4 ranks: shorter iterations, lighter comm (pipelined
+/// wavefront exchanges), more of them.
+[[nodiscard]] NpbParams lu_class_b();
+
+}  // namespace thermctl::workload

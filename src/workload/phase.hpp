@@ -1,0 +1,63 @@
+// Workload phase vocabulary.
+//
+// Applications are modelled as per-rank sequences of phases. The crucial
+// distinction for thermal control is between *frequency-scalable* work
+// (compute: its wall time stretches when DVFS slows the clock — the in-band
+// performance cost) and *frequency-insensitive* time (communication, idle:
+// the CPU is mostly waiting, so scaling is nearly free there). Barriers
+// couple the ranks: everyone waits for the slowest, which is how one
+// throttled node taxes the whole parallel job.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace thermctl::workload {
+
+enum class PhaseKind {
+  kCompute,      // fixed work, wall time = work / frequency
+  kCommunicate,  // fixed wall time, moderate utilization (MPI progress)
+  kIdle,         // fixed wall time, near-zero utilization
+  kBarrier,      // wait until all ranks arrive
+};
+
+struct Phase {
+  PhaseKind kind = PhaseKind::kIdle;
+  /// For kCompute: work in GHz-seconds (i.e. 1e9 cycles).
+  double work_ghz_s = 0.0;
+  /// For kCommunicate / kIdle: wall-clock duration.
+  Seconds wall{0.0};
+  /// CPU utilization while the phase runs (compute defaults to 1.0).
+  Utilization util{0.0};
+};
+
+/// One rank's complete program.
+using Program = std::vector<Phase>;
+
+[[nodiscard]] inline Phase compute_phase(double work_ghz_s, Utilization util = Utilization{1.0}) {
+  return Phase{PhaseKind::kCompute, work_ghz_s, Seconds{0.0}, util};
+}
+
+[[nodiscard]] inline Phase comm_phase(Seconds wall, Utilization util = Utilization{0.35}) {
+  return Phase{PhaseKind::kCommunicate, 0.0, wall, util};
+}
+
+[[nodiscard]] inline Phase idle_phase(Seconds wall, Utilization util = Utilization{0.02}) {
+  return Phase{PhaseKind::kIdle, 0.0, wall, util};
+}
+
+[[nodiscard]] inline Phase barrier_phase() {
+  return Phase{PhaseKind::kBarrier, 0.0, Seconds{0.0}, Utilization{0.0}};
+}
+
+/// Total compute work in a program (GHz-seconds).
+[[nodiscard]] double total_work(const Program& p);
+
+/// Total frequency-insensitive wall time in a program.
+[[nodiscard]] Seconds total_fixed_wall(const Program& p);
+
+/// Ideal (no-waiting) duration of a program at a constant frequency.
+[[nodiscard]] Seconds ideal_duration(const Program& p, GigaHertz f);
+
+}  // namespace thermctl::workload

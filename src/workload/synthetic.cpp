@@ -1,0 +1,113 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace thermctl::workload {
+
+Program cpu_burn_program(Seconds duration, GigaHertz nominal_f) {
+  THERMCTL_ASSERT(duration.value() > 0.0, "duration must be positive");
+  Program p;
+  p.push_back(compute_phase(duration.value() * nominal_f.value()));
+  return p;
+}
+
+SegmentLoad::SegmentLoad(std::vector<LoadSegment> segments, std::uint64_t noise_seed)
+    : segments_(std::move(segments)), seed_(noise_seed) {
+  THERMCTL_ASSERT(!segments_.empty(), "schedule needs at least one segment");
+}
+
+Seconds SegmentLoad::total_duration() const {
+  double t = 0.0;
+  for (const LoadSegment& s : segments_) {
+    t += s.duration.value();
+  }
+  return Seconds{t};
+}
+
+Utilization SegmentLoad::at(SimTime t) const {
+  double remaining = t.seconds();
+  const LoadSegment* seg = nullptr;
+  double local = 0.0;
+  for (const LoadSegment& s : segments_) {
+    if (remaining < s.duration.value()) {
+      seg = &s;
+      local = remaining;
+      break;
+    }
+    remaining -= s.duration.value();
+  }
+  if (seg == nullptr) {
+    return Utilization{0.0};  // past the end: idle
+  }
+
+  const double frac = seg->duration.value() > 0.0 ? local / seg->duration.value() : 0.0;
+  double u = seg->util_begin + (seg->util_end - seg->util_begin) * frac;
+
+  if (seg->jitter_amplitude > 0.0 && seg->jitter_period.value() > 0.0) {
+    const double phase = std::fmod(local, seg->jitter_period.value());
+    u += (phase < seg->jitter_period.value() / 2.0) ? seg->jitter_amplitude
+                                                    : -seg->jitter_amplitude;
+  }
+
+  if (seg->noise_sigma > 0.0) {
+    // Hash the microsecond timestamp so evaluation is stateless and
+    // deterministic regardless of sampling order.
+    std::uint64_t h = seed_ ^ static_cast<std::uint64_t>(t.us()) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+    // Box–Muller needs two uniforms; derive the second from another mix.
+    std::uint64_t h2 = h * 0xc4ceb9fe1a85ec53ULL;
+    h2 ^= h2 >> 33;
+    const double unit2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+    const double gauss =
+        std::sqrt(-2.0 * std::log(std::max(unit, 1e-300))) * std::cos(6.283185307179586 * unit2);
+    u += seg->noise_sigma * gauss;
+  }
+
+  return Utilization{std::clamp(u, 0.0, 1.0)};
+}
+
+SegmentLoad fig2_profile(double scale, std::uint64_t seed) {
+  THERMCTL_ASSERT(scale > 0.0, "scale must be positive");
+  auto secs = [scale](double s) { return Seconds{s * scale}; };
+  std::vector<LoadSegment> segs;
+  // Idle lead-in.
+  segs.push_back({secs(20.0), 0.03, 0.03, 0.0, Seconds{0.0}, 0.01});
+  // Type I: sudden jump to full utilization...
+  // Type II: ...held long enough that temperature climbs gradually.
+  segs.push_back({secs(90.0), 1.0, 1.0, 0.0, Seconds{0.0}, 0.02});
+  // Sudden drop to light load.
+  segs.push_back({secs(30.0), 0.15, 0.15, 0.0, Seconds{0.0}, 0.02});
+  // Type III: jitter — bursty oscillation with no sustained trend.
+  segs.push_back({secs(60.0), 0.5, 0.5, 0.35, secs(3.0), 0.05});
+  // Gradual ramp down.
+  segs.push_back({secs(40.0), 0.6, 0.05, 0.0, Seconds{0.0}, 0.02});
+  return SegmentLoad{std::move(segs), seed};
+}
+
+SegmentLoad sudden_profile(Seconds lead, Seconds hold, double level) {
+  std::vector<LoadSegment> segs;
+  segs.push_back({lead, 0.03, 0.03, 0.0, Seconds{0.0}, 0.0});
+  segs.push_back({hold, level, level, 0.0, Seconds{0.0}, 0.0});
+  segs.push_back({lead, 0.03, 0.03, 0.0, Seconds{0.0}, 0.0});
+  return SegmentLoad{std::move(segs)};
+}
+
+SegmentLoad gradual_profile(Seconds duration, double level) {
+  std::vector<LoadSegment> segs;
+  segs.push_back({duration, level, level, 0.0, Seconds{0.0}, 0.0});
+  return SegmentLoad{std::move(segs)};
+}
+
+SegmentLoad jitter_profile(Seconds duration, double mean, double amplitude, Seconds period) {
+  std::vector<LoadSegment> segs;
+  segs.push_back({duration, mean, mean, amplitude, period, 0.0});
+  return SegmentLoad{std::move(segs)};
+}
+
+}  // namespace thermctl::workload

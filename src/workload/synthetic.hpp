@@ -1,0 +1,75 @@
+// Synthetic load generators.
+//
+// Two families:
+//
+//  * `cpu_burn_program` — the paper's §4.2 stressor: sustained 100%
+//    utilization for a fixed duration ("cpu-burn" from Robert Redelmeier's
+//    burnK7 family). Used to exercise the fan controller across its whole
+//    range (Fig. 5).
+//
+//  * `SegmentLoad` — a time-driven utilization function assembled from
+//    segments (constant, ramp, square-wave jitter, random bursts). These
+//    reproduce the three thermal behaviour types of §3.1 / Fig. 2:
+//    Type I "sudden" (step changes), Type II "gradual" (sustained load
+//    against thermal mass), Type III "jitter" (bursty oscillation with no
+//    sustained trend).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/units.hpp"
+#include "workload/phase.hpp"
+
+namespace thermctl::workload {
+
+/// A cpu-burn run: `duration` of solid compute (work sized for frequency `f`
+/// so the wall time is duration at full speed), no barriers.
+[[nodiscard]] Program cpu_burn_program(Seconds duration, GigaHertz nominal_f = GigaHertz{2.4});
+
+/// One segment of a time-driven utilization schedule.
+struct LoadSegment {
+  Seconds duration{0.0};
+  /// Utilization at segment start and end (linear in between → ramps).
+  double util_begin = 0.0;
+  double util_end = 0.0;
+  /// Square-wave jitter: ± amplitude toggled every half `jitter_period`.
+  double jitter_amplitude = 0.0;
+  Seconds jitter_period{0.0};
+  /// Gaussian per-sample noise sigma on top.
+  double noise_sigma = 0.0;
+};
+
+/// Evaluates a segment schedule at arbitrary times. Deterministic given the
+/// seed: noise is hashed from the sample time, not from call order.
+class SegmentLoad {
+ public:
+  SegmentLoad(std::vector<LoadSegment> segments, std::uint64_t noise_seed = 0);
+
+  [[nodiscard]] Utilization at(SimTime t) const;
+  [[nodiscard]] Seconds total_duration() const;
+  [[nodiscard]] bool done(SimTime t) const { return t.seconds() >= total_duration().value(); }
+
+ private:
+  std::vector<LoadSegment> segments_;
+  std::uint64_t seed_;
+};
+
+/// Fig. 2-style composite: idle → sudden step to full → gradual hold →
+/// sudden drop → jitter burst → idle. `scale` stretches all durations.
+[[nodiscard]] SegmentLoad fig2_profile(double scale = 1.0, std::uint64_t seed = 42);
+
+/// Pure Type I: idle, step to full, hold, step down.
+[[nodiscard]] SegmentLoad sudden_profile(Seconds lead, Seconds hold, double level = 1.0);
+
+/// Pure Type II: long full-utilization hold (the thermal mass makes the
+/// *temperature* gradual even though utilization is constant).
+[[nodiscard]] SegmentLoad gradual_profile(Seconds duration, double level = 1.0);
+
+/// Pure Type III: oscillation around a mean with no sustained trend.
+[[nodiscard]] SegmentLoad jitter_profile(Seconds duration, double mean = 0.5,
+                                         double amplitude = 0.35,
+                                         Seconds period = Seconds{2.0});
+
+}  // namespace thermctl::workload

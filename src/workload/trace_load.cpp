@@ -1,0 +1,86 @@
+#include "workload/trace_load.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace thermctl::workload {
+
+TraceLoad::TraceLoad(std::vector<TraceSample> samples, TraceLoadOptions options)
+    : samples_(std::move(samples)), options_(options) {
+  THERMCTL_ASSERT(!samples_.empty(), "trace needs at least one sample");
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    THERMCTL_ASSERT(samples_[i].time_s > samples_[i - 1].time_s,
+                    "trace times must be strictly increasing");
+  }
+}
+
+TraceLoad TraceLoad::from_csv(const std::string& path, TraceLoadOptions options) {
+  std::ifstream in{path};
+  if (!in) {
+    throw std::runtime_error("TraceLoad: cannot open " + path);
+  }
+  std::vector<TraceSample> samples;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    if (line.find_first_not_of(" \t\r,") == std::string::npos) {
+      continue;
+    }
+    std::replace(line.begin(), line.end(), ',', ' ');
+    std::istringstream row{line};
+    TraceSample s;
+    if (!(row >> s.time_s >> s.utilization)) {
+      // Permit one header row; anything else unparseable is an error.
+      if (samples.empty() && line_no == 1) {
+        continue;
+      }
+      throw std::runtime_error("TraceLoad: bad row at " + path + ":" +
+                               std::to_string(line_no));
+    }
+    s.utilization = std::clamp(s.utilization, 0.0, 1.0);
+    samples.push_back(s);
+  }
+  if (samples.empty()) {
+    throw std::runtime_error("TraceLoad: no samples in " + path);
+  }
+  return TraceLoad{std::move(samples), options};
+}
+
+Seconds TraceLoad::duration() const { return Seconds{samples_.back().time_s}; }
+
+Utilization TraceLoad::at(SimTime t) const {
+  double s = t.seconds();
+  const double dur = duration().value();
+  if (options_.loop && dur > 0.0) {
+    s = std::fmod(s, dur);
+  }
+  if (s <= samples_.front().time_s) {
+    return Utilization{samples_.front().utilization};
+  }
+  if (s >= samples_.back().time_s) {
+    return options_.loop ? Utilization{samples_.back().utilization} : Utilization{0.0};
+  }
+  // Binary search for the bracketing pair.
+  const auto upper = std::upper_bound(
+      samples_.begin(), samples_.end(), s,
+      [](double value, const TraceSample& sample) { return value < sample.time_s; });
+  const TraceSample& hi = *upper;
+  const TraceSample& lo = *(upper - 1);
+  if (!options_.interpolate) {
+    return Utilization{lo.utilization};
+  }
+  const double frac = (s - lo.time_s) / (hi.time_s - lo.time_s);
+  return Utilization{lo.utilization + frac * (hi.utilization - lo.utilization)};
+}
+
+}  // namespace thermctl::workload

@@ -1,0 +1,53 @@
+// Utilization trace replay.
+//
+// Downstream users rarely have phase-structured models of their codes — they
+// have monitoring exports. TraceLoad replays a recorded utilization series
+// (time, utilization rows from CSV, or in-memory samples) against the
+// simulated node: step interpolation or linear interpolation between
+// samples, optional looping for open-ended soak runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/units.hpp"
+
+namespace thermctl::workload {
+
+struct TraceSample {
+  double time_s = 0.0;
+  double utilization = 0.0;  // fraction in [0, 1]
+};
+
+struct TraceLoadOptions {
+  /// Linear interpolation between samples (false = step/hold).
+  bool interpolate = false;
+  /// Wrap around at the end instead of going idle.
+  bool loop = false;
+};
+
+class TraceLoad {
+ public:
+  /// Samples must be in strictly increasing time order.
+  TraceLoad(std::vector<TraceSample> samples, TraceLoadOptions options = {});
+
+  /// Parses a CSV of `time_s,utilization` rows (header optional; '#'
+  /// comments ignored). Throws std::runtime_error on unreadable files or
+  /// unparseable rows.
+  [[nodiscard]] static TraceLoad from_csv(const std::string& path,
+                                          TraceLoadOptions options = {});
+
+  [[nodiscard]] Utilization at(SimTime t) const;
+  [[nodiscard]] Seconds duration() const;
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+  [[nodiscard]] bool done(SimTime t) const {
+    return !options_.loop && t.seconds() >= duration().value();
+  }
+
+ private:
+  std::vector<TraceSample> samples_;
+  TraceLoadOptions options_;
+};
+
+}  // namespace thermctl::workload

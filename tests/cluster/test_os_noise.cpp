@@ -1,0 +1,83 @@
+// Engine in-band-overhead (OS noise) model tests.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/engine.hpp"
+#include "workload/app.hpp"
+
+namespace thermctl::cluster {
+namespace {
+
+NodeParams quiet() {
+  NodeParams p;
+  p.sensor.noise_sigma_degc = 0.0;
+  return p;
+}
+
+double run_compute_job(std::size_t nodes, double per_tick_s, bool barriers = false) {
+  Cluster rack{nodes, quiet()};
+  EngineConfig cfg;
+  cfg.horizon = Seconds{120.0};
+  Engine engine{rack, cfg};
+  std::vector<workload::Program> progs;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    workload::Program p;
+    p.push_back(workload::compute_phase(24.0));  // 10 s at 2.4 GHz
+    if (barriers) {
+      p.push_back(workload::barrier_phase());
+    }
+    progs.push_back(std::move(p));
+  }
+  workload::ParallelApp app{"t", std::move(progs)};
+  std::vector<std::size_t> mapping(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    mapping[i] = i;
+    engine.set_inband_overhead(i, Seconds{per_tick_s}, Seconds{0.25});
+  }
+  engine.attach_app(app, mapping);
+  return engine.run().exec_time_s;
+}
+
+TEST(OsNoise, ZeroOverheadIsBaseline) {
+  EXPECT_NEAR(run_compute_job(1, 0.0), 10.0, 0.1);
+}
+
+TEST(OsNoise, StealFractionStretchesCompute) {
+  // 25 ms stolen per 250 ms = 10% steal -> 10 s of work takes ~11.1 s.
+  EXPECT_NEAR(run_compute_job(1, 0.025), 10.0 / 0.9, 0.15);
+}
+
+TEST(OsNoise, MicrosecondTicksAreInvisible) {
+  const double noisy = run_compute_job(1, 10e-6);
+  EXPECT_NEAR(noisy, 10.0, 0.1);
+}
+
+TEST(OsNoise, OneNoisyNodeDragsBarrierJob) {
+  // Only node 1 is noisy; with a barrier, the whole job pays its tax.
+  Cluster rack{2, quiet()};
+  EngineConfig cfg;
+  cfg.horizon = Seconds{120.0};
+  Engine engine{rack, cfg};
+  std::vector<workload::Program> progs(
+      2, workload::Program{workload::compute_phase(24.0), workload::barrier_phase()});
+  workload::ParallelApp app{"t", std::move(progs)};
+  engine.attach_app(app, {0, 1});
+  engine.set_inband_overhead(1, Seconds{0.025}, Seconds{0.25});  // 10% on node 1 only
+  const double exec = engine.run().exec_time_s;
+  EXPECT_NEAR(exec, 10.0 / 0.9, 0.2);
+}
+
+TEST(OsNoiseDeath, OverheadMustFitPeriod) {
+  Cluster rack{1, quiet()};
+  Engine engine{rack, EngineConfig{}};
+  EXPECT_DEATH(engine.set_inband_overhead(0, Seconds{0.5}, Seconds{0.25}), "shorter");
+}
+
+TEST(OsNoiseDeath, NodeIndexValidated) {
+  Cluster rack{1, quiet()};
+  Engine engine{rack, EngineConfig{}};
+  EXPECT_DEATH(engine.set_inband_overhead(5, Seconds{0.001}, Seconds{0.25}), "range");
+}
+
+}  // namespace
+}  // namespace thermctl::cluster

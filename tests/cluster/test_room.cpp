@@ -1,0 +1,107 @@
+#include "cluster/room.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/engine.hpp"
+#include "workload/synthetic.hpp"
+
+namespace thermctl::cluster {
+namespace {
+
+TEST(Room, StartsAtSupplyTemperature) {
+  RoomModel room{4};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(room.inlet(i).value(), 26.0);
+  }
+}
+
+TEST(Room, SteadyStateInletIsLinearInRackPower) {
+  RoomModel room{2};
+  room.settle(Watts{500.0});
+  // 26 + 0.006 * 500 = 29.
+  EXPECT_NEAR(room.inlet(0).value(), 29.0, 1e-9);
+  EXPECT_NEAR(room.steady_state_inlet(0, Watts{1000.0}).value(), 32.0, 1e-9);
+}
+
+TEST(Room, OffsetsModelPockets) {
+  RoomModel room{3};
+  room.set_node_offset(2, CelsiusDelta{6.0});
+  room.settle(Watts{500.0});
+  EXPECT_NEAR(room.inlet(2).value() - room.inlet(0).value(), 6.0, 1e-9);
+}
+
+TEST(Room, MixingFollowsFirstOrderDynamics) {
+  RoomParams params;
+  params.tau = Seconds{100.0};
+  RoomModel room{1, params};
+  // Step rack power; after one tau the rise is ~63% of the target.
+  for (int i = 0; i < 2000; ++i) {
+    room.step(Seconds{0.05}, Watts{500.0});
+  }
+  const double rise = room.inlet(0).value() - 26.0;
+  EXPECT_NEAR(rise, 3.0 * (1.0 - std::exp(-1.0)), 0.03);
+}
+
+TEST(Room, EngineFeedbackRaisesInlets) {
+  NodeParams node_params;
+  node_params.sensor.noise_sigma_degc = 0.0;
+  Cluster rack{2, node_params};
+  for (std::size_t i = 0; i < 2; ++i) {
+    rack.node(i).set_utilization(Utilization{0.02});
+  }
+  rack.settle_all();
+
+  RoomParams room_params;
+  room_params.tau = Seconds{30.0};  // fast room so the test is short
+  RoomModel room{2, room_params};
+  room.settle(rack.total_power());
+
+  EngineConfig cfg;
+  cfg.horizon = Seconds{120.0};
+  Engine engine{rack, cfg};
+  engine.attach_room(room);
+  const auto burn = workload::gradual_profile(Seconds{200.0});
+  engine.set_node_load(0, &burn);
+  engine.set_node_load(1, &burn);
+  const RunResult result = engine.run();
+
+  // The rack's own dissipation raised the inlets above the CRAC supply...
+  EXPECT_GT(room.inlet(0).value(), 26.5);
+  // ...and node temperatures reflect the elevated ambient at the end.
+  EXPECT_GT(result.nodes[0].die_temp.back(), 50.0);
+}
+
+TEST(Room, HotterRoomWithMoreLoad) {
+  NodeParams node_params;
+  node_params.sensor.noise_sigma_degc = 0.0;
+  auto run_with_nodes_busy = [&node_params](int busy) {
+    Cluster rack{4, node_params};
+    RoomModel room{4};
+    EngineConfig cfg;
+    cfg.horizon = Seconds{200.0};
+    Engine engine{rack, cfg};
+    engine.attach_room(room);
+    static const auto burn = workload::gradual_profile(Seconds{400.0});
+    for (int i = 0; i < busy; ++i) {
+      engine.set_node_load(static_cast<std::size_t>(i), &burn);
+    }
+    engine.run();
+    return room.inlet(0).value();
+  };
+  EXPECT_GT(run_with_nodes_busy(4), run_with_nodes_busy(1) + 0.5);
+}
+
+TEST(RoomDeath, SizeMustMatchRack) {
+  Cluster rack{2, NodeParams{}};
+  Engine engine{rack, EngineConfig{}};
+  RoomModel wrong{3};
+  EXPECT_DEATH(engine.attach_room(wrong), "sized");
+}
+
+TEST(RoomDeath, RejectsZeroNodes) {
+  EXPECT_DEATH(RoomModel{0}, "node");
+}
+
+}  // namespace
+}  // namespace thermctl::cluster

@@ -1,0 +1,77 @@
+#include "common/log.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace thermctl {
+namespace {
+
+struct CapturedLine {
+  LogLevel level;
+  std::string component;
+  std::string msg;
+};
+
+class LogCapture {
+ public:
+  LogCapture() {
+    Logger::instance().set_sink([this](LogLevel level, std::string_view component,
+                                       std::string_view msg) {
+      lines_.push_back({level, std::string{component}, std::string{msg}});
+    });
+    previous_level_ = Logger::instance().level();
+  }
+  ~LogCapture() {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(previous_level_);
+  }
+  [[nodiscard]] const std::vector<CapturedLine>& lines() const { return lines_; }
+
+ private:
+  std::vector<CapturedLine> lines_;
+  LogLevel previous_level_;
+};
+
+TEST(Logger, LevelFilterDropsBelow) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  THERMCTL_LOG_DEBUG("test", "dropped %d", 1);
+  THERMCTL_LOG_INFO("test", "dropped %d", 2);
+  THERMCTL_LOG_WARN("test", "kept %d", 3);
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0].msg, "kept 3");
+  EXPECT_EQ(capture.lines()[0].component, "test");
+}
+
+TEST(Logger, FormatsPrintfStyle) {
+  LogCapture capture;
+  Logger::instance().set_level(LogLevel::kDebug);
+  THERMCTL_LOG_INFO("fanctl", "duty %.0f%% -> %.0f%%", 10.0, 35.0);
+  ASSERT_EQ(capture.lines().size(), 1u);
+  EXPECT_EQ(capture.lines()[0].msg, "duty 10% -> 35%");
+  EXPECT_EQ(capture.lines()[0].level, LogLevel::kInfo);
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+}
+
+TEST(Logger, SinkResetRestoresDefault) {
+  {
+    LogCapture capture;
+    Logger::instance().set_level(LogLevel::kDebug);
+    THERMCTL_LOG_INFO("x", "captured");
+    EXPECT_EQ(capture.lines().size(), 1u);
+  }
+  // After capture teardown the default (stderr) sink is back; just verify
+  // logging does not crash.
+  THERMCTL_LOG_DEBUG("x", "to stderr default sink");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace thermctl

@@ -1,0 +1,97 @@
+#include "common/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb{4};
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+}
+
+TEST(RingBuffer, PushUntilFull) {
+  RingBuffer<int> rb{3};
+  rb.push(1);
+  rb.push(2);
+  EXPECT_FALSE(rb.full());
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.front(), 1);
+  EXPECT_EQ(rb.back(), 3);
+}
+
+TEST(RingBuffer, OverwritesOldestWhenFull) {
+  RingBuffer<int> rb{3};
+  for (int i = 1; i <= 5; ++i) {
+    rb.push(i);
+  }
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.front(), 3);
+  EXPECT_EQ(rb.back(), 5);
+}
+
+TEST(RingBuffer, AtIndexesFromOldest) {
+  RingBuffer<int> rb{4};
+  for (int i = 10; i < 16; ++i) {
+    rb.push(i);
+  }
+  // Buffer now holds 12, 13, 14, 15.
+  EXPECT_EQ(rb.at(0), 12);
+  EXPECT_EQ(rb.at(1), 13);
+  EXPECT_EQ(rb.at(3), 15);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb{2};
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(7);
+  EXPECT_EQ(rb.front(), 7);
+  EXPECT_EQ(rb.back(), 7);
+}
+
+TEST(RingBuffer, FifoSemanticsMatchPaperLevel2Window) {
+  // §3.2.1: "enqueue and dequeue when a new round of sampling finishes" —
+  // a 5-entry FIFO of round averages.
+  RingBuffer<double> fifo{5};
+  for (int round = 0; round < 8; ++round) {
+    fifo.push(40.0 + round);
+  }
+  EXPECT_DOUBLE_EQ(fifo.front(), 43.0);  // oldest surviving round
+  EXPECT_DOUBLE_EQ(fifo.back(), 47.0);   // newest round
+  EXPECT_DOUBLE_EQ(fifo.back() - fifo.front(), 4.0);
+}
+
+TEST(RingBuffer, SingleElementCapacity) {
+  RingBuffer<int> rb{1};
+  rb.push(1);
+  EXPECT_TRUE(rb.full());
+  rb.push(2);
+  EXPECT_EQ(rb.front(), 2);
+  EXPECT_EQ(rb.back(), 2);
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(RingBufferDeath, ZeroCapacityAborts) {
+  EXPECT_DEATH(RingBuffer<int>{0}, "capacity");
+}
+
+TEST(RingBufferDeath, FrontOnEmptyAborts) {
+  RingBuffer<int> rb{2};
+  EXPECT_DEATH((void)rb.front(), "empty");
+}
+
+TEST(RingBufferDeath, AtOutOfRangeAborts) {
+  RingBuffer<int> rb{2};
+  rb.push(1);
+  EXPECT_DEATH((void)rb.at(1), "range");
+}
+
+}  // namespace
+}  // namespace thermctl

@@ -1,0 +1,81 @@
+#include "common/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(SimTime::from_ms(250).us(), 250000);
+  EXPECT_DOUBLE_EQ(SimTime::from_seconds(1.5).seconds(), 1.5);
+  EXPECT_EQ(SimTime::from_us(42).us(), 42);
+}
+
+TEST(SimTime, Difference) {
+  const SimTime a = SimTime::from_ms(1000);
+  const SimTime b = SimTime::from_ms(250);
+  EXPECT_DOUBLE_EQ((a - b).value(), 0.75);
+}
+
+TEST(SimTime, AddSeconds) {
+  const SimTime t = SimTime::from_ms(100) + Seconds{0.4};
+  EXPECT_EQ(t.us(), 500000);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::from_ms(1), SimTime::from_ms(2));
+  EXPECT_EQ(SimTime::from_ms(5), SimTime::from_us(5000));
+}
+
+TEST(SimTime, AdvanceExactIntegerTicks) {
+  SimTime t;
+  for (int i = 0; i < 1000; ++i) {
+    t.advance_us(250000);  // 4 Hz sampling for 250 s
+  }
+  EXPECT_EQ(t.us(), 250000000);
+  EXPECT_DOUBLE_EQ(t.seconds(), 250.0);
+}
+
+TEST(PeriodicSchedule, FiresAtPeriodBoundaries) {
+  PeriodicSchedule s{250000};  // 250 ms
+  EXPECT_TRUE(s.due(SimTime::from_ms(0)));   // fires at phase 0
+  EXPECT_FALSE(s.due(SimTime::from_ms(100)));
+  EXPECT_TRUE(s.due(SimTime::from_ms(250)));
+  EXPECT_FALSE(s.due(SimTime::from_ms(251)));
+  EXPECT_TRUE(s.due(SimTime::from_ms(500)));
+}
+
+TEST(PeriodicSchedule, CatchesUpWhenPolledLate) {
+  PeriodicSchedule s{100000};  // 100 ms
+  int fired = 0;
+  while (s.due(SimTime::from_ms(1000))) {
+    ++fired;
+  }
+  EXPECT_EQ(fired, 11);  // t=0 through t=1000 inclusive
+}
+
+TEST(PeriodicSchedule, PhaseDelaysFirstFiring) {
+  PeriodicSchedule s{100000, 100000};
+  EXPECT_FALSE(s.due(SimTime::from_ms(0)));
+  EXPECT_FALSE(s.due(SimTime::from_ms(99)));
+  EXPECT_TRUE(s.due(SimTime::from_ms(100)));
+}
+
+TEST(PeriodicSchedule, ZeroPeriodNeverFires) {
+  PeriodicSchedule s{0};
+  EXPECT_FALSE(s.due(SimTime::from_ms(1000)));
+}
+
+TEST(PeriodicSchedule, FourHzProducesFourPerSecond) {
+  PeriodicSchedule s{250000};
+  int fired = 0;
+  for (std::int64_t ms = 0; ms <= 10000; ms += 50) {
+    while (s.due(SimTime::from_ms(ms))) {
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 41);  // t=0 plus 4/s for 10 s
+}
+
+}  // namespace
+}  // namespace thermctl

@@ -1,0 +1,111 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl {
+namespace {
+
+using namespace thermctl::literals;
+
+TEST(Units, CelsiusDifferenceYieldsDelta) {
+  const CelsiusDelta d = 50.0_degC - 42.0_degC;
+  EXPECT_DOUBLE_EQ(d.value(), 8.0);
+}
+
+TEST(Units, CelsiusPlusDelta) {
+  const Celsius t = 40.0_degC + 2.5_dK;
+  EXPECT_DOUBLE_EQ(t.value(), 42.5);
+}
+
+TEST(Units, CelsiusMinusDelta) {
+  const Celsius t = 40.0_degC - 2.5_dK;
+  EXPECT_DOUBLE_EQ(t.value(), 37.5);
+}
+
+TEST(Units, CelsiusCompoundAdd) {
+  Celsius t{40.0};
+  t += CelsiusDelta{1.5};
+  EXPECT_DOUBLE_EQ(t.value(), 41.5);
+}
+
+TEST(Units, CelsiusOrdering) {
+  EXPECT_LT(40.0_degC, 41.0_degC);
+  EXPECT_GT(82.0_degC, 38.0_degC);
+  EXPECT_EQ(38.0_degC, 38.0_degC);
+}
+
+TEST(Units, DeltaArithmetic) {
+  const CelsiusDelta a{3.0};
+  const CelsiusDelta b{1.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 4.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 2.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -3.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).value(), 1.5);
+}
+
+TEST(Units, LikeQuantityRatioIsDimensionless) {
+  EXPECT_DOUBLE_EQ(Watts{100.0} / Watts{50.0}, 2.0);
+  EXPECT_DOUBLE_EQ(Seconds{10.0} / Seconds{4.0}, 2.5);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const Joules e = 50.0_W * 10.0_s;
+  EXPECT_DOUBLE_EQ(e.value(), 500.0);
+  const Joules e2 = 10.0_s * 50.0_W;
+  EXPECT_DOUBLE_EQ(e2.value(), 500.0);
+}
+
+TEST(Units, DutyCycleClampsLow) {
+  EXPECT_DOUBLE_EQ(DutyCycle{-5.0}.percent(), 0.0);
+}
+
+TEST(Units, DutyCycleClampsHigh) {
+  EXPECT_DOUBLE_EQ(DutyCycle{150.0}.percent(), 100.0);
+}
+
+TEST(Units, DutyCycleFraction) {
+  EXPECT_DOUBLE_EQ(DutyCycle{25.0}.fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(DutyCycle{100.0}.fraction(), 1.0);
+}
+
+TEST(Units, DutyCycleOrdering) {
+  EXPECT_LT(DutyCycle{10.0}, DutyCycle{75.0});
+}
+
+TEST(Units, UtilizationClamps) {
+  EXPECT_DOUBLE_EQ(Utilization{-0.1}.fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(Utilization{1.7}.fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(Utilization{0.5}.percent(), 50.0);
+}
+
+TEST(Units, FrequencyLiterals) {
+  EXPECT_DOUBLE_EQ((2.4_GHz).value(), 2.4);
+  EXPECT_DOUBLE_EQ((1_GHz).value(), 1.0);
+}
+
+TEST(Units, QuantityCompoundOps) {
+  Watts p{10.0};
+  p += Watts{5.0};
+  EXPECT_DOUBLE_EQ(p.value(), 15.0);
+  p -= Watts{3.0};
+  EXPECT_DOUBLE_EQ(p.value(), 12.0);
+}
+
+TEST(Units, ScalarOnLeft) {
+  EXPECT_DOUBLE_EQ((2.0 * Watts{21.0}).value(), 42.0);
+}
+
+TEST(Units, PwmLiteral) {
+  EXPECT_DOUBLE_EQ((75_pwm).percent(), 75.0);
+  EXPECT_DOUBLE_EQ((10.5_pwm).percent(), 10.5);
+}
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_DOUBLE_EQ(Celsius{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(Watts{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(DutyCycle{}.percent(), 0.0);
+}
+
+}  // namespace
+}  // namespace thermctl

@@ -1,0 +1,197 @@
+#include "core/fan_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller_rig.hpp"
+
+namespace thermctl::core {
+namespace {
+
+using testing::ControllerRig;
+
+FanControlConfig cfg_with_pp(int pp, double max_duty = 100.0) {
+  FanControlConfig cfg;
+  cfg.pp = PolicyParam{pp};
+  cfg.max_duty = DutyCycle{max_duty};
+  return cfg;
+}
+
+TEST(DynamicFan, FirstTickTakesOverAtLeastEffectiveMode) {
+  ControllerRig rig;
+  DynamicFanController fan{*rig.hwmon, cfg_with_pp(50)};
+  rig.tick(fan, 40.0, SimTime::from_ms(250));
+  EXPECT_EQ(fan.current_index(), 0u);
+  EXPECT_NEAR(rig.chip.output_duty().percent(), 1.0, 0.5);
+}
+
+TEST(DynamicFan, RisingTemperatureRaisesDuty) {
+  ControllerRig rig;
+  DynamicFanController fan{*rig.hwmon, cfg_with_pp(50)};
+  SimTime now;
+  double temp = 40.0;
+  for (int i = 0; i < 40; ++i) {  // 10 s of +0.4 °C/s rise
+    now.advance_us(250000);
+    temp += 0.1;
+    rig.tick(fan, temp, now);
+  }
+  EXPECT_GT(fan.current_index(), 5u);
+  EXPECT_GT(rig.chip.output_duty().percent(), 5.0);
+  EXPECT_GT(fan.retarget_count(), 2u);
+}
+
+TEST(DynamicFan, FallingTemperatureLowersDuty) {
+  ControllerRig rig;
+  DynamicFanController fan{*rig.hwmon, cfg_with_pp(50)};
+  SimTime now;
+  double temp = 40.0;
+  for (int i = 0; i < 40; ++i) {
+    now.advance_us(250000);
+    temp += 0.15;
+    rig.tick(fan, temp, now);
+  }
+  const std::size_t peak = fan.current_index();
+  for (int i = 0; i < 40; ++i) {
+    now.advance_us(250000);
+    temp -= 0.15;
+    rig.tick(fan, temp, now);
+  }
+  EXPECT_LT(fan.current_index(), peak);
+}
+
+TEST(DynamicFan, JitterDoesNotMoveMode) {
+  // §4.2/Fig. 5 marker ①: the controller "does not respond to jitter".
+  ControllerRig rig;
+  DynamicFanController fan{*rig.hwmon, cfg_with_pp(50)};
+  SimTime now;
+  rig.run_flat(fan, 45.0, 8, now);
+  const std::size_t idx = fan.current_index();
+  const auto retargets_before = fan.retarget_count();
+  // Alternate ±0.25 °C (sensor-quantization-scale jitter) for 20 s.
+  double sign = 1.0;
+  now = SimTime::from_ms(8 * 250);
+  for (int i = 0; i < 80; ++i) {
+    now.advance_us(250000);
+    rig.tick(fan, 45.0 + 0.25 * sign, now);
+    sign = -sign;
+  }
+  EXPECT_EQ(fan.current_index(), idx);
+  EXPECT_EQ(fan.retarget_count(), retargets_before);
+}
+
+TEST(DynamicFan, GradualTrendMovesModeViaLevel2) {
+  // A drift too slow for Δt_L1 must still move the fan through Δt_L2 —
+  // the red-circle behaviour in Fig. 5.
+  ControllerRig rig;
+  FanControlConfig cfg = cfg_with_pp(50);
+  DynamicFanController fan{*rig.hwmon, cfg};
+  SimTime now;
+  double temp = 42.0;
+  bool used_level2 = false;
+  for (int i = 0; i < 200; ++i) {  // 50 s at +0.08 °C/s
+    now.advance_us(250000);
+    temp += 0.02;
+    rig.tick(fan, temp, now);
+  }
+  for (const FanEvent& e : fan.events()) {
+    if (e.used_level2) {
+      used_level2 = true;
+    }
+  }
+  EXPECT_TRUE(used_level2);
+  EXPECT_GT(fan.current_index(), 0u);
+}
+
+TEST(DynamicFan, SmallerPpYieldsHigherDutyForSameTrajectory) {
+  // Fig. 5's headline: Pp=25 averages ~70% duty, Pp=75 ~36%.
+  auto run = [](int pp) {
+    ControllerRig rig;
+    DynamicFanController fan{*rig.hwmon, cfg_with_pp(pp)};
+    SimTime now;
+    double temp = 38.0;
+    double duty_sum = 0.0;
+    int samples = 0;
+    for (int i = 0; i < 160; ++i) {  // 40 s: 25 s rise then hold
+      now.advance_us(250000);
+      if (i < 100) {
+        temp += 0.12;
+      }
+      rig.tick(fan, temp, now);
+      duty_sum += rig.chip.output_duty().percent();
+      ++samples;
+    }
+    return duty_sum / samples;
+  };
+  const double duty_25 = run(25);
+  const double duty_50 = run(50);
+  const double duty_75 = run(75);
+  EXPECT_GT(duty_25, duty_50);
+  EXPECT_GT(duty_50, duty_75);
+}
+
+TEST(DynamicFan, MaxDutyCapsModes) {
+  ControllerRig rig;
+  DynamicFanController fan{*rig.hwmon, cfg_with_pp(50, 25.0)};
+  SimTime now;
+  double temp = 40.0;
+  for (int i = 0; i < 200; ++i) {  // relentless rise
+    now.advance_us(250000);
+    temp += 0.2;
+    rig.tick(fan, temp, now);
+  }
+  EXPECT_NEAR(fan.current_duty().percent(), 25.0, 0.5);
+  EXPECT_LE(rig.chip.output_duty().percent(), 25.5);
+}
+
+TEST(DynamicFan, SetPolicyRetunesAndClearsHistory) {
+  ControllerRig rig;
+  DynamicFanController fan{*rig.hwmon, cfg_with_pp(75)};
+  rig.run_flat(fan, 45.0, 8);
+  fan.set_policy(PolicyParam{25});
+  EXPECT_EQ(fan.array().policy().value, 25);
+}
+
+TEST(DynamicFan, EventsCarryTimestamps) {
+  ControllerRig rig;
+  DynamicFanController fan{*rig.hwmon, cfg_with_pp(50)};
+  SimTime now;
+  double temp = 40.0;
+  for (int i = 0; i < 40; ++i) {
+    now.advance_us(250000);
+    temp += 0.2;
+    rig.tick(fan, temp, now);
+  }
+  ASSERT_FALSE(fan.events().empty());
+  EXPECT_GT(fan.events().front().time_s, 0.0);
+  EXPECT_GT(fan.events().front().to_duty, fan.events().front().from_duty);
+}
+
+TEST(StaticFan, AppliesFig1CurveAndAutoMode) {
+  ControllerRig rig;
+  StaticFanPolicy policy{rig.driver, StaticFanPolicy::Curve{}, DutyCycle{100.0}};
+  ASSERT_TRUE(policy.apply());
+  EXPECT_FALSE(rig.chip.manual_mode());
+  rig.chip.set_measured_temperature(Celsius{38.0});
+  EXPECT_NEAR(rig.chip.output_duty().percent(), 10.0, 1.0);
+  rig.chip.set_measured_temperature(Celsius{82.0});
+  EXPECT_NEAR(rig.chip.output_duty().percent(), 100.0, 0.5);
+}
+
+TEST(StaticFan, MaxDutyCapApplies) {
+  ControllerRig rig;
+  StaticFanPolicy policy{rig.driver, StaticFanPolicy::Curve{}, DutyCycle{75.0}};
+  ASSERT_TRUE(policy.apply());
+  rig.chip.set_measured_temperature(Celsius{90.0});
+  EXPECT_NEAR(rig.chip.output_duty().percent(), 75.0, 0.5);
+}
+
+TEST(ConstantFan, PinsDuty) {
+  ControllerRig rig;
+  ConstantFanPolicy policy{*rig.hwmon, DutyCycle{75.0}};
+  ASSERT_TRUE(policy.apply());
+  EXPECT_NEAR(rig.chip.output_duty().percent(), 75.0, 0.5);
+  rig.chip.set_measured_temperature(Celsius{90.0});
+  EXPECT_NEAR(rig.chip.output_duty().percent(), 75.0, 0.5);  // unmoved
+}
+
+}  // namespace
+}  // namespace thermctl::core

@@ -1,0 +1,116 @@
+#include "core/mode_selector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl::core {
+namespace {
+
+ModeSelector paper_selector(std::size_t n = 100) {
+  return ModeSelector{ModeSelectorConfig{}, n};
+}
+
+TEST(ModeSelector, ConstantMatchesPaperFormula) {
+  // c = (N-1)/(t_max - t_min) = 99 / (82 - 38) = 2.25.
+  EXPECT_NEAR(paper_selector().c(), 2.25, 1e-12);
+}
+
+TEST(ModeSelector, PositiveDeltaRaisesIndex) {
+  const ModeSelector s = paper_selector();
+  // Δt = 2 °C → c·Δt = 4.5 → truncated to +4.
+  EXPECT_EQ(s.apply(10, CelsiusDelta{2.0}), 14u);
+}
+
+TEST(ModeSelector, NegativeDeltaLowersIndex) {
+  const ModeSelector s = paper_selector();
+  EXPECT_EQ(s.apply(10, CelsiusDelta{-2.0}), 6u);
+}
+
+TEST(ModeSelector, SubCellDeltaIgnored) {
+  const ModeSelector s = paper_selector();
+  // |c·Δt| < 1: truncation keeps the index put (jitter rejection).
+  EXPECT_EQ(s.apply(10, CelsiusDelta{0.4}), 10u);
+  EXPECT_EQ(s.apply(10, CelsiusDelta{-0.4}), 10u);
+}
+
+TEST(ModeSelector, ClampsAtBounds) {
+  const ModeSelector s = paper_selector();
+  EXPECT_EQ(s.apply(2, CelsiusDelta{-10.0}), 0u);
+  EXPECT_EQ(s.apply(95, CelsiusDelta{10.0}), 99u);
+}
+
+TEST(ModeSelector, DeadbandWidensRejection) {
+  ModeSelectorConfig cfg;
+  cfg.deadband = CelsiusDelta{1.0};
+  const ModeSelector s{cfg, 100};
+  EXPECT_EQ(s.apply(10, CelsiusDelta{0.9}), 10u);   // inside deadband
+  EXPECT_EQ(s.apply(10, CelsiusDelta{1.5}), 13u);   // outside: c*1.5 = 3.37
+}
+
+TEST(ModeSelector, DecideUsesLevel1First) {
+  const ModeSelector s = paper_selector();
+  WindowRound round;
+  round.level1_delta = CelsiusDelta{2.0};
+  round.level2_delta = CelsiusDelta{-5.0};
+  round.level2_valid = true;
+  const ModeDecision d = s.decide(10, round);
+  EXPECT_TRUE(d.changed);
+  EXPECT_FALSE(d.used_level2);
+  EXPECT_EQ(d.target, 14u);
+}
+
+TEST(ModeSelector, DecideFallsBackToLevel2) {
+  // §3.2.2: "If the temperature variation from the first level does not
+  // result in a change in mode index, our algorithm then uses the
+  // temperature variation from the second level."
+  const ModeSelector s = paper_selector();
+  WindowRound round;
+  round.level1_delta = CelsiusDelta{0.2};   // sub-cell
+  round.level2_delta = CelsiusDelta{1.5};   // gradual trend worth +3
+  round.level2_valid = true;
+  const ModeDecision d = s.decide(10, round);
+  EXPECT_TRUE(d.changed);
+  EXPECT_TRUE(d.used_level2);
+  EXPECT_EQ(d.target, 13u);
+}
+
+TEST(ModeSelector, DecideNoChangeWhenBothFlat) {
+  const ModeSelector s = paper_selector();
+  WindowRound round;
+  round.level1_delta = CelsiusDelta{0.1};
+  round.level2_delta = CelsiusDelta{-0.2};
+  round.level2_valid = true;
+  const ModeDecision d = s.decide(10, round);
+  EXPECT_FALSE(d.changed);
+  EXPECT_EQ(d.target, 10u);
+}
+
+TEST(ModeSelector, DecideSkipsInvalidLevel2) {
+  const ModeSelector s = paper_selector();
+  WindowRound round;
+  round.level1_delta = CelsiusDelta{0.1};
+  round.level2_delta = CelsiusDelta{5.0};  // would move, but invalid
+  round.level2_valid = false;
+  EXPECT_FALSE(s.decide(10, round).changed);
+}
+
+TEST(ModeSelector, SmallerArrayScalesConstant) {
+  // N = 16 over the same band: c = 15/44.
+  const ModeSelector s = paper_selector(16);
+  EXPECT_NEAR(s.c(), 15.0 / 44.0, 1e-12);
+  // A 3 °C rise moves just one cell.
+  EXPECT_EQ(s.apply(4, CelsiusDelta{3.0}), 5u);
+}
+
+TEST(ModeSelectorDeath, RejectsInvertedBand) {
+  ModeSelectorConfig cfg;
+  cfg.tmin = Celsius{80.0};
+  cfg.tmax = Celsius{40.0};
+  EXPECT_DEATH(ModeSelector(cfg, 100), "exceed");
+}
+
+TEST(ModeSelectorDeath, RejectsSingleModeArray) {
+  EXPECT_DEATH(ModeSelector(ModeSelectorConfig{}, 1), "two");
+}
+
+}  // namespace
+}  // namespace thermctl::core

@@ -1,0 +1,104 @@
+#include "core/phase_classifier.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace thermctl::core {
+namespace {
+
+TEST(PhaseClassifier, StableBeforeEnoughSamples) {
+  PhaseClassifier c;
+  for (int i = 0; i < 5; ++i) {
+    c.add_sample(Celsius{40.0});
+  }
+  EXPECT_EQ(c.classify().behaviour, ThermalBehaviour::kStable);
+}
+
+TEST(PhaseClassifier, ConstantIsStable) {
+  PhaseClassifier c;
+  for (int i = 0; i < 32; ++i) {
+    c.add_sample(Celsius{50.0});
+  }
+  const auto report = c.classify();
+  EXPECT_EQ(report.behaviour, ThermalBehaviour::kStable);
+  EXPECT_NEAR(report.trend_c_per_s, 0.0, 1e-9);
+}
+
+TEST(PhaseClassifier, SteepRampIsSudden) {
+  // Type I: 0.5 °C/s sustained — a thermal step response.
+  PhaseClassifier c;
+  for (int i = 0; i < 32; ++i) {
+    c.add_sample(Celsius{40.0 + 0.5 * 0.25 * i});
+  }
+  const auto report = c.classify();
+  EXPECT_EQ(report.behaviour, ThermalBehaviour::kSudden);
+  EXPECT_NEAR(report.trend_c_per_s, 0.5, 0.01);
+}
+
+TEST(PhaseClassifier, SuddenDropAlsoSudden) {
+  PhaseClassifier c;
+  for (int i = 0; i < 32; ++i) {
+    c.add_sample(Celsius{60.0 - 0.6 * 0.25 * i});
+  }
+  EXPECT_EQ(c.classify().behaviour, ThermalBehaviour::kSudden);
+}
+
+TEST(PhaseClassifier, SlowDriftIsGradual) {
+  // Type II: 0.1 °C/s — heatsink-mass charging.
+  PhaseClassifier c;
+  for (int i = 0; i < 32; ++i) {
+    c.add_sample(Celsius{45.0 + 0.1 * 0.25 * i});
+  }
+  EXPECT_EQ(c.classify().behaviour, ThermalBehaviour::kGradual);
+}
+
+TEST(PhaseClassifier, OscillationWithoutTrendIsJitter) {
+  // Type III: ±1 °C square wave around 50 °C.
+  PhaseClassifier c;
+  for (int i = 0; i < 32; ++i) {
+    c.add_sample(Celsius{50.0 + ((i / 2) % 2 == 0 ? 1.0 : -1.0)});
+  }
+  const auto report = c.classify();
+  EXPECT_EQ(report.behaviour, ThermalBehaviour::kJitter);
+  EXPECT_GT(report.swing_c, 1.5);
+  EXPECT_LT(std::abs(report.trend_c_per_s), 0.05);
+}
+
+TEST(PhaseClassifier, TinyQuantizationNoiseIsStableNotJitter) {
+  // 0.25 °C toggles are below the jitter swing threshold — the controller
+  // should see a stable signal, matching the paper's non-response regions.
+  PhaseClassifier c;
+  for (int i = 0; i < 32; ++i) {
+    c.add_sample(Celsius{50.0 + (i % 2 == 0 ? 0.25 : 0.0)});
+  }
+  EXPECT_EQ(c.classify().behaviour, ThermalBehaviour::kStable);
+}
+
+TEST(PhaseClassifier, ReversalRateHighForJitter) {
+  PhaseClassifier c;
+  for (int i = 0; i < 32; ++i) {
+    c.add_sample(Celsius{50.0 + (i % 2 == 0 ? 1.0 : -1.0)});
+  }
+  EXPECT_GT(c.classify().reversal_rate, 0.9);
+}
+
+TEST(PhaseClassifier, ResetForgets) {
+  PhaseClassifier c;
+  for (int i = 0; i < 32; ++i) {
+    c.add_sample(Celsius{40.0 + i});
+  }
+  c.reset();
+  EXPECT_EQ(c.fill(), 0u);
+  EXPECT_EQ(c.classify().behaviour, ThermalBehaviour::kStable);
+}
+
+TEST(PhaseClassifier, ToStringNames) {
+  EXPECT_EQ(to_string(ThermalBehaviour::kSudden), "sudden");
+  EXPECT_EQ(to_string(ThermalBehaviour::kGradual), "gradual");
+  EXPECT_EQ(to_string(ThermalBehaviour::kJitter), "jitter");
+  EXPECT_EQ(to_string(ThermalBehaviour::kStable), "stable");
+}
+
+}  // namespace
+}  // namespace thermctl::core

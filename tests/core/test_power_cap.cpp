@@ -1,0 +1,107 @@
+#include "core/power_cap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller_rig.hpp"
+#include "sysfs/powercap.hpp"
+
+namespace thermctl::core {
+namespace {
+
+using testing::ControllerRig;
+
+struct CapRig : ControllerRig {
+  sysfs::RaplDomain rapl{fs, "/sys/class/powercap", 0, cpu};
+  SimTime now;
+
+  /// One capper interval: advance counters at the CPU's current state.
+  void interval(PowerCapper& capper, double util) {
+    cpu.set_utilization(Utilization{util});
+    cpu.advance_counters(Seconds{1.0});
+    now.advance_us(1000000);
+    capper.on_interval(now);
+  }
+};
+
+PowerCapConfig budget(double w) {
+  PowerCapConfig cfg;
+  cfg.budget = Watts{w};
+  return cfg;
+}
+
+TEST(PowerCap, FirstIntervalPrimes) {
+  CapRig rig;
+  PowerCapper capper{rig.rapl, *rig.cpufreq, budget(45.0)};
+  rig.interval(capper, 1.0);
+  EXPECT_DOUBLE_EQ(rig.cpu.frequency().value(), 2.4);
+}
+
+TEST(PowerCap, StepsDownWhenOverBudget) {
+  CapRig rig;
+  PowerCapper capper{rig.rapl, *rig.cpufreq, budget(45.0)};
+  rig.interval(capper, 1.0);  // prime
+  rig.interval(capper, 1.0);  // ~72 W measured > 45 -> step down
+  EXPECT_DOUBLE_EQ(rig.cpu.frequency().value(), 2.2);
+  EXPECT_GT(capper.last_power_w(), 60.0);
+}
+
+TEST(PowerCap, WalksDownUntilUnderBudget) {
+  CapRig rig;
+  PowerCapper capper{rig.rapl, *rig.cpufreq, budget(45.0)};
+  for (int i = 0; i < 8; ++i) {
+    rig.interval(capper, 1.0);
+  }
+  // Steady state: measured power at the settled frequency is under budget.
+  EXPECT_LE(capper.last_power_w(), 45.0 + 1.0);
+  EXPECT_LT(rig.cpu.frequency().value(), 2.4);
+}
+
+TEST(PowerCap, StepsBackUpWhenLoadDrops) {
+  CapRig rig;
+  PowerCapper capper{rig.rapl, *rig.cpufreq, budget(45.0)};
+  for (int i = 0; i < 8; ++i) {
+    rig.interval(capper, 1.0);  // capped low
+  }
+  const double capped = rig.cpu.frequency().value();
+  for (int i = 0; i < 8; ++i) {
+    rig.interval(capper, 0.1);  // nearly idle: far below budget - margin
+  }
+  EXPECT_GT(rig.cpu.frequency().value(), capped);
+  EXPECT_DOUBLE_EQ(rig.cpu.frequency().value(), 2.4);  // fully restored
+}
+
+TEST(PowerCap, HysteresisPreventsPingPong) {
+  CapRig rig;
+  PowerCapConfig cfg = budget(52.0);
+  cfg.margin = Watts{8.0};
+  PowerCapper capper{rig.rapl, *rig.cpufreq, cfg};
+  for (int i = 0; i < 20; ++i) {
+    rig.interval(capper, 1.0);
+  }
+  // At the settled frequency, power sits inside (budget - margin, budget]:
+  // no further transitions.
+  const auto trans = rig.cpu.transition_count();
+  for (int i = 0; i < 20; ++i) {
+    rig.interval(capper, 1.0);
+  }
+  EXPECT_EQ(rig.cpu.transition_count(), trans);
+}
+
+TEST(PowerCap, TracksOvershootTime) {
+  CapRig rig;
+  PowerCapper capper{rig.rapl, *rig.cpufreq, budget(45.0)};
+  for (int i = 0; i < 8; ++i) {
+    rig.interval(capper, 1.0);
+  }
+  // The first couple of intervals exceeded the budget while stepping down.
+  EXPECT_GT(capper.overshoot_seconds(), 0.5);
+  EXPECT_LT(capper.overshoot_seconds(), 5.0);
+}
+
+TEST(PowerCapDeath, RejectsNonPositiveBudget) {
+  CapRig rig;
+  EXPECT_DEATH(PowerCapper(rig.rapl, *rig.cpufreq, budget(0.0)), "budget");
+}
+
+}  // namespace
+}  // namespace thermctl::core

@@ -1,0 +1,133 @@
+#include "core/predictive_fan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller_rig.hpp"
+#include "sysfs/powercap.hpp"
+
+namespace thermctl::core {
+namespace {
+
+using testing::ControllerRig;
+
+/// Rig with RAPL and a hand-driven power history: counters are advanced by
+/// explicitly stepping the CPU device.
+struct PredictiveRig : ControllerRig {
+  sysfs::RaplDomain rapl{fs, "/sys/class/powercap", 0, cpu};
+
+  /// Simulates 250 ms at a given utilization (power follows instantly) and
+  /// a given temperature, and ticks the controller.
+  template <typename Controller>
+  void quarter_second(Controller& ctl, double util, double temp, SimTime& now) {
+    cpu.set_utilization(Utilization{util});
+    cpu.advance_counters(Seconds{0.25});
+    now.advance_us(250000);
+    tick(ctl, temp, now);
+  }
+};
+
+PredictiveFanConfig paper_cfg(int pp = 50) {
+  PredictiveFanConfig cfg;
+  cfg.base.pp = PolicyParam{pp};
+  return cfg;
+}
+
+TEST(PredictiveFan, QuietWhenPowerAndTemperatureFlat) {
+  PredictiveRig rig;
+  PredictiveFanController ctl{*rig.hwmon, rig.rapl, paper_cfg()};
+  SimTime now;
+  for (int i = 0; i < 40; ++i) {
+    rig.quarter_second(ctl, 0.3, 42.0, now);
+  }
+  EXPECT_EQ(ctl.retarget_count(), 0u);
+  EXPECT_EQ(ctl.current_index(), 0u);
+}
+
+TEST(PredictiveFan, PowerStepTriggersBeforeTemperatureMoves) {
+  // The decisive scenario: utilization jumps 0.1 -> 1.0 but the (scripted)
+  // temperature has not moved yet. History alone would do nothing; the
+  // counter feed-forward must retarget within the first completed round.
+  PredictiveRig rig;
+  PredictiveFanController ctl{*rig.hwmon, rig.rapl, paper_cfg()};
+  SimTime now;
+  for (int i = 0; i < 8; ++i) {  // two quiet rounds to prime power history
+    rig.quarter_second(ctl, 0.1, 40.0, now);
+  }
+  const auto before = ctl.retarget_count();
+  for (int i = 0; i < 4; ++i) {  // one round of full load, temp still flat
+    rig.quarter_second(ctl, 1.0, 40.0, now);
+  }
+  EXPECT_GT(ctl.retarget_count(), before);
+  EXPECT_GT(ctl.feedforward_count(), 0u);
+  EXPECT_GT(ctl.current_index(), 0u);
+}
+
+TEST(PredictiveFan, HistoryOnlyControllerMissesTheSameStep) {
+  // Contrast: the baseline DynamicFanController sees only the flat
+  // temperature and does nothing — the lag the future-work item removes.
+  PredictiveRig rig;
+  FanControlConfig base;
+  base.pp = PolicyParam{50};
+  DynamicFanController ctl{*rig.hwmon, base};
+  SimTime now;
+  for (int i = 0; i < 8; ++i) {
+    rig.quarter_second(ctl, 0.1, 40.0, now);
+  }
+  for (int i = 0; i < 4; ++i) {
+    rig.quarter_second(ctl, 1.0, 40.0, now);
+  }
+  EXPECT_EQ(ctl.retarget_count(), 0u);
+}
+
+TEST(PredictiveFan, PowerDropUnwindsTheFan) {
+  PredictiveRig rig;
+  PredictiveFanController ctl{*rig.hwmon, rig.rapl, paper_cfg()};
+  SimTime now;
+  for (int i = 0; i < 8; ++i) {
+    rig.quarter_second(ctl, 1.0, 50.0, now);
+  }
+  // Push the index up with a couple of hot rounds.
+  for (int i = 0; i < 8; ++i) {
+    rig.quarter_second(ctl, 1.0, 50.0 + 0.5 * i, now);
+  }
+  const std::size_t peak = ctl.current_index();
+  ASSERT_GT(peak, 0u);
+  // Load vanishes; temperature still high but flat — feed-forward unwinds.
+  for (int i = 0; i < 4; ++i) {
+    rig.quarter_second(ctl, 0.05, 53.0, now);
+  }
+  EXPECT_LT(ctl.current_index(), peak);
+}
+
+TEST(PredictiveFan, DeadbandSuppressesMeterNoise) {
+  PredictiveRig rig;
+  PredictiveFanConfig cfg = paper_cfg();
+  cfg.power_deadband_w = 200.0;  // absurdly wide: feed-forward always off
+  PredictiveFanController ctl{*rig.hwmon, rig.rapl, cfg};
+  SimTime now;
+  for (int i = 0; i < 8; ++i) {
+    rig.quarter_second(ctl, 0.1, 40.0, now);
+  }
+  for (int i = 0; i < 8; ++i) {
+    rig.quarter_second(ctl, 1.0, 40.0, now);  // temp flat, power step gated off
+  }
+  EXPECT_EQ(ctl.feedforward_count(), 0u);
+  EXPECT_EQ(ctl.retarget_count(), 0u);
+}
+
+TEST(PredictiveFan, StillRespondsToPlainTemperatureTrends) {
+  // With power flat, it must behave like the baseline controller.
+  PredictiveRig rig;
+  PredictiveFanController ctl{*rig.hwmon, rig.rapl, paper_cfg()};
+  SimTime now;
+  double temp = 40.0;
+  for (int i = 0; i < 60; ++i) {
+    temp += 0.2;
+    rig.quarter_second(ctl, 0.5, temp, now);
+  }
+  EXPECT_GT(ctl.current_index(), 5u);
+  EXPECT_GT(ctl.retarget_count(), 0u);
+}
+
+}  // namespace
+}  // namespace thermctl::core

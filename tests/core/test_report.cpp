@@ -1,0 +1,93 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl::core {
+namespace {
+
+ExperimentResult sample_result() {
+  ExperimentResult r;
+  r.run.exec_time_s = 219.0;
+  r.run.app_completed = true;
+  r.run.summaries.resize(2);
+  r.run.nodes.resize(2);
+  r.run.summaries[0].avg_die_temp = 49.5;
+  r.run.summaries[0].max_die_temp = 52.0;
+  r.run.summaries[0].avg_duty = 55.0;
+  r.run.summaries[0].avg_power_w = 99.8;
+  r.run.summaries[0].freq_transitions = 2;
+  r.run.summaries[1].avg_die_temp = 50.1;
+  r.run.summaries[1].max_die_temp = 53.5;
+  r.run.summaries[1].avg_power_w = 98.2;
+  r.run.summaries[1].prochot_events = 1;
+  r.tdvfs_events.resize(2);
+  r.fan_events.resize(2);
+  r.tdvfs_events[0].push_back(TdvfsEvent{70.0, 2.4, 2.2});
+  r.fan_events[1].push_back(FanEvent{12.0, 10.0, 35.0, false});
+  r.fan_events[1].push_back(FanEvent{80.0, 35.0, 50.0, true});
+  return r;
+}
+
+TEST(Report, VerdictCarriesHeadlineNumbers) {
+  const std::string v = render_verdict(sample_result());
+  EXPECT_NE(v.find("completed"), std::string::npos);
+  EXPECT_NE(v.find("219"), std::string::npos);
+  EXPECT_NE(v.find("53.5"), std::string::npos);  // hottest die
+  EXPECT_NE(v.find("2 frequency transitions"), std::string::npos);
+}
+
+TEST(Report, IncompleteRunSaysSo) {
+  ExperimentResult r = sample_result();
+  r.run.app_completed = false;
+  EXPECT_NE(render_verdict(r).find("horizon reached"), std::string::npos);
+}
+
+TEST(Report, PerNodeTableListsEveryNode) {
+  const std::string report = render_report(sample_result());
+  EXPECT_NE(report.find("node0"), std::string::npos);
+  EXPECT_NE(report.find("node1"), std::string::npos);
+  EXPECT_NE(report.find("49.5"), std::string::npos);
+}
+
+TEST(Report, TimelineMergedAndSorted) {
+  const std::string report = render_report(sample_result());
+  const auto fan_first = report.find("fan 10% -> 35% duty");
+  const auto dvfs = report.find("tDVFS 2.4 -> 2.2 GHz");
+  const auto fan_second = report.find("fan 35% -> 50% duty (gradual)");
+  ASSERT_NE(fan_first, std::string::npos);
+  ASSERT_NE(dvfs, std::string::npos);
+  ASSERT_NE(fan_second, std::string::npos);
+  EXPECT_LT(fan_first, dvfs);
+  EXPECT_LT(dvfs, fan_second);
+}
+
+TEST(Report, EventCapAnnounced) {
+  ExperimentResult r = sample_result();
+  for (int i = 0; i < 40; ++i) {
+    r.fan_events[0].push_back(FanEvent{100.0 + i, 10.0, 11.0, false});
+  }
+  ReportOptions opts;
+  opts.max_events = 5;
+  const std::string report = render_report(r, opts);
+  EXPECT_NE(report.find("first 5 of"), std::string::npos);
+}
+
+TEST(Report, SectionsSuppressible) {
+  ReportOptions opts;
+  opts.per_node = false;
+  opts.events = false;
+  const std::string report = render_report(sample_result(), opts);
+  EXPECT_EQ(report.find("node0"), std::string::npos);
+  EXPECT_EQ(report.find("timeline"), std::string::npos);
+  EXPECT_NE(report.find("completed"), std::string::npos);
+}
+
+TEST(Report, EmptyEventsNoTimelineHeader) {
+  ExperimentResult r = sample_result();
+  r.tdvfs_events.assign(2, {});
+  r.fan_events.assign(2, {});
+  EXPECT_EQ(render_report(r).find("timeline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace thermctl::core

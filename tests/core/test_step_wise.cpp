@@ -1,0 +1,120 @@
+#include "core/step_wise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sysfs/thermal_zone.hpp"
+#include "sysfs/vfs.hpp"
+
+namespace thermctl::core {
+namespace {
+
+struct StepWiseRig {
+  sysfs::VirtualFs fs;
+  double truth = 45.0;
+  sysfs::ThermalZone zone{fs, "/sys/class/thermal", 0, "test",
+                          [this] { return Celsius{truth}; }};
+  double fan_duty = 10.0;
+  sysfs::FanCoolingAdapter fan{[this](DutyCycle d) {
+                                 fan_duty = d.percent();
+                                 return true;
+                               },
+                               DutyCycle{10.0}, DutyCycle{100.0}, 9};
+
+  StepWiseRig() {
+    zone.add_trip({Celsius{51.0}, sysfs::TripType::kPassive});
+    zone.add_trip({Celsius{90.0}, sysfs::TripType::kCritical});
+    zone.bind(&fan);
+  }
+
+  void feed(StepWiseGovernor& gov, std::initializer_list<double> temps) {
+    SimTime now;
+    for (double t : temps) {
+      truth = t;
+      now.advance_us(250000);
+      gov.on_sample(now);
+    }
+  }
+};
+
+TEST(StepWise, HoldsBelowTrip) {
+  StepWiseRig rig;
+  StepWiseGovernor gov{rig.zone};
+  rig.feed(gov, {45.0, 45.5, 46.0, 45.0, 44.0});
+  EXPECT_EQ(gov.steps_up(), 0u);
+  EXPECT_EQ(rig.fan.cooling_state(), 0);
+}
+
+TEST(StepWise, StepsUpWhenAboveTripAndRising) {
+  StepWiseRig rig;
+  StepWiseGovernor gov{rig.zone};
+  rig.feed(gov, {50.0, 51.5, 52.0, 52.5});
+  EXPECT_GE(gov.steps_up(), 2u);
+  EXPECT_GE(rig.fan.cooling_state(), 2);
+  EXPECT_GT(rig.fan_duty, 10.0);
+}
+
+TEST(StepWise, HoldsWhenAboveTripButStable) {
+  StepWiseRig rig;
+  StepWiseGovernor gov{rig.zone};
+  rig.feed(gov, {52.0, 52.5});  // climb above trip
+  const long state = rig.fan.cooling_state();
+  rig.feed(gov, {52.5, 52.5, 52.5, 52.5});  // flat
+  EXPECT_EQ(rig.fan.cooling_state(), state);
+}
+
+TEST(StepWise, StepsDownWhenBelowTripAndFalling) {
+  StepWiseRig rig;
+  StepWiseGovernor gov{rig.zone};
+  rig.feed(gov, {51.5, 52.0, 52.5, 53.0});  // wind up
+  const long peak = rig.fan.cooling_state();
+  ASSERT_GT(peak, 0);
+  rig.feed(gov, {50.0, 49.0, 48.0, 47.0});  // cool and falling
+  EXPECT_LT(rig.fan.cooling_state(), peak);
+  EXPECT_GE(gov.steps_down(), 1u);
+}
+
+TEST(StepWise, NeverExceedsDeviceBounds) {
+  StepWiseRig rig;
+  StepWiseGovernor gov{rig.zone};
+  SimTime now;
+  for (int i = 0; i < 50; ++i) {  // relentless rise
+    rig.truth = 52.0 + i;
+    now.advance_us(250000);
+    gov.on_sample(now);
+  }
+  EXPECT_EQ(rig.fan.cooling_state(), rig.fan.max_cooling_state());
+  for (int i = 0; i < 50; ++i) {  // relentless fall
+    rig.truth = 50.0 - i * 0.5;
+    now.advance_us(250000);
+    gov.on_sample(now);
+  }
+  EXPECT_EQ(rig.fan.cooling_state(), 0);
+}
+
+TEST(StepWise, CriticalTripCountedOnce) {
+  StepWiseRig rig;
+  StepWiseGovernor gov{rig.zone};
+  rig.feed(gov, {89.0, 91.0, 92.0, 93.0});  // one sustained crossing
+  EXPECT_EQ(gov.critical_crossings(), 1);
+  rig.feed(gov, {85.0, 91.0});  // drop below, cross again
+  EXPECT_EQ(gov.critical_crossings(), 2);
+}
+
+TEST(StepWise, DrivesMultipleDevicesTogether) {
+  StepWiseRig rig;
+  long dvfs_khz = 2400000;
+  sysfs::DvfsCoolingAdapter dvfs{[&dvfs_khz](long khz) {
+                                   dvfs_khz = khz;
+                                   return true;
+                                 },
+                                 {2400000, 2200000, 2000000, 1800000, 1000000}};
+  rig.zone.bind(&dvfs);
+  StepWiseGovernor gov{rig.zone};
+  rig.feed(gov, {51.5, 52.0, 52.5});
+  EXPECT_GT(rig.fan.cooling_state(), 0);
+  EXPECT_GT(dvfs.cooling_state(), 0);
+  EXPECT_LT(dvfs_khz, 2400000);
+}
+
+}  // namespace
+}  // namespace thermctl::core

@@ -1,0 +1,102 @@
+#include "core/tempest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace thermctl::core {
+namespace {
+
+using cluster::ActivityCode;
+
+cluster::NodeSeries scripted_series() {
+  // 10 samples compute heating +0.5/sample, 10 samples comm cooling -0.2.
+  cluster::NodeSeries s;
+  double temp = 40.0;
+  for (int i = 0; i < 10; ++i) {
+    s.die_temp.push_back(temp += 0.5);
+    s.util.push_back(1.0);
+    s.activity.push_back(static_cast<double>(static_cast<int>(ActivityCode::kCompute)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    s.die_temp.push_back(temp -= 0.2);
+    s.util.push_back(0.35);
+    s.activity.push_back(static_cast<double>(static_cast<int>(ActivityCode::kCommunicate)));
+  }
+  return s;
+}
+
+TEST(Tempest, AttributesHeatingToCompute) {
+  const TempestReport r = attribute_heat(scripted_series(), 0.25);
+  const auto& compute = r.by_activity[static_cast<std::size_t>(ActivityCode::kCompute)];
+  const auto& comm = r.by_activity[static_cast<std::size_t>(ActivityCode::kCommunicate)];
+  EXPECT_NEAR(compute.heating_c, 4.5, 1e-9);  // 9 deltas of +0.5
+  EXPECT_NEAR(compute.cooling_c, 0.0, 1e-9);
+  // The compute->comm boundary sample carries one cooling delta; 9 more follow.
+  EXPECT_NEAR(comm.cooling_c, 2.0, 1e-9);
+  EXPECT_EQ(r.hottest, ActivityCode::kCompute);
+  EXPECT_NEAR(r.total_heating_c, 4.5, 1e-9);
+}
+
+TEST(Tempest, TimeAndUtilizationBookkeeping) {
+  const TempestReport r = attribute_heat(scripted_series(), 0.25);
+  const auto& compute = r.by_activity[static_cast<std::size_t>(ActivityCode::kCompute)];
+  const auto& comm = r.by_activity[static_cast<std::size_t>(ActivityCode::kCommunicate)];
+  // 19 counted samples (first sample has no delta): 9 compute + 10 comm.
+  EXPECT_NEAR(compute.time_s, 9 * 0.25, 1e-9);
+  EXPECT_NEAR(comm.time_s, 10 * 0.25, 1e-9);
+  EXPECT_NEAR(compute.avg_util, 1.0, 1e-9);
+  EXPECT_NEAR(comm.avg_util, 0.35, 1e-9);
+  EXPECT_NEAR(compute.time_share + comm.time_share, 1.0, 1e-9);
+}
+
+TEST(Tempest, EmptySeriesIsEmptyReport) {
+  const TempestReport r = attribute_heat(cluster::NodeSeries{}, 0.25);
+  EXPECT_DOUBLE_EQ(r.total_heating_c, 0.0);
+  EXPECT_EQ(r.hottest, ActivityCode::kNone);
+}
+
+TEST(Tempest, RenderNamesActivities) {
+  const std::string text = render_tempest(attribute_heat(scripted_series(), 0.25));
+  EXPECT_NE(text.find("compute"), std::string::npos);
+  EXPECT_NE(text.find("communicate"), std::string::npos);
+  EXPECT_NE(text.find("hot spot: compute"), std::string::npos);
+}
+
+TEST(Tempest, EndToEndBtAttribution) {
+  // On a real (mini) BT run, compute must dominate both time and heating —
+  // the §3.1 premise that CPU-intensive phases are what heat the die.
+  ExperimentConfig cfg = paper_platform();
+  cfg.workload = WorkloadKind::kNpbBt;
+  cfg.npb_iterations_override = 40;
+  cfg.fan = FanPolicyKind::kConstantDuty;
+  cfg.constant_duty = DutyCycle{40.0};
+  const ExperimentResult result = run_experiment(cfg);
+
+  const TempestReport r = attribute_heat(result.run.nodes[0], 0.25);
+  const auto& compute = r.by_activity[static_cast<std::size_t>(ActivityCode::kCompute)];
+  const auto& comm = r.by_activity[static_cast<std::size_t>(ActivityCode::kCommunicate)];
+  EXPECT_EQ(r.hottest, ActivityCode::kCompute);
+  EXPECT_GT(compute.time_share, 0.5);
+  EXPECT_GT(compute.heating_c, comm.heating_c);
+  EXPECT_GT(compute.avg_util, 0.9);
+  EXPECT_LT(comm.avg_util, 0.6);
+}
+
+TEST(Tempest, ActivityRecordedOnlyForAppNodes) {
+  ExperimentConfig cfg = paper_platform();
+  cfg.nodes = 1;
+  cfg.workload = WorkloadKind::kFig2Profile;  // segment load, no app
+  cfg.engine.horizon = Seconds{20.0};
+  const ExperimentResult result = run_experiment(cfg);
+  for (double a : result.run.nodes[0].activity) {
+    EXPECT_EQ(static_cast<int>(a), 0);  // kNone throughout
+  }
+}
+
+TEST(TempestDeath, RejectsNonPositiveDt) {
+  EXPECT_DEATH((void)attribute_heat(cluster::NodeSeries{}, 0.0), "positive");
+}
+
+}  // namespace
+}  // namespace thermctl::core

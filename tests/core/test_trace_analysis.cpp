@@ -1,0 +1,127 @@
+#include "core/trace_analysis.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace thermctl::core {
+namespace {
+
+// 4 Hz sample spacing throughout.
+constexpr double kDt = 0.25;
+
+std::vector<double> concat(std::initializer_list<std::vector<double>> parts) {
+  std::vector<double> out;
+  for (const auto& p : parts) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+std::vector<double> flat(double level, int n) { return std::vector<double>(n, level); }
+
+std::vector<double> ramp(double from, double to, int n) {
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(from + (to - from) * i / (n - 1));
+  }
+  return out;
+}
+
+std::vector<double> square(double mean, double amp, int n, int half_period) {
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(mean + ((i / half_period) % 2 == 0 ? amp : -amp));
+  }
+  return out;
+}
+
+TEST(TraceAnalysis, EmptyTraceIsEmpty) {
+  const TraceAnalysis a = analyze_trace({}, kDt);
+  EXPECT_TRUE(a.segments.empty());
+}
+
+TEST(TraceAnalysis, FlatTraceIsOneStableSegment) {
+  const auto trace = flat(45.0, 200);
+  const TraceAnalysis a = analyze_trace(trace, kDt);
+  ASSERT_EQ(a.segments.size(), 1u);
+  EXPECT_EQ(a.segments[0].behaviour, ThermalBehaviour::kStable);
+  EXPECT_NEAR(a.fraction_stable, 1.0, 1e-9);
+  EXPECT_NEAR(a.trending_delta_c, 0.0, 1e-9);
+}
+
+TEST(TraceAnalysis, DetectsSuddenRise) {
+  // Idle, then a steep 10 degC climb over 20 s (0.5 degC/s), then plateau.
+  const auto trace = concat({flat(40.0, 100), ramp(40.0, 50.0, 80), flat(50.0, 100)});
+  const TraceAnalysis a = analyze_trace(trace, kDt);
+  EXPECT_GT(a.fraction_sudden, 0.1);
+  // The net trending movement accounts for (most of) the 10 degC climb.
+  EXPECT_GT(a.trending_delta_c, 6.0);
+  bool has_sudden = false;
+  for (const auto& seg : a.segments) {
+    if (seg.behaviour == ThermalBehaviour::kSudden) {
+      has_sudden = true;
+      EXPECT_GT(seg.temp_end, seg.temp_begin + 2.0);
+    }
+  }
+  EXPECT_TRUE(has_sudden);
+}
+
+TEST(TraceAnalysis, DetectsGradualDrift) {
+  // 0.1 degC/s for 2 minutes: below the sudden threshold, above gradual.
+  const auto trace = concat({flat(45.0, 80), ramp(45.0, 57.0, 480), flat(57.0, 80)});
+  const TraceAnalysis a = analyze_trace(trace, kDt);
+  EXPECT_GT(a.fraction_gradual, 0.4);
+}
+
+TEST(TraceAnalysis, DetectsJitterWithoutTrendContribution) {
+  const auto trace = concat({flat(48.0, 80), square(48.0, 1.2, 200, 4), flat(48.0, 80)});
+  const TraceAnalysis a = analyze_trace(trace, kDt);
+  EXPECT_GT(a.fraction_jitter, 0.3);
+  // Jitter moves no net temperature (§3.1: "type III does not").
+  EXPECT_NEAR(a.trending_delta_c, 0.0, 1.5);
+}
+
+TEST(TraceAnalysis, SegmentsPartitionTheTrace) {
+  const auto trace = concat({flat(40.0, 60), ramp(40.0, 52.0, 60), square(52.0, 1.0, 80, 4),
+                             ramp(52.0, 44.0, 200)});
+  const TraceAnalysis a = analyze_trace(trace, kDt);
+  ASSERT_FALSE(a.segments.empty());
+  EXPECT_EQ(a.segments.front().begin, 0u);
+  EXPECT_EQ(a.segments.back().end, trace.size());
+  for (std::size_t i = 1; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i].begin, a.segments[i - 1].end);
+    EXPECT_NE(a.segments[i].behaviour, a.segments[i - 1].behaviour);
+  }
+  const double total =
+      a.fraction_stable + a.fraction_sudden + a.fraction_gradual + a.fraction_jitter;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(TraceAnalysis, DebounceMergesFlicker) {
+  TraceAnalysisConfig cfg;
+  cfg.min_segment_samples = 16;
+  const auto trace = concat({flat(45.0, 200), ramp(45.0, 45.8, 6), flat(45.8, 200)});
+  const TraceAnalysis a = analyze_trace(trace, kDt, cfg);
+  // The 6-sample blip cannot form its own segment.
+  for (const auto& seg : a.segments) {
+    EXPECT_GE(seg.end - seg.begin, 7u);
+  }
+}
+
+TEST(TraceAnalysis, RenderListsSegmentsAndShares) {
+  const auto trace = concat({flat(40.0, 100), ramp(40.0, 50.0, 80), flat(50.0, 100)});
+  const std::string text = render_analysis(analyze_trace(trace, kDt));
+  EXPECT_NE(text.find("sudden"), std::string::npos);
+  EXPECT_NE(text.find("time share"), std::string::npos);
+  EXPECT_NE(text.find("net trending movement"), std::string::npos);
+}
+
+TEST(TraceAnalysisDeath, RejectsNonPositiveDt) {
+  const std::vector<double> trace{1.0, 2.0};
+  EXPECT_DEATH(analyze_trace(trace, 0.0), "positive");
+}
+
+}  // namespace
+}  // namespace thermctl::core

@@ -1,0 +1,76 @@
+#include "core/unified_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller_rig.hpp"
+
+namespace thermctl::core {
+namespace {
+
+using testing::ControllerRig;
+
+UnifiedConfig paper_unified(int pp) {
+  UnifiedConfig cfg;
+  cfg.pp = PolicyParam{pp};
+  cfg.tdvfs.threshold = Celsius{51.0};
+  return cfg;
+}
+
+TEST(Unified, OnePpFlowsToBothTechniques) {
+  ControllerRig rig;
+  UnifiedController uc{*rig.hwmon, *rig.cpufreq, paper_unified(25)};
+  EXPECT_EQ(uc.fan().array().policy().value, 25);
+  EXPECT_EQ(uc.dvfs().array().policy().value, 25);
+}
+
+TEST(Unified, FanActsBelowThresholdDvfsDoesNot) {
+  ControllerRig rig;
+  UnifiedController uc{*rig.hwmon, *rig.cpufreq, paper_unified(50)};
+  SimTime now;
+  double temp = 40.0;
+  for (int i = 0; i < 40; ++i) {  // rise to 48 °C — warm but under threshold
+    now.advance_us(250000);
+    temp += 0.2;
+    rig.tick(uc, temp, now);
+  }
+  EXPECT_GT(uc.fan().current_index(), 0u);          // out-of-band responded
+  EXPECT_DOUBLE_EQ(rig.cpu.frequency().value(), 2.4);  // in-band untouched
+  EXPECT_DOUBLE_EQ(uc.first_dvfs_trigger_s(), -1.0);
+}
+
+TEST(Unified, DvfsEngagesWhenFanInsufficient) {
+  ControllerRig rig;
+  UnifiedController uc{*rig.hwmon, *rig.cpufreq, paper_unified(50)};
+  rig.run_flat(uc, 54.0, 24);  // hot despite the fan (scripted temperature)
+  EXPECT_LT(rig.cpu.frequency().value(), 2.4);
+  EXPECT_GT(uc.first_dvfs_trigger_s(), 0.0);
+}
+
+TEST(Unified, SetPolicyUpdatesBoth) {
+  ControllerRig rig;
+  UnifiedController uc{*rig.hwmon, *rig.cpufreq, paper_unified(50)};
+  uc.set_policy(PolicyParam{80});
+  EXPECT_EQ(uc.fan().array().policy().value, 80);
+  EXPECT_EQ(uc.dvfs().array().policy().value, 80);
+}
+
+TEST(Unified, SharedSensorStreamKeepsWindowsInPhase) {
+  // Both sub-controllers complete rounds on the same samples; the fan must
+  // retarget before or at the same tick the DVFS trigger fires (fan-first
+  // ordering within on_sample).
+  ControllerRig rig;
+  UnifiedController uc{*rig.hwmon, *rig.cpufreq, paper_unified(50)};
+  SimTime now;
+  double temp = 46.0;
+  for (int i = 0; i < 60 && uc.first_dvfs_trigger_s() < 0.0; ++i) {
+    now.advance_us(250000);
+    temp += 0.15;
+    rig.tick(uc, temp, now);
+  }
+  ASSERT_GT(uc.first_dvfs_trigger_s(), 0.0);
+  ASSERT_FALSE(uc.fan().events().empty());
+  EXPECT_LE(uc.fan().events().front().time_s, uc.first_dvfs_trigger_s());
+}
+
+}  // namespace
+}  // namespace thermctl::core

@@ -1,0 +1,120 @@
+#include "hw/i2c.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl::hw {
+namespace {
+
+/// A trivial 4-register device for protocol tests.
+class ScratchDevice final : public I2cSlave {
+ public:
+  std::optional<std::uint8_t> read_register(std::uint8_t reg) override {
+    if (reg >= 4) {
+      return std::nullopt;
+    }
+    return regs_[reg];
+  }
+  bool write_register(std::uint8_t reg, std::uint8_t value) override {
+    if (reg >= 4 || reg == 3) {  // register 3 is read-only
+      return false;
+    }
+    regs_[reg] = value;
+    return true;
+  }
+
+ private:
+  std::uint8_t regs_[4] = {0xAA, 0xBB, 0xCC, 0xDD};
+};
+
+TEST(I2cBus, ReadWriteRoundTrip) {
+  I2cBus bus;
+  ScratchDevice dev;
+  bus.attach(0x2E, &dev);
+  EXPECT_EQ(bus.write_byte_data(0x2E, 1, 0x42), I2cStatus::kOk);
+  std::uint8_t out = 0;
+  EXPECT_EQ(bus.read_byte_data(0x2E, 1, out), I2cStatus::kOk);
+  EXPECT_EQ(out, 0x42);
+}
+
+TEST(I2cBus, AbsentAddressNaks) {
+  I2cBus bus;
+  std::uint8_t out = 0;
+  EXPECT_EQ(bus.read_byte_data(0x10, 0, out), I2cStatus::kAddressNak);
+  EXPECT_EQ(bus.write_byte_data(0x10, 0, 1), I2cStatus::kAddressNak);
+}
+
+TEST(I2cBus, RegisterNakPropagates) {
+  I2cBus bus;
+  ScratchDevice dev;
+  bus.attach(0x2E, &dev);
+  std::uint8_t out = 0;
+  EXPECT_EQ(bus.read_byte_data(0x2E, 9, out), I2cStatus::kRegisterNak);
+  EXPECT_EQ(bus.write_byte_data(0x2E, 3, 1), I2cStatus::kRegisterNak);  // read-only
+}
+
+TEST(I2cBus, BusFaultFailsEverything) {
+  I2cBus bus;
+  ScratchDevice dev;
+  bus.attach(0x2E, &dev);
+  bus.inject_bus_fault();
+  std::uint8_t out = 0;
+  EXPECT_EQ(bus.read_byte_data(0x2E, 0, out), I2cStatus::kBusFault);
+  EXPECT_EQ(bus.write_byte_data(0x2E, 0, 1), I2cStatus::kBusFault);
+  bus.clear_bus_fault();
+  EXPECT_EQ(bus.read_byte_data(0x2E, 0, out), I2cStatus::kOk);
+}
+
+TEST(I2cBus, DetachRemovesDevice) {
+  I2cBus bus;
+  ScratchDevice dev;
+  bus.attach(0x2E, &dev);
+  bus.detach(0x2E);
+  std::uint8_t out = 0;
+  EXPECT_EQ(bus.read_byte_data(0x2E, 0, out), I2cStatus::kAddressNak);
+}
+
+TEST(I2cBus, TransactionLogRecordsEverything) {
+  I2cBus bus;
+  ScratchDevice dev;
+  bus.attach(0x2E, &dev);
+  bus.clear_log();
+  std::uint8_t out = 0;
+  bus.read_byte_data(0x2E, 0, out);
+  bus.write_byte_data(0x2E, 1, 0x55);
+  bus.read_byte_data(0x30, 0, out);  // NAK
+  ASSERT_EQ(bus.log().size(), 3u);
+  EXPECT_FALSE(bus.log()[0].is_write);
+  EXPECT_EQ(bus.log()[0].value, 0xAA);
+  EXPECT_TRUE(bus.log()[1].is_write);
+  EXPECT_EQ(bus.log()[1].value, 0x55);
+  EXPECT_EQ(bus.log()[2].status, I2cStatus::kAddressNak);
+}
+
+TEST(I2cBus, LogCapEvictsOldEntries) {
+  I2cBus bus;
+  ScratchDevice dev;
+  bus.attach(0x2E, &dev);
+  bus.set_log_limit(16);
+  std::uint8_t out = 0;
+  for (int i = 0; i < 100; ++i) {
+    bus.read_byte_data(0x2E, 0, out);
+  }
+  EXPECT_LE(bus.log().size(), 16u);
+}
+
+TEST(I2cBusDeath, DoubleAttachAborts) {
+  I2cBus bus;
+  ScratchDevice a;
+  ScratchDevice b;
+  bus.attach(0x2E, &a);
+  EXPECT_DEATH(bus.attach(0x2E, &b), "in use");
+}
+
+TEST(I2cBusDeath, EightBitAddressAborts) {
+  I2cBus bus;
+  ScratchDevice dev;
+  EXPECT_DEATH(bus.attach(0x80, &dev), "7-bit");
+}
+
+}  // namespace
+}  // namespace thermctl::hw

@@ -1,0 +1,70 @@
+#include "hw/power_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl::hw {
+namespace {
+
+TEST(PowerMeter, ReadIncludesBaseLoadAndPsuLoss) {
+  PowerMeterParams params;
+  params.base_load = Watts{42.0};
+  params.psu_efficiency = 0.84;
+  PowerMeter meter{[] { return Watts{42.0}; }, params};
+  // AC = (42 + 42) / 0.84 = 100 W exactly.
+  EXPECT_NEAR(meter.read().value(), 100.0, 0.11);
+}
+
+TEST(PowerMeter, ResolutionRounding) {
+  PowerMeterParams params;
+  params.base_load = Watts{0.0};
+  params.psu_efficiency = 1.0;
+  params.resolution_watts = 0.5;
+  PowerMeter meter{[] { return Watts{10.26}; }, params};
+  EXPECT_DOUBLE_EQ(meter.read().value(), 10.5);
+}
+
+TEST(PowerMeter, EnergyIntegration) {
+  PowerMeterParams params;
+  params.base_load = Watts{50.0};
+  params.psu_efficiency = 1.0;
+  PowerMeter meter{[] { return Watts{50.0}; }, params};
+  for (int i = 0; i < 100; ++i) {
+    meter.integrate(Seconds{0.1});
+  }
+  EXPECT_NEAR(meter.energy().value(), 1000.0, 1e-6);  // 100 W * 10 s
+  EXPECT_NEAR(meter.average_power().value(), 100.0, 1e-9);
+}
+
+TEST(PowerMeter, AverageTracksVaryingLoad) {
+  double load = 0.0;
+  PowerMeterParams params;
+  params.base_load = Watts{0.0};
+  params.psu_efficiency = 1.0;
+  PowerMeter meter{[&load] { return Watts{load}; }, params};
+  load = 30.0;
+  meter.integrate(Seconds{10.0});
+  load = 90.0;
+  meter.integrate(Seconds{10.0});
+  EXPECT_NEAR(meter.average_power().value(), 60.0, 1e-9);
+}
+
+TEST(PowerMeter, ResetClearsIntegrals) {
+  PowerMeter meter{[] { return Watts{10.0}; }};
+  meter.integrate(Seconds{5.0});
+  meter.reset();
+  EXPECT_DOUBLE_EQ(meter.energy().value(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.average_power().value(), 0.0);
+}
+
+TEST(PowerMeterDeath, RejectsNullLoad) {
+  EXPECT_DEATH(PowerMeter(nullptr), "load");
+}
+
+TEST(PowerMeterDeath, RejectsBadEfficiency) {
+  PowerMeterParams params;
+  params.psu_efficiency = 0.0;
+  EXPECT_DEATH(PowerMeter([] { return Watts{0.0}; }, params), "efficiency");
+}
+
+}  // namespace
+}  // namespace thermctl::hw

@@ -1,0 +1,117 @@
+#include "hw/thermal_sensor.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace thermctl::hw {
+namespace {
+
+SensorParams noiseless() {
+  SensorParams p;
+  p.noise_sigma_degc = 0.0;
+  p.quantization_degc = 0.25;
+  return p;
+}
+
+TEST(ThermalSensor, QuantizesToStep) {
+  double truth = 42.37;
+  ThermalSensor s{[&truth] { return Celsius{truth}; }, noiseless(), Rng{1}};
+  EXPECT_DOUBLE_EQ(s.sample().value(), 42.25);
+  truth = 42.40;
+  EXPECT_DOUBLE_EQ(s.sample().value(), 42.50);
+}
+
+TEST(ThermalSensor, CoarseQuantization) {
+  SensorParams p = noiseless();
+  p.quantization_degc = 1.0;  // k8temp-style integer reporting
+  ThermalSensor s{[] { return Celsius{51.6}; }, p, Rng{1}};
+  EXPECT_DOUBLE_EQ(s.sample().value(), 52.0);
+}
+
+TEST(ThermalSensor, OffsetApplied) {
+  SensorParams p = noiseless();
+  p.offset_degc = 2.0;
+  ThermalSensor s{[] { return Celsius{40.0}; }, p, Rng{1}};
+  EXPECT_DOUBLE_EQ(s.sample().value(), 42.0);
+}
+
+TEST(ThermalSensor, SampleAndHold) {
+  double truth = 40.0;
+  ThermalSensor s{[&truth] { return Celsius{truth}; }, noiseless(), Rng{1}};
+  s.sample();
+  truth = 60.0;
+  // last_reading() must not resample.
+  EXPECT_DOUBLE_EQ(s.last_reading().value(), 40.0);
+  EXPECT_DOUBLE_EQ(s.sample().value(), 60.0);
+}
+
+TEST(ThermalSensor, NoiseIsZeroMeanAndBounded) {
+  SensorParams p;
+  p.noise_sigma_degc = 0.18;
+  p.quantization_degc = 0.25;
+  ThermalSensor s{[] { return Celsius{50.0}; }, p, Rng{42}};
+  double sum = 0.0;
+  double max_dev = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const double v = s.sample().value();
+    sum += v;
+    max_dev = std::max(max_dev, std::abs(v - 50.0));
+  }
+  EXPECT_NEAR(sum / n, 50.0, 0.02);
+  EXPECT_LT(max_dev, 1.5);  // ~8 sigma; no wild outliers
+  EXPECT_GT(max_dev, 0.2);  // noise actually present (jitter source)
+}
+
+TEST(ThermalSensor, NoiseProducesTypeIIIJitter) {
+  // Quantized noisy readings of a constant temperature must toggle between
+  // adjacent codes — the Type III signature the controller must ignore.
+  SensorParams p;
+  p.noise_sigma_degc = 0.18;
+  ThermalSensor s{[] { return Celsius{50.1}; }, p, Rng{7}};
+  int distinct_transitions = 0;
+  double prev = s.sample().value();
+  for (int i = 0; i < 200; ++i) {
+    const double v = s.sample().value();
+    if (v != prev) {
+      ++distinct_transitions;
+    }
+    prev = v;
+  }
+  EXPECT_GT(distinct_transitions, 10);
+}
+
+TEST(ThermalSensor, StuckFaultFreezesReading) {
+  double truth = 40.0;
+  ThermalSensor s{[&truth] { return Celsius{truth}; }, noiseless(), Rng{1}};
+  s.sample();
+  s.inject_stuck_fault();
+  truth = 80.0;
+  EXPECT_DOUBLE_EQ(s.sample().value(), 40.0);  // frozen
+  s.clear_fault();
+  EXPECT_DOUBLE_EQ(s.sample().value(), 80.0);
+}
+
+TEST(ThermalSensor, DeterministicGivenSeed) {
+  SensorParams p;
+  p.noise_sigma_degc = 0.2;
+  ThermalSensor a{[] { return Celsius{45.0}; }, p, Rng{99}};
+  ThermalSensor b{[] { return Celsius{45.0}; }, p, Rng{99}};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.sample().value(), b.sample().value());
+  }
+}
+
+TEST(ThermalSensorDeath, RejectsNullSource) {
+  EXPECT_DEATH(ThermalSensor(nullptr, SensorParams{}, Rng{1}), "source");
+}
+
+TEST(ThermalSensorDeath, RejectsNonPositiveQuantization) {
+  SensorParams p;
+  p.quantization_degc = 0.0;
+  EXPECT_DEATH(ThermalSensor([] { return Celsius{0.0}; }, p, Rng{1}), "quantization");
+}
+
+}  // namespace
+}  // namespace thermctl::hw

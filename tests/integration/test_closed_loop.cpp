@@ -1,0 +1,154 @@
+// Closed-loop integration tests: miniature versions of the paper's
+// experiments run through the full stack (workload → CPU → RC thermal →
+// sensor → controller → i2c → fan), asserting the *shape* results the
+// evaluation section reports.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace thermctl::core {
+namespace {
+
+ExperimentConfig base_burn(int pp, double max_duty, double seconds = 120.0) {
+  ExperimentConfig cfg = paper_platform();
+  cfg.nodes = 1;
+  cfg.workload = WorkloadKind::kCpuBurn;
+  cfg.cpu_burn_duration = Seconds{seconds};
+  cfg.fan = FanPolicyKind::kDynamic;
+  cfg.pp = PolicyParam{pp};
+  cfg.max_duty = DutyCycle{max_duty};
+  return cfg;
+}
+
+TEST(ClosedLoop, CpuBurnCompletesOnSchedule) {
+  const ExperimentResult r = run_experiment(base_burn(50, 100.0, 60.0));
+  EXPECT_TRUE(r.run.app_completed);
+  // cpu-burn is pure compute at 2.4 GHz with no DVFS: exactly 60 s.
+  EXPECT_NEAR(r.run.exec_time_s, 60.0, 0.5);
+}
+
+TEST(ClosedLoop, DynamicFanRespondsToBurn) {
+  const ExperimentResult r = run_experiment(base_burn(50, 100.0));
+  // The fan must have spun up from its initial bottom mode...
+  EXPECT_GT(r.run.summaries[0].avg_duty, 5.0);
+  EXPECT_FALSE(r.fan_events[0].empty());
+  // ...and temperature must stay inside the safe band.
+  EXPECT_LT(r.run.max_die_temp(), 70.0);
+  EXPECT_EQ(r.run.summaries[0].prochot_events, 0);
+}
+
+TEST(ClosedLoop, SmallerPpCoolerButMoreFanDuty) {
+  // Fig. 5's ordering, end to end.
+  const ExperimentResult aggressive = run_experiment(base_burn(25, 100.0));
+  const ExperimentResult weak = run_experiment(base_burn(75, 100.0));
+  EXPECT_GT(aggressive.run.summaries[0].avg_duty, weak.run.summaries[0].avg_duty + 5.0);
+  EXPECT_LT(aggressive.run.avg_die_temp(), weak.run.avg_die_temp());
+}
+
+TEST(ClosedLoop, DynamicBeatsStaticOnAverageTemperature) {
+  // Fig. 6: the proactive controller stabilizes lower than the reactive
+  // static curve under the same 75% ceiling.
+  ExperimentConfig dynamic_cfg = base_burn(50, 75.0);
+  ExperimentConfig static_cfg = dynamic_cfg;
+  static_cfg.fan = FanPolicyKind::kStaticCurve;
+  const ExperimentResult dyn = run_experiment(dynamic_cfg);
+  const ExperimentResult sta = run_experiment(static_cfg);
+  EXPECT_LT(dyn.run.avg_die_temp(), sta.run.avg_die_temp() + 0.5);
+}
+
+TEST(ClosedLoop, ConstantFanCoolestButMostFanPower) {
+  // Fig. 6's third series: constant 75% duty.
+  ExperimentConfig constant_cfg = base_burn(50, 75.0);
+  constant_cfg.fan = FanPolicyKind::kConstantDuty;
+  constant_cfg.constant_duty = DutyCycle{75.0};
+  const ExperimentResult con = run_experiment(constant_cfg);
+  const ExperimentResult dyn = run_experiment(base_burn(50, 75.0));
+  EXPECT_LE(con.run.avg_die_temp(), dyn.run.avg_die_temp() + 0.25);
+  EXPECT_GT(con.run.summaries[0].avg_duty, dyn.run.summaries[0].avg_duty);
+}
+
+TEST(ClosedLoop, TdvfsCapsRunawayUnderWeakFan) {
+  // Fig. 9's setup in miniature: max duty 25% is not enough, DVFS must act.
+  ExperimentConfig cfg = base_burn(50, 25.0, 180.0);
+  cfg.dvfs = DvfsPolicyKind::kTdvfs;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_GT(r.first_dvfs_trigger_s, 0.0);
+  // Temperature is held near the 51 °C threshold instead of running away.
+  EXPECT_LT(r.run.max_die_temp(), 51.0 + 6.0);
+  // Few, deliberate transitions (Table 1's tDVFS column).
+  EXPECT_LE(r.run.summaries[0].freq_transitions, 8u);
+}
+
+TEST(ClosedLoop, NoDvfsRunsHotterThanTdvfs) {
+  ExperimentConfig with = base_burn(50, 25.0, 150.0);
+  with.dvfs = DvfsPolicyKind::kTdvfs;
+  ExperimentConfig without = base_burn(50, 25.0, 150.0);
+  const ExperimentResult r_with = run_experiment(with);
+  const ExperimentResult r_without = run_experiment(without);
+  EXPECT_LT(r_with.run.max_die_temp(), r_without.run.max_die_temp());
+  // The in-band intervention costs wall time.
+  EXPECT_GE(r_with.run.exec_time_s, r_without.run.exec_time_s);
+}
+
+TEST(ClosedLoop, MiniBtRunsAcrossFourNodes) {
+  ExperimentConfig cfg = paper_platform();
+  cfg.workload = WorkloadKind::kNpbBt;
+  cfg.npb_iterations_override = 20;
+  cfg.fan = FanPolicyKind::kDynamic;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_TRUE(r.run.app_completed);
+  ASSERT_EQ(r.run.nodes.size(), 4u);
+  // All nodes saw load and warmed up together.
+  for (const auto& s : r.run.summaries) {
+    EXPECT_GT(s.avg_die_temp, 33.0);
+  }
+}
+
+TEST(ClosedLoop, HybridSmallPpDefersDvfsTrigger) {
+  // Fig. 10: aggressive fan control delays the in-band intervention.
+  auto trigger_time = [](int pp) {
+    ExperimentConfig cfg = base_burn(pp, 60.0, 240.0);
+    cfg.dvfs = DvfsPolicyKind::kTdvfs;
+    return run_experiment(cfg).first_dvfs_trigger_s;
+  };
+  const double t_weak = trigger_time(75);
+  const double t_aggressive = trigger_time(25);
+  ASSERT_GT(t_weak, 0.0);  // weak fan control lets it cross the threshold
+  if (t_aggressive > 0.0) {
+    EXPECT_GT(t_aggressive, t_weak);
+  }
+  // (t_aggressive < 0 means the fan alone held the line — even stronger.)
+}
+
+TEST(ClosedLoop, DeterministicAcrossRuns) {
+  const ExperimentConfig cfg = base_burn(50, 100.0, 60.0);
+  const ExperimentResult a = run_experiment(cfg);
+  const ExperimentResult b = run_experiment(cfg);
+  ASSERT_EQ(a.run.times.size(), b.run.times.size());
+  for (std::size_t i = 0; i < a.run.times.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a.run.nodes[0].die_temp[i], b.run.nodes[0].die_temp[i]);
+    ASSERT_DOUBLE_EQ(a.run.nodes[0].duty[i], b.run.nodes[0].duty[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.run.exec_time_s, b.run.exec_time_s);
+}
+
+TEST(ClosedLoop, SeedChangesNoiseButNotShape) {
+  ExperimentConfig cfg = base_burn(50, 100.0, 60.0);
+  const ExperimentResult a = run_experiment(cfg);
+  cfg.seed += 1;
+  const ExperimentResult b = run_experiment(cfg);
+  // Different noise streams...
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.run.times.size(), b.run.times.size()); ++i) {
+    if (a.run.nodes[0].sensor_temp[i] != b.run.nodes[0].sensor_temp[i]) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+  // ...same macroscopic outcome.
+  EXPECT_NEAR(a.run.avg_die_temp(), b.run.avg_die_temp(), 1.5);
+}
+
+}  // namespace
+}  // namespace thermctl::core

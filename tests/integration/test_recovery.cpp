@@ -1,0 +1,132 @@
+// Recovery and edge-of-envelope scenarios: behaviour after THERMTRIP
+// repair, controllers with degenerate configurations, and horizon edges.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/engine.hpp"
+#include "core/tdvfs.hpp"
+#include "core/unified_controller.hpp"
+#include "workload/app.hpp"
+#include "workload/synthetic.hpp"
+
+namespace thermctl::core {
+namespace {
+
+cluster::NodeParams quiet() {
+  cluster::NodeParams p;
+  p.sensor.noise_sigma_degc = 0.0;
+  return p;
+}
+
+TEST(Recovery, HaltedNodeResumesWorkAfterClearAndJobFinishes) {
+  cluster::NodeParams p = quiet();
+  p.protection.prochot_enabled = false;
+  p.protection.critical = Celsius{56.0};
+  cluster::Cluster rack{1, p};
+  rack.node(0).bmc().set_fan_override(DutyCycle{2.0});  // cook it
+  rack.node(0).settle();
+
+  cluster::EngineConfig cfg;
+  cfg.horizon = Seconds{600.0};
+  cluster::Engine engine{rack, cfg};
+  std::vector<workload::Program> progs{
+      workload::Program{workload::compute_phase(240.0)}};  // 100 s of work
+  workload::ParallelApp app{"t", std::move(progs)};
+  engine.attach_app(app, {0});
+
+  bool repaired = false;
+  engine.add_periodic(Seconds{1.0}, [&](SimTime now) {
+    // Operator notices the halt, fixes cooling, power-cycles the node.
+    if (rack.node(0).halted() && !repaired) {
+      repaired = true;
+      rack.node(0).bmc().set_fan_override(DutyCycle{100.0});
+      (void)now;
+    }
+    if (repaired && rack.node(0).halted() &&
+        rack.node(0).die_temperature().value() < 45.0) {
+      rack.node(0).clear_halt();
+    }
+  });
+
+  const cluster::RunResult result = engine.run();
+  EXPECT_TRUE(repaired);                 // the node did halt...
+  EXPECT_FALSE(rack.node(0).halted());   // ...and was brought back
+  EXPECT_TRUE(result.app_completed);     // ...and the job still finished
+}
+
+TEST(Recovery, TdvfsWithMinimalArrayStillWorks) {
+  // N = 2 is the smallest legal control array: index 0 = 2.4, index 1 = 1.0.
+  cluster::Cluster rack{1, quiet()};
+  rack.node(0).settle();
+  TdvfsConfig cfg;
+  cfg.pp = PolicyParam{50};
+  cfg.array_size = 2;
+  TdvfsDaemon daemon{rack.node(0).hwmon(), rack.node(0).cpufreq(), cfg};
+  // Scripted heat through the real sensor: overheat the package model.
+  rack.node(0).package().set_cpu_power(Watts{80.0});
+  rack.node(0).package().set_airflow(Cfm{1.0});
+  SimTime now;
+  // The heatsink mass sets the heating pace (~0.4 degC/s): give the die
+  // ~90 s to cross the 51 degC threshold and the daemon time to act.
+  for (int i = 0; i < 360 && rack.node(0).cpu().frequency().value() > 1.0; ++i) {
+    rack.node(0).package().step(Seconds{0.25});
+    rack.node(0).sample_sensor();
+    now.advance_us(250000);
+    daemon.on_sample(now);
+  }
+  EXPECT_DOUBLE_EQ(rack.node(0).cpu().frequency().value(), 1.0);  // straight to min
+}
+
+TEST(Recovery, UnifiedControllerSurvivesSensorDropoutMidRun) {
+  cluster::Cluster rack{1, quiet()};
+  rack.node(0).settle();
+  cluster::EngineConfig cfg;
+  cfg.horizon = Seconds{120.0};
+  cluster::Engine engine{rack, cfg};
+  // Full load while the sensor is stuck, dropping to light load after it
+  // recovers — the post-recovery change the controller must react to.
+  const workload::SegmentLoad burn{{
+      workload::LoadSegment{Seconds{80.0}, 1.0, 1.0, 0.0, Seconds{0.0}, 0.0},
+      workload::LoadSegment{Seconds{120.0}, 0.1, 0.1, 0.0, Seconds{0.0}, 0.0},
+  }};
+  engine.set_node_load(0, &burn);
+
+  UnifiedConfig ucfg;
+  ucfg.pp = PolicyParam{50};
+  UnifiedController ctl{rack.node(0).hwmon(), rack.node(0).cpufreq(), ucfg};
+  engine.add_periodic(Seconds{0.25}, [&ctl](SimTime now) { ctl.on_sample(now); });
+  engine.add_periodic(Seconds{30.0}, [&rack](SimTime now) {
+    if (now.seconds() < 31.0) {
+      rack.node(0).sensor().inject_stuck_fault();
+    } else if (now.seconds() < 61.0) {
+      rack.node(0).sensor().clear_fault();  // sensor comes back
+    }
+  });
+  engine.run();
+  // After the sensor recovers, the controller resumes retargeting: its last
+  // event must postdate the recovery.
+  ASSERT_FALSE(ctl.fan().events().empty());
+  EXPECT_GT(ctl.fan().events().back().time_s, 60.0);
+}
+
+TEST(Recovery, HorizonMidBarrierLeavesConsistentState) {
+  // Cut the run off while one rank is blocked at a barrier; accounting must
+  // still be consistent (no crash, partial progress reported).
+  cluster::Cluster rack{2, quiet()};
+  cluster::EngineConfig cfg;
+  cfg.horizon = Seconds{3.0};
+  cluster::Engine engine{rack, cfg};
+  std::vector<workload::Program> progs{
+      workload::Program{workload::compute_phase(2.4), workload::barrier_phase()},   // 1 s
+      workload::Program{workload::compute_phase(48.0), workload::barrier_phase()},  // 20 s
+  };
+  workload::ParallelApp app{"t", std::move(progs)};
+  engine.attach_app(app, {0, 1});
+  const cluster::RunResult result = engine.run();
+  EXPECT_FALSE(result.app_completed);
+  EXPECT_LT(app.progress(), 1.0);
+  EXPECT_GT(app.barrier_wait_time(0).value(), 1.5);  // rank 0 waited ~2 s
+}
+
+}  // namespace
+}  // namespace thermctl::core

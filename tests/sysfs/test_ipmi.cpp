@@ -1,0 +1,103 @@
+#include "sysfs/ipmi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl::sysfs {
+namespace {
+
+TEST(Bmc, SensorReadingRoundTrip) {
+  BmcEndpoint bmc;
+  double temp = 47.5;
+  const std::uint8_t num = bmc.add_sensor("CPU Temp", "degrees C", [&temp] { return temp; });
+  SensorReading reading;
+  ASSERT_EQ(bmc.get_sensor_reading(num, reading), IpmiCompletion::kOk);
+  EXPECT_DOUBLE_EQ(reading.value, 47.5);
+  EXPECT_EQ(reading.unit, "degrees C");
+  temp = 51.0;
+  ASSERT_EQ(bmc.get_sensor_reading(num, reading), IpmiCompletion::kOk);
+  EXPECT_DOUBLE_EQ(reading.value, 51.0);
+}
+
+TEST(Bmc, InvalidSensorCompletionCode) {
+  BmcEndpoint bmc;
+  SensorReading reading;
+  EXPECT_EQ(bmc.get_sensor_reading(99, reading), IpmiCompletion::kInvalidSensor);
+}
+
+TEST(Bmc, ListSensors) {
+  BmcEndpoint bmc;
+  bmc.add_sensor("CPU Temp", "degrees C", [] { return 0.0; });
+  bmc.add_sensor("Fan1", "RPM", [] { return 0.0; });
+  const auto sensors = bmc.list_sensors();
+  ASSERT_EQ(sensors.size(), 2u);
+  EXPECT_EQ(sensors[0].second, "CPU Temp");
+  EXPECT_EQ(sensors[1].second, "Fan1");
+}
+
+TEST(Bmc, FanOverrideInvokesHandler) {
+  BmcEndpoint bmc;
+  std::optional<DutyCycle> seen;
+  bool called = false;
+  bmc.set_fan_override_handler([&](std::optional<DutyCycle> d) {
+    seen = d;
+    called = true;
+  });
+  ASSERT_EQ(bmc.set_fan_override(DutyCycle{80.0}), IpmiCompletion::kOk);
+  EXPECT_TRUE(called);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_DOUBLE_EQ(seen->percent(), 80.0);
+  ASSERT_EQ(bmc.set_fan_override(std::nullopt), IpmiCompletion::kOk);
+  EXPECT_FALSE(seen.has_value());
+}
+
+TEST(Bmc, FanOverrideWithoutHandlerIsInvalidCommand) {
+  BmcEndpoint bmc;
+  EXPECT_EQ(bmc.set_fan_override(DutyCycle{50.0}), IpmiCompletion::kInvalidCommand);
+}
+
+TEST(Bmc, UnreachableEndpoint) {
+  BmcEndpoint bmc;
+  const std::uint8_t num = bmc.add_sensor("x", "u", [] { return 1.0; });
+  bmc.set_reachable(false);
+  SensorReading reading;
+  EXPECT_EQ(bmc.get_sensor_reading(num, reading), IpmiCompletion::kDestinationUnavailable);
+  bmc.set_reachable(true);
+  EXPECT_EQ(bmc.get_sensor_reading(num, reading), IpmiCompletion::kOk);
+}
+
+TEST(IpmiNetwork, RoutesByNodeId) {
+  BmcEndpoint a;
+  BmcEndpoint b;
+  a.add_sensor("t", "C", [] { return 1.0; });
+  b.add_sensor("t", "C", [] { return 2.0; });
+  IpmiNetwork net;
+  net.attach(0, &a);
+  net.attach(1, &b);
+  SensorReading reading;
+  ASSERT_EQ(net.get_sensor_reading(0, 1, reading), IpmiCompletion::kOk);
+  EXPECT_DOUBLE_EQ(reading.value, 1.0);
+  ASSERT_EQ(net.get_sensor_reading(1, 1, reading), IpmiCompletion::kOk);
+  EXPECT_DOUBLE_EQ(reading.value, 2.0);
+}
+
+TEST(IpmiNetwork, UnknownNodeUnavailable) {
+  IpmiNetwork net;
+  SensorReading reading;
+  EXPECT_EQ(net.get_sensor_reading(9, 1, reading), IpmiCompletion::kDestinationUnavailable);
+  EXPECT_EQ(net.set_fan_override(9, DutyCycle{10.0}), IpmiCompletion::kDestinationUnavailable);
+}
+
+TEST(IpmiNetwork, NodeListing) {
+  BmcEndpoint a;
+  BmcEndpoint b;
+  IpmiNetwork net;
+  net.attach(3, &a);
+  net.attach(1, &b);
+  const auto nodes = net.nodes();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], 1);
+  EXPECT_EQ(nodes[1], 3);
+}
+
+}  // namespace
+}  // namespace thermctl::sysfs

@@ -1,0 +1,109 @@
+#include "sysfs/vfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl::sysfs {
+namespace {
+
+TEST(VirtualFs, ReadRegisteredAttribute) {
+  VirtualFs fs;
+  fs.add_attribute("/sys/test/value", [] { return std::string{"42"}; });
+  EXPECT_TRUE(fs.exists("/sys/test/value"));
+  EXPECT_EQ(fs.read("/sys/test/value").value(), "42");
+}
+
+TEST(VirtualFs, MissingAttributeReadsNullopt) {
+  VirtualFs fs;
+  EXPECT_FALSE(fs.read("/sys/missing").has_value());
+  EXPECT_FALSE(fs.exists("/sys/missing"));
+}
+
+TEST(VirtualFs, WriteDispatchesToHandler) {
+  VirtualFs fs;
+  std::string stored;
+  fs.add_attribute(
+      "/sys/test/knob", [&stored] { return stored; },
+      [&stored](const std::string& v) {
+        stored = v;
+        return true;
+      });
+  EXPECT_TRUE(fs.write("/sys/test/knob", "hello"));
+  EXPECT_EQ(fs.read("/sys/test/knob").value(), "hello");
+}
+
+TEST(VirtualFs, WriteToReadOnlyFails) {
+  VirtualFs fs;
+  fs.add_attribute("/sys/test/ro", [] { return std::string{"x"}; });
+  EXPECT_FALSE(fs.write("/sys/test/ro", "y"));
+}
+
+TEST(VirtualFs, ReadFromWriteOnlyFails) {
+  VirtualFs fs;
+  fs.add_attribute("/sys/test/wo", nullptr, [](const std::string&) { return true; });
+  EXPECT_FALSE(fs.read("/sys/test/wo").has_value());
+  EXPECT_TRUE(fs.write("/sys/test/wo", "v"));
+}
+
+TEST(VirtualFs, HandlerRejectionPropagates) {
+  VirtualFs fs;
+  fs.add_attribute("/sys/test/strict", [] { return std::string{}; },
+                   [](const std::string& v) { return v == "ok"; });
+  EXPECT_FALSE(fs.write("/sys/test/strict", "bad"));
+  EXPECT_TRUE(fs.write("/sys/test/strict", "ok"));
+}
+
+TEST(VirtualFs, ReadLongParses) {
+  VirtualFs fs;
+  fs.add_attribute("/sys/test/num", [] { return std::string{"2400000"}; });
+  EXPECT_EQ(fs.read_long("/sys/test/num").value(), 2400000);
+}
+
+TEST(VirtualFs, ReadLongRejectsGarbage) {
+  VirtualFs fs;
+  fs.add_attribute("/sys/test/str", [] { return std::string{"userspace"}; });
+  EXPECT_FALSE(fs.read_long("/sys/test/str").has_value());
+}
+
+TEST(VirtualFs, WriteLongFormats) {
+  VirtualFs fs;
+  std::string stored;
+  fs.add_attribute("/sys/test/n", nullptr, [&stored](const std::string& v) {
+    stored = v;
+    return true;
+  });
+  EXPECT_TRUE(fs.write_long("/sys/test/n", 1800000));
+  EXPECT_EQ(stored, "1800000");
+}
+
+TEST(VirtualFs, ListReturnsSortedPrefixMatches) {
+  VirtualFs fs;
+  auto ro = [] { return std::string{}; };
+  fs.add_attribute("/sys/class/hwmon/hwmon0/temp1_input", ro);
+  fs.add_attribute("/sys/class/hwmon/hwmon0/pwm1", ro);
+  fs.add_attribute("/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq", ro);
+  const auto listed = fs.list("/sys/class/hwmon/hwmon0");
+  ASSERT_EQ(listed.size(), 2u);
+  EXPECT_EQ(listed[0], "/sys/class/hwmon/hwmon0/pwm1");
+  EXPECT_EQ(listed[1], "/sys/class/hwmon/hwmon0/temp1_input");
+}
+
+TEST(VirtualFs, RemoveAttribute) {
+  VirtualFs fs;
+  fs.add_attribute("/sys/x", [] { return std::string{}; });
+  fs.remove_attribute("/sys/x");
+  EXPECT_FALSE(fs.exists("/sys/x"));
+}
+
+TEST(VirtualFsDeath, RelativePathAborts) {
+  VirtualFs fs;
+  EXPECT_DEATH(fs.add_attribute("sys/x", [] { return std::string{}; }), "absolute");
+}
+
+TEST(VirtualFsDeath, DuplicateRegistrationAborts) {
+  VirtualFs fs;
+  fs.add_attribute("/sys/x", [] { return std::string{}; });
+  EXPECT_DEATH(fs.add_attribute("/sys/x", [] { return std::string{}; }), "already");
+}
+
+}  // namespace
+}  // namespace thermctl::sysfs

@@ -1,0 +1,171 @@
+#include "workload/app.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl::workload {
+namespace {
+
+std::vector<GigaHertz> freqs(std::size_t n, double ghz) {
+  return std::vector<GigaHertz>(n, GigaHertz{ghz});
+}
+
+/// Runs the app to completion with constant frequencies; returns wall time.
+double run_to_completion(ParallelApp& app, double ghz, double dt = 0.05,
+                         double limit = 10000.0) {
+  const auto f = freqs(app.rank_count(), ghz);
+  double t = 0.0;
+  while (!app.done() && t < limit) {
+    app.step(Seconds{dt}, f);
+    t += dt;
+  }
+  return app.completion_time().value();
+}
+
+TEST(ParallelApp, SingleRankComputeDuration) {
+  ParallelApp app{"t", {Program{compute_phase(4.8)}}};
+  const double done = run_to_completion(app, 2.4);
+  EXPECT_NEAR(done, 2.0, 0.051);
+}
+
+TEST(ParallelApp, ComputeStretchesWithLowerFrequency) {
+  ParallelApp a{"t", {Program{compute_phase(4.8)}}};
+  ParallelApp b{"t", {Program{compute_phase(4.8)}}};
+  const double fast = run_to_completion(a, 2.4);
+  const double slow = run_to_completion(b, 1.0);
+  EXPECT_NEAR(slow / fast, 2.4, 0.1);
+}
+
+TEST(ParallelApp, CommPhaseIsFrequencyInsensitive) {
+  ParallelApp a{"t", {Program{comm_phase(Seconds{2.0})}}};
+  ParallelApp b{"t", {Program{comm_phase(Seconds{2.0})}}};
+  EXPECT_NEAR(run_to_completion(a, 2.4), run_to_completion(b, 1.0), 0.051);
+}
+
+TEST(ParallelApp, UtilizationReflectsPhase) {
+  ParallelApp app{"t", {Program{compute_phase(24.0), comm_phase(Seconds{5.0})}}};
+  const auto f = freqs(1, 2.4);
+  // During compute: utilization 1.0.
+  auto u = app.step(Seconds{1.0}, f);
+  EXPECT_NEAR(u[0].fraction(), 1.0, 1e-9);
+  // Skip to the comm phase (10 s of compute total).
+  for (int i = 0; i < 9; ++i) {
+    app.step(Seconds{1.0}, f);
+  }
+  u = app.step(Seconds{1.0}, f);
+  EXPECT_NEAR(u[0].fraction(), 0.35, 0.01);
+}
+
+TEST(ParallelApp, MixedSliceAveragesUtilization) {
+  // 1.2 GHz-s at 2.4 GHz = 0.5 s compute, then comm at 0.35 — a 1 s slice
+  // spans both: expected utilization 0.5*1.0 + 0.5*0.35 = 0.675.
+  ParallelApp app{"t", {Program{compute_phase(1.2), comm_phase(Seconds{3.0})}}};
+  const auto u = app.step(Seconds{1.0}, freqs(1, 2.4));
+  EXPECT_NEAR(u[0].fraction(), 0.675, 1e-6);
+}
+
+TEST(ParallelApp, BarrierCouplesRanks) {
+  // Rank 0 has twice the work; rank 1 must wait at the barrier.
+  std::vector<Program> progs{
+      Program{compute_phase(4.8), barrier_phase(), compute_phase(2.4)},
+      Program{compute_phase(2.4), barrier_phase(), compute_phase(2.4)},
+  };
+  ParallelApp app{"t", std::move(progs)};
+  run_to_completion(app, 2.4);
+  // Rank 1 waited ~1 s at the barrier while rank 0 finished its 2 s slab.
+  EXPECT_NEAR(app.barrier_wait_time(1).value(), 1.0, 0.1);
+  EXPECT_NEAR(app.barrier_wait_time(0).value(), 0.0, 0.05);
+  // Completion is gated by the slow rank: 2 + 1 = 3 s total for rank 0.
+  EXPECT_NEAR(app.completion_time().value(), 3.0, 0.1);
+}
+
+TEST(ParallelApp, SlowNodeDelaysWholeJob) {
+  // Same program everywhere, but rank 1's node runs at 1.0 GHz.
+  std::vector<Program> progs(2, Program{compute_phase(4.8), barrier_phase(),
+                                        compute_phase(4.8)});
+  ParallelApp app{"t", std::move(progs)};
+  std::vector<GigaHertz> f{GigaHertz{2.4}, GigaHertz{1.0}};
+  double t = 0.0;
+  while (!app.done() && t < 100.0) {
+    app.step(Seconds{0.05}, f);
+    t += 0.05;
+  }
+  // Job time is set by the 1.0 GHz rank: 2 * 4.8 s = 9.6 s.
+  EXPECT_NEAR(app.completion_time().value(), 9.6, 0.15);
+  // The fast rank (2 s per slab vs 4.8 s) waited ~2.8 s at the one barrier.
+  EXPECT_NEAR(app.barrier_wait_time(0).value(), 2.8, 0.15);
+}
+
+TEST(ParallelApp, WaitUtilizationAppliedWhileBlocked) {
+  std::vector<Program> progs{
+      Program{compute_phase(48.0), barrier_phase()},  // 20 s at 2.4
+      Program{compute_phase(2.4), barrier_phase()},   // 1 s at 2.4
+  };
+  ParallelApp app{"t", std::move(progs), Utilization{0.10}};
+  const auto f = freqs(2, 2.4);
+  for (int i = 0; i < 100; ++i) {  // 5 s in
+    app.step(Seconds{0.05}, f);
+  }
+  const auto u = app.step(Seconds{1.0}, f);
+  EXPECT_NEAR(u[0].fraction(), 1.0, 1e-6);   // still computing
+  EXPECT_NEAR(u[1].fraction(), 0.10, 1e-6);  // blocked at barrier
+}
+
+TEST(ParallelApp, BarriersReleaseWithinOneSlice) {
+  // Both ranks hit the barrier mid-slice; neither should lose the rest of
+  // the slice to quantization.
+  std::vector<Program> progs(2, Program{compute_phase(1.2), barrier_phase(),
+                                        compute_phase(1.2)});
+  ParallelApp app{"t", std::move(progs)};
+  app.step(Seconds{1.5}, freqs(2, 2.4));  // 0.5 s + barrier + 0.5 s < 1.5 s
+  EXPECT_TRUE(app.done());
+}
+
+TEST(ParallelApp, ProgressMonotone) {
+  std::vector<Program> progs(2, Program{compute_phase(4.8), barrier_phase(),
+                                        compute_phase(4.8)});
+  ParallelApp app{"t", std::move(progs)};
+  const auto f = freqs(2, 2.4);
+  double prev = -1.0;
+  while (!app.done()) {
+    app.step(Seconds{0.25}, f);
+    EXPECT_GE(app.progress(), prev);
+    prev = app.progress();
+  }
+  EXPECT_DOUBLE_EQ(app.progress(), 1.0);
+}
+
+TEST(ParallelApp, FinishedRanksIdle) {
+  std::vector<Program> progs{Program{compute_phase(1.2)}, Program{compute_phase(12.0)}};
+  ParallelApp app{"t", std::move(progs)};
+  const auto f = freqs(2, 2.4);
+  for (int i = 0; i < 2; ++i) {
+    app.step(Seconds{1.0}, f);
+  }
+  const auto u = app.step(Seconds{1.0}, f);
+  EXPECT_NEAR(u[0].fraction(), 0.02, 1e-6);  // finished, idling
+  EXPECT_NEAR(u[1].fraction(), 1.0, 1e-6);
+}
+
+TEST(ParallelApp, DoneAndCompletionTime) {
+  ParallelApp app{"t", {Program{comm_phase(Seconds{1.0})}}};
+  EXPECT_FALSE(app.done());
+  app.step(Seconds{0.6}, freqs(1, 2.4));
+  EXPECT_FALSE(app.done());
+  app.step(Seconds{0.6}, freqs(1, 2.4));
+  EXPECT_TRUE(app.done());
+  EXPECT_NEAR(app.completion_time().value(), 1.2, 1e-9);
+  EXPECT_NEAR(app.elapsed().value(), 1.2, 1e-9);
+}
+
+TEST(ParallelAppDeath, MismatchedBarrierCountsAbort) {
+  std::vector<Program> progs{Program{barrier_phase()}, Program{compute_phase(1.0)}};
+  EXPECT_DEATH(ParallelApp("t", std::move(progs)), "barrier");
+}
+
+TEST(ParallelAppDeath, WrongFrequencyCountAborts) {
+  ParallelApp app{"t", {Program{compute_phase(1.0)}}};
+  EXPECT_DEATH(app.step(Seconds{0.1}, freqs(2, 2.4)), "frequency");
+}
+
+}  // namespace
+}  // namespace thermctl::workload

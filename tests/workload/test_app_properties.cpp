@@ -1,0 +1,121 @@
+// Property-based tests of the parallel-app execution model: conservation
+// laws that must hold for any randomly generated program set.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "workload/app.hpp"
+
+namespace thermctl::workload {
+namespace {
+
+struct GeneratedApp {
+  std::vector<Program> programs;
+  double max_ideal_s = 0.0;   // slowest rank's ideal duration
+  double min_ideal_s = 1e30;  // fastest rank's ideal duration
+};
+
+GeneratedApp random_app(Rng& rng, double freq_ghz) {
+  const int ranks = 1 + static_cast<int>(rng.below(4));
+  const int iterations = 2 + static_cast<int>(rng.below(6));
+  GeneratedApp out;
+  // Shared iteration structure (same barrier count), per-rank random weights.
+  std::vector<std::vector<double>> work(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    Program p;
+    for (int it = 0; it < iterations; ++it) {
+      const double w = 0.5 + rng.uniform() * 4.0;
+      work[static_cast<std::size_t>(r)].push_back(w);
+      p.push_back(compute_phase(w));
+      if (rng.uniform() < 0.7) {
+        p.push_back(comm_phase(Seconds{0.1 + rng.uniform() * 0.8}));
+      }
+      p.push_back(barrier_phase());
+    }
+    out.programs.push_back(std::move(p));
+  }
+  for (const Program& p : out.programs) {
+    const double ideal = ideal_duration(p, GigaHertz{freq_ghz}).value();
+    out.max_ideal_s = std::max(out.max_ideal_s, ideal);
+    out.min_ideal_s = std::min(out.min_ideal_s, ideal);
+  }
+  return out;
+}
+
+class AppPropertyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AppPropertyFuzz, ConservationLawsHold) {
+  Rng rng{GetParam()};
+  const double freq = 1.0 + rng.uniform() * 1.4;
+  GeneratedApp gen = random_app(rng, freq);
+  const std::size_t ranks = gen.programs.size();
+
+  ParallelApp app{"fuzz", gen.programs};
+  const std::vector<GigaHertz> freqs(ranks, GigaHertz{freq});
+  const double dt = 0.01 + rng.uniform() * 0.2;
+  double elapsed = 0.0;
+  while (!app.done() && elapsed < 1000.0) {
+    const auto utils = app.step(Seconds{dt}, freqs);
+    for (const Utilization& u : utils) {
+      ASSERT_GE(u.fraction(), 0.0);
+      ASSERT_LE(u.fraction(), 1.0);
+    }
+    elapsed += dt;
+  }
+  ASSERT_TRUE(app.done()) << "seed " << GetParam();
+
+  // Law 1: completion is gated by the slowest rank, and barriers can only
+  // add time, never remove it. Allow one step of quantization slack.
+  EXPECT_GE(app.completion_time().value(), gen.max_ideal_s - dt) << "seed " << GetParam();
+
+  // Law 2: with equal frequencies the job cannot take longer than the sum
+  // of per-barrier maxima; a crude upper bound is the sum of all ranks'
+  // ideal durations.
+  double sum_ideal = 0.0;
+  for (const Program& p : gen.programs) {
+    sum_ideal += ideal_duration(p, GigaHertz{freq}).value();
+  }
+  EXPECT_LE(app.completion_time().value(), sum_ideal + dt * 2.0) << "seed " << GetParam();
+
+  // Law 3: every rank's barrier wait is bounded by the ideal-duration spread
+  // times the barrier count (waits accumulate only from imbalance).
+  for (std::size_t r = 0; r < ranks; ++r) {
+    EXPECT_GE(app.barrier_wait_time(r).value(), -1e-9);
+    EXPECT_LE(app.barrier_wait_time(r).value(),
+              app.completion_time().value() - gen.min_ideal_s + 2.0 * dt)
+        << "seed " << GetParam() << " rank " << r;
+  }
+
+  // Law 4: progress is complete and phase bookkeeping consistent.
+  EXPECT_DOUBLE_EQ(app.progress(), 1.0);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    EXPECT_FALSE(app.current_phase_kind(r).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AppPropertyFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u, 88u, 99u, 111u,
+                                           222u, 333u, 444u, 555u, 666u));
+
+TEST(AppProperty, StepSizeInvariance) {
+  // The same programs stepped with different dt must complete at (nearly)
+  // the same simulated time — barrier resolution is intra-step.
+  auto run_with_dt = [](double dt) {
+    Rng rng{909};
+    GeneratedApp gen = random_app(rng, 2.0);
+    ParallelApp app{"t", gen.programs};
+    const std::vector<GigaHertz> freqs(gen.programs.size(), GigaHertz{2.0});
+    while (!app.done()) {
+      app.step(Seconds{dt}, freqs);
+    }
+    return app.completion_time().value();
+  };
+  const double coarse = run_with_dt(0.25);
+  const double fine = run_with_dt(0.01);
+  EXPECT_NEAR(coarse, fine, 0.26);  // within one coarse step
+}
+
+}  // namespace
+}  // namespace thermctl::workload

@@ -1,0 +1,125 @@
+#include "workload/npb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/app.hpp"
+
+namespace thermctl::workload {
+namespace {
+
+TEST(Npb, BtProgramsHaveIterationStructure) {
+  Rng rng{1};
+  const auto programs = make_npb_programs(bt_class_b(), 4, rng);
+  ASSERT_EQ(programs.size(), 4u);
+  // Startup (comm + barrier) + 200 iterations of 3 x (compute, comm) plus a
+  // barrier each.
+  EXPECT_EQ(programs[0].size(), 2u + 200u * 7u);
+  std::size_t barriers = 0;
+  for (const Phase& ph : programs[0]) {
+    if (ph.kind == PhaseKind::kBarrier) {
+      ++barriers;
+    }
+  }
+  EXPECT_EQ(barriers, 201u);
+}
+
+TEST(Npb, StragglersPresentButBounded) {
+  NpbParams params = bt_class_b();
+  Rng rng{11};
+  const auto programs = make_npb_programs(params, 1, rng);
+  // Count comm phases noticeably longer than the nominal sub-exchange.
+  const double nominal = params.comm_per_iter.value() / params.comm_subphases;
+  int stragglers = 0;
+  int comms = 0;
+  for (const Phase& ph : programs[0]) {
+    if (ph.kind == PhaseKind::kCommunicate && ph.util.fraction() < 0.5) {
+      ++comms;
+      if (ph.wall.value() > nominal * (1.0 + params.comm_jitter) + 1e-9) {
+        ++stragglers;
+      }
+    }
+  }
+  // Expect roughly straggler_prob * iterations events (one per affected
+  // iteration), definitely not zero and well below the comm count.
+  EXPECT_GT(stragglers, 20);
+  EXPECT_LT(stragglers, 90);
+  EXPECT_EQ(comms, 200 * params.comm_subphases);
+}
+
+TEST(Npb, BtIdealDurationNearPaperTable1) {
+  Rng rng{1};
+  const auto programs = make_npb_programs(bt_class_b(), 4, rng);
+  const double ideal = ideal_duration(programs[0], GigaHertz{2.4}).value();
+  // Table 1 reports 219 s for BT.B.4 at full speed.
+  EXPECT_GT(ideal, 205.0);
+  EXPECT_LT(ideal, 235.0);
+}
+
+TEST(Npb, LuShorterIterationsMoreOfThem) {
+  const NpbParams bt = bt_class_b();
+  const NpbParams lu = lu_class_b();
+  EXPECT_GT(lu.iterations, bt.iterations);
+  EXPECT_LT(lu.work_per_iter_ghz_s, bt.work_per_iter_ghz_s);
+}
+
+TEST(Npb, RankImbalanceIsPersistentButBounded) {
+  NpbParams params = bt_class_b();
+  params.work_jitter = 0.0;  // isolate the rank factor
+  Rng rng{7};
+  const auto programs = make_npb_programs(params, 4, rng);
+  // Per-rank total work differs but within the configured imbalance.
+  const double w0 = total_work(programs[0]);
+  for (std::size_t r = 1; r < 4; ++r) {
+    const double ratio = total_work(programs[r]) / w0;
+    EXPECT_GT(ratio, 1.0 - 2.5 * params.rank_imbalance);
+    EXPECT_LT(ratio, 1.0 + 2.5 * params.rank_imbalance);
+  }
+}
+
+TEST(Npb, DeterministicGivenSeed) {
+  Rng a{5};
+  Rng b{5};
+  const auto pa = make_npb_programs(bt_class_b(), 4, a);
+  const auto pb = make_npb_programs(bt_class_b(), 4, b);
+  ASSERT_EQ(pa[2].size(), pb[2].size());
+  for (std::size_t i = 0; i < pa[2].size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[2][i].work_ghz_s, pb[2][i].work_ghz_s);
+  }
+}
+
+TEST(Npb, RinseIterationsHeavier) {
+  NpbParams params = bt_class_b();
+  params.work_jitter = 0.0;
+  params.rank_imbalance = 0.0;
+  Rng rng{1};
+  const auto programs = make_npb_programs(params, 1, rng);
+  // Iteration k's first compute phase is at index 2 + 7k (startup pair, then
+  // 7 phases per iteration: 3 x (compute, comm) + barrier).
+  const double normal = programs[0][2 + 7 * 10].work_ghz_s;
+  const double rinse = programs[0][2 + 7 * 50].work_ghz_s;
+  EXPECT_NEAR(rinse / normal, params.rinse_factor, 1e-9);
+}
+
+TEST(Npb, RunsToCompletionUnderApp) {
+  NpbParams params = bt_class_b();
+  params.iterations = 5;  // miniature
+  Rng rng{3};
+  ParallelApp app{"bt-mini", make_npb_programs(params, 4, rng)};
+  std::vector<GigaHertz> f(4, GigaHertz{2.4});
+  double t = 0.0;
+  while (!app.done() && t < 60.0) {
+    app.step(Seconds{0.05}, f);
+    t += 0.05;
+  }
+  EXPECT_TRUE(app.done());
+  EXPECT_GT(app.completion_time().value(), 4.0);
+  EXPECT_LT(app.completion_time().value(), 12.0);
+}
+
+TEST(NpbDeath, RejectsZeroRanks) {
+  Rng rng{1};
+  EXPECT_DEATH(make_npb_programs(bt_class_b(), 0, rng), "rank");
+}
+
+}  // namespace
+}  // namespace thermctl::workload

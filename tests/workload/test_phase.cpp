@@ -1,0 +1,42 @@
+#include "workload/phase.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl::workload {
+namespace {
+
+TEST(Phase, BuildersSetKinds) {
+  EXPECT_EQ(compute_phase(1.0).kind, PhaseKind::kCompute);
+  EXPECT_EQ(comm_phase(Seconds{0.5}).kind, PhaseKind::kCommunicate);
+  EXPECT_EQ(idle_phase(Seconds{0.5}).kind, PhaseKind::kIdle);
+  EXPECT_EQ(barrier_phase().kind, PhaseKind::kBarrier);
+}
+
+TEST(Phase, ComputeDefaultsToFullUtilization) {
+  EXPECT_DOUBLE_EQ(compute_phase(1.0).util.fraction(), 1.0);
+}
+
+TEST(Phase, CommDefaultUtilization) {
+  EXPECT_DOUBLE_EQ(comm_phase(Seconds{1.0}).util.fraction(), 0.35);
+}
+
+TEST(Phase, TotalWorkSumsComputeOnly) {
+  Program p{compute_phase(2.0), comm_phase(Seconds{1.0}), compute_phase(3.0), barrier_phase()};
+  EXPECT_DOUBLE_EQ(total_work(p), 5.0);
+}
+
+TEST(Phase, TotalFixedWallSumsNonCompute) {
+  Program p{compute_phase(2.0), comm_phase(Seconds{1.5}), idle_phase(Seconds{0.5})};
+  EXPECT_DOUBLE_EQ(total_fixed_wall(p).value(), 2.0);
+}
+
+TEST(Phase, IdealDurationCombines) {
+  Program p{compute_phase(4.8), comm_phase(Seconds{1.0})};
+  // 4.8 GHz-s at 2.4 GHz = 2 s compute + 1 s comm.
+  EXPECT_DOUBLE_EQ(ideal_duration(p, GigaHertz{2.4}).value(), 3.0);
+  // At 1.0 GHz the compute stretches to 4.8 s but the comm does not.
+  EXPECT_DOUBLE_EQ(ideal_duration(p, GigaHertz{1.0}).value(), 5.8);
+}
+
+}  // namespace
+}  // namespace thermctl::workload

@@ -1,0 +1,109 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl::workload {
+namespace {
+
+TEST(CpuBurn, ProgramIsSolidCompute) {
+  const Program p = cpu_burn_program(Seconds{300.0});
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].kind, PhaseKind::kCompute);
+  EXPECT_DOUBLE_EQ(p[0].util.fraction(), 1.0);
+  // 300 s at the 2.4 GHz nominal = 720 GHz-s of work.
+  EXPECT_DOUBLE_EQ(p[0].work_ghz_s, 720.0);
+}
+
+TEST(CpuBurn, DurationScalesWithNominalFrequency) {
+  const Program p = cpu_burn_program(Seconds{60.0}, GigaHertz{1.0});
+  EXPECT_DOUBLE_EQ(p[0].work_ghz_s, 60.0);
+}
+
+TEST(SegmentLoad, ConstantSegment) {
+  SegmentLoad load{{LoadSegment{Seconds{10.0}, 0.7, 0.7, 0.0, Seconds{0.0}, 0.0}}};
+  EXPECT_NEAR(load.at(SimTime::from_seconds(0.0)).fraction(), 0.7, 1e-9);
+  EXPECT_NEAR(load.at(SimTime::from_seconds(9.9)).fraction(), 0.7, 1e-9);
+}
+
+TEST(SegmentLoad, RampInterpolatesLinearly) {
+  SegmentLoad load{{LoadSegment{Seconds{10.0}, 0.0, 1.0, 0.0, Seconds{0.0}, 0.0}}};
+  EXPECT_NEAR(load.at(SimTime::from_seconds(5.0)).fraction(), 0.5, 1e-9);
+  EXPECT_NEAR(load.at(SimTime::from_seconds(2.5)).fraction(), 0.25, 1e-9);
+}
+
+TEST(SegmentLoad, PastEndIsIdle) {
+  SegmentLoad load{{LoadSegment{Seconds{1.0}, 1.0, 1.0, 0.0, Seconds{0.0}, 0.0}}};
+  EXPECT_DOUBLE_EQ(load.at(SimTime::from_seconds(2.0)).fraction(), 0.0);
+  EXPECT_TRUE(load.done(SimTime::from_seconds(1.0)));
+  EXPECT_FALSE(load.done(SimTime::from_seconds(0.5)));
+}
+
+TEST(SegmentLoad, SquareWaveJitterToggles) {
+  SegmentLoad load{{LoadSegment{Seconds{10.0}, 0.5, 0.5, 0.3, Seconds{2.0}, 0.0}}};
+  EXPECT_NEAR(load.at(SimTime::from_seconds(0.5)).fraction(), 0.8, 1e-9);   // high half
+  EXPECT_NEAR(load.at(SimTime::from_seconds(1.5)).fraction(), 0.2, 1e-9);   // low half
+  EXPECT_NEAR(load.at(SimTime::from_seconds(2.5)).fraction(), 0.8, 1e-9);   // next period
+}
+
+TEST(SegmentLoad, NoiseDeterministicPerTimestamp) {
+  SegmentLoad load{{LoadSegment{Seconds{10.0}, 0.5, 0.5, 0.0, Seconds{0.0}, 0.1}}, 42};
+  const double a = load.at(SimTime::from_seconds(3.0)).fraction();
+  const double b = load.at(SimTime::from_seconds(3.0)).fraction();
+  EXPECT_DOUBLE_EQ(a, b);  // stateless — same time, same value
+  const double c = load.at(SimTime::from_seconds(3.25)).fraction();
+  EXPECT_NE(a, c);  // different times differ (with overwhelming probability)
+}
+
+TEST(SegmentLoad, MultiSegmentSequencing) {
+  SegmentLoad load{{
+      LoadSegment{Seconds{5.0}, 0.1, 0.1, 0.0, Seconds{0.0}, 0.0},
+      LoadSegment{Seconds{5.0}, 0.9, 0.9, 0.0, Seconds{0.0}, 0.0},
+  }};
+  EXPECT_NEAR(load.at(SimTime::from_seconds(4.9)).fraction(), 0.1, 1e-9);
+  EXPECT_NEAR(load.at(SimTime::from_seconds(5.1)).fraction(), 0.9, 1e-9);
+  EXPECT_DOUBLE_EQ(load.total_duration().value(), 10.0);
+}
+
+TEST(Profiles, SuddenProfileSteps) {
+  const SegmentLoad load = sudden_profile(Seconds{10.0}, Seconds{20.0});
+  EXPECT_LT(load.at(SimTime::from_seconds(5.0)).fraction(), 0.1);
+  EXPECT_NEAR(load.at(SimTime::from_seconds(15.0)).fraction(), 1.0, 1e-9);
+  EXPECT_LT(load.at(SimTime::from_seconds(35.0)).fraction(), 0.1);
+}
+
+TEST(Profiles, GradualProfileHolds) {
+  const SegmentLoad load = gradual_profile(Seconds{100.0});
+  EXPECT_NEAR(load.at(SimTime::from_seconds(1.0)).fraction(), 1.0, 1e-9);
+  EXPECT_NEAR(load.at(SimTime::from_seconds(99.0)).fraction(), 1.0, 1e-9);
+}
+
+TEST(Profiles, JitterProfileOscillatesAroundMean) {
+  const SegmentLoad load = jitter_profile(Seconds{60.0}, 0.5, 0.35, Seconds{2.0});
+  double sum = 0.0;
+  double lo = 1.0;
+  double hi = 0.0;
+  for (double t = 0.0; t < 60.0; t += 0.25) {
+    const double u = load.at(SimTime::from_seconds(t)).fraction();
+    sum += u;
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_NEAR(sum / 240.0, 0.5, 0.05);
+  EXPECT_LT(lo, 0.2);
+  EXPECT_GT(hi, 0.8);
+}
+
+TEST(Profiles, Fig2ProfileCoversAllThreeTypes) {
+  const SegmentLoad load = fig2_profile();
+  // Idle lead-in, then full load (sudden + gradual), light load, jitter.
+  EXPECT_LT(load.at(SimTime::from_seconds(10.0)).fraction(), 0.15);
+  EXPECT_GT(load.at(SimTime::from_seconds(60.0)).fraction(), 0.85);
+  EXPECT_GT(load.total_duration().value(), 200.0);
+}
+
+TEST(SegmentLoadDeath, EmptyScheduleAborts) {
+  EXPECT_DEATH(SegmentLoad(std::vector<LoadSegment>{}), "segment");
+}
+
+}  // namespace
+}  // namespace thermctl::workload
