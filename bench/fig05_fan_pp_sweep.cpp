@@ -10,6 +10,7 @@
 //   * average PWM duty ordering: Pp=25 (70) > Pp=50 (53) > Pp=75 (36).
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
+#include "runtime/sweep.hpp"
 
 int main() {
   using namespace thermctl;
@@ -17,6 +18,21 @@ int main() {
   namespace tb = thermctl::bench;
 
   tb::banner("Figure 5", "dynamic fan control under cpu-burn, Pp in {25, 50, 75}");
+
+  // The three policy points are independent runs — fan them across cores.
+  const std::vector<int> pps{25, 50, 75};
+  std::vector<ExperimentConfig> configs;
+  for (int pp : pps) {
+    ExperimentConfig cfg = paper_platform();
+    cfg.name = "fig05_pp" + std::to_string(pp);
+    cfg.nodes = 1;
+    cfg.workload = WorkloadKind::kCpuBurnCycles;  // three instances, as in §4.2
+    cfg.cpu_burn_duration = Seconds{300.0};       // "about five minutes"
+    cfg.fan = FanPolicyKind::kDynamic;
+    cfg.pp = PolicyParam{pp};
+    configs.push_back(cfg);
+  }
+  const std::vector<ExperimentResult> results = runtime::run_sweep(configs);
 
   struct Row {
     int pp;
@@ -26,20 +42,12 @@ int main() {
     double avg_power;
   };
   std::vector<Row> rows;
-
-  for (int pp : {25, 50, 75}) {
-    ExperimentConfig cfg = paper_platform();
-    cfg.name = "fig05_pp" + std::to_string(pp);
-    cfg.nodes = 1;
-    cfg.workload = WorkloadKind::kCpuBurnCycles;  // three instances, as in §4.2
-    cfg.cpu_burn_duration = Seconds{300.0};       // "about five minutes"
-    cfg.fan = FanPolicyKind::kDynamic;
-    cfg.pp = PolicyParam{pp};
-    const ExperimentResult r = run_experiment(cfg);
-    rows.push_back(Row{pp, r.run.summaries[0].avg_duty, r.run.avg_die_temp(),
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    rows.push_back(Row{pps[i], r.run.summaries[0].avg_duty, r.run.avg_die_temp(),
                        r.run.max_die_temp(), r.run.avg_power_w()});
-    tb::dump_csv(r.run, cfg.name + "_temp", "sensor_temp");
-    tb::dump_csv(r.run, cfg.name + "_duty", "duty");
+    tb::dump_csv(r.run, configs[i].name + "_temp", "sensor_temp");
+    tb::dump_csv(r.run, configs[i].name + "_duty", "duty");
   }
 
   TextTable table{{"policy", "avg PWM duty (%)", "avg temp (degC)", "max temp (degC)",

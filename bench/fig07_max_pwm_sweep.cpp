@@ -8,6 +8,7 @@
 //     powerful fan under proactive control delivers comparable cooling.
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
+#include "runtime/sweep.hpp"
 
 int main() {
   using namespace thermctl;
@@ -16,6 +17,20 @@ int main() {
 
   tb::banner("Figure 7", "maximum-PWM sweep 25/50/75/100% (BT.B.4, dynamic fan, Pp=50)");
 
+  // Four independent fan-ceiling points, fanned across cores.
+  const std::vector<int> caps{25, 50, 75, 100};
+  std::vector<ExperimentConfig> configs;
+  for (int cap : caps) {
+    ExperimentConfig cfg = paper_platform();
+    cfg.name = "fig07_cap" + std::to_string(cap);
+    cfg.workload = WorkloadKind::kNpbBt;
+    cfg.fan = FanPolicyKind::kDynamic;
+    cfg.pp = PolicyParam{50};
+    cfg.max_duty = DutyCycle{static_cast<double>(cap)};
+    configs.push_back(cfg);
+  }
+  const std::vector<ExperimentResult> results = runtime::run_sweep(configs);
+
   struct Row {
     int cap;
     double avg_temp;
@@ -23,18 +38,11 @@ int main() {
     double avg_duty;
   };
   std::vector<Row> rows;
-
-  for (int cap : {25, 50, 75, 100}) {
-    ExperimentConfig cfg = paper_platform();
-    cfg.name = "fig07_cap" + std::to_string(cap);
-    cfg.workload = WorkloadKind::kNpbBt;
-    cfg.fan = FanPolicyKind::kDynamic;
-    cfg.pp = PolicyParam{50};
-    cfg.max_duty = DutyCycle{static_cast<double>(cap)};
-    const ExperimentResult r = run_experiment(cfg);
-    rows.push_back(Row{cap, r.run.avg_die_temp(), r.run.max_die_temp(), r.run.avg_duty()});
-    tb::dump_csv(r.run, cfg.name + "_temp", "sensor_temp");
-    tb::dump_csv(r.run, cfg.name + "_duty", "duty");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    rows.push_back(Row{caps[i], r.run.avg_die_temp(), r.run.max_die_temp(), r.run.avg_duty()});
+    tb::dump_csv(r.run, configs[i].name + "_temp", "sensor_temp");
+    tb::dump_csv(r.run, configs[i].name + "_duty", "duty");
   }
 
   TextTable table{{"max duty", "avg temp (degC)", "max temp (degC)", "avg duty (%)"}};

@@ -9,6 +9,7 @@
 //     small (paper: 4.76%).
 #include "bench_util.hpp"
 #include "core/experiment.hpp"
+#include "runtime/sweep.hpp"
 
 int main() {
   using namespace thermctl;
@@ -16,6 +17,21 @@ int main() {
   namespace tb = thermctl::bench;
 
   tb::banner("Figure 10", "hybrid fan + tDVFS, shared Pp in {25, 50, 75} (BT.B.4, cap 50%)");
+
+  // Three independent shared-Pp points, fanned across cores.
+  const std::vector<int> pps{25, 50, 75};
+  std::vector<ExperimentConfig> configs;
+  for (int pp : pps) {
+    ExperimentConfig cfg = paper_platform();
+    cfg.name = "fig10_pp" + std::to_string(pp);
+    cfg.workload = WorkloadKind::kNpbBt;
+    cfg.fan = FanPolicyKind::kDynamic;
+    cfg.dvfs = DvfsPolicyKind::kTdvfs;
+    cfg.pp = PolicyParam{pp};
+    cfg.max_duty = DutyCycle{50.0};
+    configs.push_back(cfg);
+  }
+  const std::vector<ExperimentResult> results = runtime::run_sweep(configs);
 
   struct Row {
     int pp;
@@ -26,27 +42,18 @@ int main() {
     double min_freq;
   };
   std::vector<Row> rows;
-
-  for (int pp : {25, 50, 75}) {
-    ExperimentConfig cfg = paper_platform();
-    cfg.name = "fig10_pp" + std::to_string(pp);
-    cfg.workload = WorkloadKind::kNpbBt;
-    cfg.fan = FanPolicyKind::kDynamic;
-    cfg.dvfs = DvfsPolicyKind::kTdvfs;
-    cfg.pp = PolicyParam{pp};
-    cfg.max_duty = DutyCycle{50.0};
-    const ExperimentResult r = run_experiment(cfg);
-
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
     double min_freq = 2.4;
     for (const auto& node : r.run.nodes) {
       for (double f : node.freq_ghz) {
         min_freq = std::min(min_freq, f);
       }
     }
-    rows.push_back(Row{pp, r.run.avg_die_temp(), r.run.max_die_temp(),
+    rows.push_back(Row{pps[i], r.run.avg_die_temp(), r.run.max_die_temp(),
                        r.first_dvfs_trigger_s, r.run.exec_time_s, min_freq});
-    tb::dump_csv(r.run, cfg.name + "_temp", "sensor_temp");
-    tb::dump_csv(r.run, cfg.name + "_freq", "freq_ghz");
+    tb::dump_csv(r.run, configs[i].name + "_temp", "sensor_temp");
+    tb::dump_csv(r.run, configs[i].name + "_freq", "freq_ghz");
   }
 
   TextTable table{{"policy", "avg temp (degC)", "max temp", "tDVFS trigger (s)",

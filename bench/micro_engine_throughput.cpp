@@ -1,0 +1,249 @@
+// Engine throughput micro-bench: steps/sec as a first-class metric.
+//
+// Two measurements, both written to a machine-readable JSON file so the
+// performance trajectory is tracked PR-over-PR:
+//
+//   1. single-thread hot path: one 16-node cluster with per-node unified
+//      controllers and a barrier-coupled BT workload, run for a fixed
+//      simulated horizon; reports engine physics steps per wall second
+//      (and node-steps/sec, since per-node cost is what scales).
+//   2. parallel sweep runtime: an 8-point Pp sweep executed serially
+//      (1 worker) and in parallel (hardware workers) through
+//      runtime::run_sweep; reports the wall-clock speedup and verifies the
+//      two result sets are bit-identical (the runtime's determinism
+//      contract).
+//
+// Usage: micro_engine_throughput [--horizon S] [--nodes N] [--sweep-points K]
+//                                [--threads T] [--out PATH]
+// Defaults: 120 s horizon, 16 nodes, 8 sweep points, hardware threads,
+// BENCH_engine.json in the current directory (the ctest smoke target runs a
+// short horizon in the build tree; the tracked repo-root file comes from a
+// full run).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/engine.hpp"
+#include "core/experiment.hpp"
+#include "core/unified_controller.hpp"
+#include "runtime/sweep.hpp"
+#include "runtime/thread_pool.hpp"
+#include "workload/app.hpp"
+#include "workload/npb.hpp"
+
+namespace {
+
+using namespace thermctl;
+using namespace thermctl::core;
+
+double wall_seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+struct HotPathResult {
+  std::size_t nodes = 0;
+  double horizon_s = 0.0;
+  double physics_dt = 0.0;
+  long long steps = 0;
+  double wall_s = 0.0;
+  double steps_per_sec = 0.0;
+  double node_steps_per_sec = 0.0;
+  double sim_per_wall = 0.0;
+};
+
+HotPathResult measure_hot_path(std::size_t nodes, double horizon_s) {
+  cluster::NodeParams params;
+  cluster::Cluster rack{nodes, params};
+  for (std::size_t i = 0; i < nodes; ++i) {
+    rack.node(i).set_utilization(Utilization{0.02});
+  }
+  rack.settle_all();
+
+  cluster::EngineConfig engine_cfg;
+  engine_cfg.horizon = Seconds{horizon_s};
+  cluster::Engine engine{rack, engine_cfg};
+
+  // A long BT job (never completes within the horizon) keeps the barrier
+  // coupling and controller activity in the measured loop.
+  Rng rng{nodes * 131 + 7};
+  workload::NpbParams npb = workload::bt_class_b();
+  npb.iterations = 1000000;
+  workload::ParallelApp app{"BT",
+                            workload::make_npb_programs(npb, static_cast<int>(nodes), rng)};
+  std::vector<std::size_t> mapping(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    mapping[i] = i;
+  }
+  engine.attach_app(app, mapping);
+
+  std::vector<std::unique_ptr<UnifiedController>> controllers;
+  controllers.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    UnifiedConfig cfg;
+    cfg.pp = PolicyParam{50};
+    controllers.push_back(std::make_unique<UnifiedController>(
+        rack.node(i).hwmon(), rack.node(i).cpufreq(), cfg));
+    UnifiedController* raw = controllers.back().get();
+    engine.add_periodic(params.sample_period, [raw](SimTime now) { raw->on_sample(now); });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const cluster::RunResult run = engine.run();
+  const double wall = wall_seconds_since(start);
+
+  HotPathResult r;
+  r.nodes = nodes;
+  r.horizon_s = horizon_s;
+  r.physics_dt = engine_cfg.physics_dt.value();
+  r.steps = static_cast<long long>(run.times.back() / engine_cfg.physics_dt.value() + 0.5);
+  r.wall_s = wall;
+  r.steps_per_sec = static_cast<double>(r.steps) / wall;
+  r.node_steps_per_sec = r.steps_per_sec * static_cast<double>(nodes);
+  r.sim_per_wall = run.times.back() / wall;
+  return r;
+}
+
+std::vector<ExperimentConfig> build_sweep(std::size_t points) {
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    ExperimentConfig cfg = paper_platform();
+    // Pp spread over [20, 90]: an aggressive-to-weak policy sweep like the
+    // paper's Figs. 5/10, sized to finish quickly per point.
+    const int pp = 20 + static_cast<int>(k * 70 / (points > 1 ? points - 1 : 1));
+    cfg.name = "sweep_pp" + std::to_string(pp);
+    cfg.workload = WorkloadKind::kNpbBt;
+    cfg.npb_iterations_override = 30;
+    cfg.fan = FanPolicyKind::kDynamic;
+    cfg.dvfs = DvfsPolicyKind::kTdvfs;
+    cfg.pp = PolicyParam{pp};
+    cfg.max_duty = DutyCycle{50.0};
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+bool runs_identical(const cluster::RunResult& a, const cluster::RunResult& b) {
+  if (a.times != b.times || a.nodes.size() != b.nodes.size() ||
+      a.app_completed != b.app_completed || a.exec_time_s != b.exec_time_s) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    const cluster::NodeSeries& x = a.nodes[i];
+    const cluster::NodeSeries& y = b.nodes[i];
+    if (x.die_temp != y.die_temp || x.sensor_temp != y.sensor_temp || x.duty != y.duty ||
+        x.rpm != y.rpm || x.freq_ghz != y.freq_ghz || x.power_w != y.power_w ||
+        x.util != y.util || x.activity != y.activity) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.summaries.size(); ++i) {
+    if (a.summaries[i].avg_die_temp != b.summaries[i].avg_die_temp ||
+        a.summaries[i].energy_j != b.summaries[i].energy_j ||
+        a.summaries[i].freq_transitions != b.summaries[i].freq_transitions) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace tb = thermctl::bench;
+
+  double horizon_s = 120.0;
+  std::size_t nodes = 16;
+  std::size_t sweep_points = 8;
+  std::size_t threads = 0;  // 0 = hardware
+  std::string out_path = "BENCH_engine.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--horizon") == 0) {
+      horizon_s = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--nodes") == 0) {
+      nodes = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--sweep-points") == 0) {
+      sweep_points = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = argv[i + 1];
+    }
+  }
+
+  tb::banner("Engine throughput",
+             "hot-path steps/sec + parallel sweep speedup (BENCH_engine.json)");
+
+  const HotPathResult hot = measure_hot_path(nodes, horizon_s);
+  std::printf("  hot path: %zu nodes, %.0f sim-s, %lld steps in %.3f wall-s\n", hot.nodes,
+              hot.horizon_s, hot.steps, hot.wall_s);
+  std::printf("  steps/sec:       %.0f\n", hot.steps_per_sec);
+  std::printf("  node-steps/sec:  %.0f\n", hot.node_steps_per_sec);
+  std::printf("  sim-s per wall-s: %.1f\n", hot.sim_per_wall);
+
+  const std::size_t hw = runtime::default_thread_count();
+  const std::size_t par_threads = threads == 0 ? hw : threads;
+  const std::vector<ExperimentConfig> sweep_cfgs = build_sweep(sweep_points);
+
+  auto start = std::chrono::steady_clock::now();
+  const auto serial = runtime::run_sweep(sweep_cfgs, {.threads = 1});
+  const double serial_wall = wall_seconds_since(start);
+
+  start = std::chrono::steady_clock::now();
+  const auto parallel = runtime::run_sweep(sweep_cfgs, {.threads = par_threads});
+  const double parallel_wall = wall_seconds_since(start);
+
+  bool identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = runs_identical(serial[i].run, parallel[i].run);
+  }
+  const double speedup = serial_wall / std::max(parallel_wall, 1e-9);
+
+  std::printf("  sweep: %zu points, serial %.3f s, parallel (%zu workers) %.3f s, %.2fx\n",
+              sweep_cfgs.size(), serial_wall, par_threads, parallel_wall, speedup);
+  tb::shape_check("parallel sweep results bit-identical to serial", identical);
+  if (hw >= 4) {
+    tb::shape_check("parallel sweep speedup >= 3x with >= 4 hardware threads", speedup >= 3.0);
+  } else {
+    tb::note("  (speedup target applies at >= 4 hardware threads; this machine has " +
+             std::to_string(hw) + ")");
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_engine_throughput\",\n");
+  std::fprintf(f, "  \"hot_path\": {\n");
+  std::fprintf(f, "    \"nodes\": %zu,\n", hot.nodes);
+  std::fprintf(f, "    \"horizon_sim_s\": %.3f,\n", hot.horizon_s);
+  std::fprintf(f, "    \"physics_dt_s\": %.3f,\n", hot.physics_dt);
+  std::fprintf(f, "    \"engine_steps\": %lld,\n", hot.steps);
+  std::fprintf(f, "    \"wall_s\": %.6f,\n", hot.wall_s);
+  std::fprintf(f, "    \"steps_per_sec\": %.1f,\n", hot.steps_per_sec);
+  std::fprintf(f, "    \"node_steps_per_sec\": %.1f,\n", hot.node_steps_per_sec);
+  std::fprintf(f, "    \"sim_seconds_per_wall_second\": %.2f\n", hot.sim_per_wall);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"sweep\": {\n");
+  std::fprintf(f, "    \"points\": %zu,\n", sweep_cfgs.size());
+  std::fprintf(f, "    \"workers\": %zu,\n", par_threads);
+  std::fprintf(f, "    \"serial_wall_s\": %.6f,\n", serial_wall);
+  std::fprintf(f, "    \"parallel_wall_s\": %.6f,\n", parallel_wall);
+  std::fprintf(f, "    \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "    \"identical_to_serial\": %s\n", identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"hardware_threads\": %zu\n", hw);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("  json written: %s\n", out_path.c_str());
+
+  return identical ? 0 : 1;
+}

@@ -15,16 +15,6 @@ Cluster::Cluster(std::size_t count, const NodeParams& base) {
   }
 }
 
-Node& Cluster::node(std::size_t i) {
-  THERMCTL_ASSERT(i < nodes_.size(), "node index out of range");
-  return *nodes_[i];
-}
-
-const Node& Cluster::node(std::size_t i) const {
-  THERMCTL_ASSERT(i < nodes_.size(), "node index out of range");
-  return *nodes_[i];
-}
-
 void Cluster::set_inlet_temperature(std::size_t i, Celsius t) {
   node(i).package().set_ambient(t);
 }

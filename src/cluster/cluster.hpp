@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/node.hpp"
+#include "common/assert.hpp"
 #include "sysfs/ipmi.hpp"
 
 namespace thermctl::cluster {
@@ -21,8 +22,14 @@ class Cluster {
   Cluster(std::size_t count, const NodeParams& base);
 
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
-  [[nodiscard]] Node& node(std::size_t i);
-  [[nodiscard]] const Node& node(std::size_t i) const;
+  [[nodiscard]] Node& node(std::size_t i) {
+    THERMCTL_ASSERT(i < nodes_.size(), "node index out of range");
+    return *nodes_[i];
+  }
+  [[nodiscard]] const Node& node(std::size_t i) const {
+    THERMCTL_ASSERT(i < nodes_.size(), "node index out of range");
+    return *nodes_[i];
+  }
 
   [[nodiscard]] sysfs::IpmiNetwork& ipmi() { return ipmi_; }
 

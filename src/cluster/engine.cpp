@@ -9,6 +9,7 @@ namespace thermctl::cluster {
 Engine::Engine(Cluster& cluster, EngineConfig config)
     : cluster_(cluster),
       config_(config),
+      rank_of_node_(cluster.size(), kNoRank),
       node_loads_(cluster.size(), nullptr),
       steal_fraction_(cluster.size(), 0.0),
       recorder_(cluster.size()),
@@ -26,6 +27,12 @@ void Engine::attach_app(workload::ParallelApp& app, std::vector<std::size_t> nod
   }
   app_ = &app;
   node_for_rank_ = std::move(node_for_rank);
+  std::fill(rank_of_node_.begin(), rank_of_node_.end(), kNoRank);
+  for (std::size_t r = 0; r < node_for_rank_.size(); ++r) {
+    rank_of_node_[node_for_rank_[r]] = r;
+  }
+  freqs_scratch_.reserve(node_for_rank_.size());
+  utils_scratch_.reserve(node_for_rank_.size());
 }
 
 void Engine::set_node_load(std::size_t i, const workload::SegmentLoad* load) {
@@ -69,23 +76,25 @@ std::size_t Engine::node_of_rank(std::size_t r) const {
 }
 
 std::optional<std::size_t> Engine::rank_on_node(std::size_t i) const {
-  for (std::size_t r = 0; r < node_for_rank_.size(); ++r) {
-    if (node_for_rank_[r] == i) {
-      return r;
-    }
+  THERMCTL_ASSERT(i < rank_of_node_.size(), "node index out of range");
+  const std::size_t r = rank_of_node_[i];
+  if (r == kNoRank) {
+    return std::nullopt;
   }
-  return std::nullopt;
+  return r;
 }
 
 bool Engine::migrate_rank(std::size_t r, std::size_t new_node, Seconds cost) {
   THERMCTL_ASSERT(app_ != nullptr, "no app attached");
   THERMCTL_ASSERT(r < node_for_rank_.size(), "rank out of range");
   THERMCTL_ASSERT(new_node < cluster_.size(), "node out of range");
-  if (rank_on_node(new_node).has_value() || cluster_.node(new_node).halted()) {
+  if (rank_of_node_[new_node] != kNoRank || cluster_.node(new_node).halted()) {
     return false;
   }
   const std::size_t old_node = node_for_rank_[r];
   node_for_rank_[r] = new_node;
+  rank_of_node_[old_node] = kNoRank;
+  rank_of_node_[new_node] = r;
   app_->inject_stall(r, cost);
   cluster_.node(old_node).set_utilization(Utilization{0.02});  // vacated
   ++migrations_;
@@ -139,45 +148,60 @@ void Engine::record_sample() {
 }
 
 RunResult Engine::run() {
+  // Bind the engine to the first thread that runs it: a rig shared between
+  // sweep workers is a determinism (and data-race) bug, caught here rather
+  // than as silent corruption.
+  std::thread::id expected{};
+  const std::thread::id me = std::this_thread::get_id();
+  if (!owner_thread_.compare_exchange_strong(expected, me)) {
+    THERMCTL_ASSERT(expected == me,
+                    "Engine is bound to the thread that first ran it; build one "
+                    "cluster/engine rig per sweep point instead of sharing");
+  }
+
   const Seconds dt = config_.physics_dt;
   std::optional<Seconds> completion;
+  // done() scans every rank; track it across the loop instead of re-asking
+  // twice per step.
+  bool app_running = app_ != nullptr && !app_->done();
 
   // Record the initial state so series start at t=0.
   record_schedule_.due(now_);  // consume the t=0 firing
+  // Pre-size the series for the horizon (capped so absurd horizons don't
+  // balloon memory up front; past the cap push_back just grows as before).
+  recorder_.reserve(std::min<std::size_t>(
+      static_cast<std::size_t>(config_.horizon.value() / config_.record_period.value()) + 2,
+      1u << 20));
   record_sample();
 
   while (true) {
     // 1. Workload → utilization.
-    if (app_ != nullptr && !app_->done()) {
-      std::vector<GigaHertz> freqs;
-      freqs.reserve(node_for_rank_.size());
+    if (app_running) {
+      freqs_scratch_.clear();
       for (std::size_t n : node_for_rank_) {
         const Node& node = cluster_.node(n);
         // A halted node makes no progress; a throttled or idle-injected one
         // runs at its delivered (not nominal) rate; in-band daemon overhead
         // (OS noise) steals a further slice.
         const double steal = 1.0 - steal_fraction_[n];
-        freqs.push_back(node.halted()
-                            ? GigaHertz{1e-6}
-                            : GigaHertz{node.cpu().delivered_frequency().value() * steal});
+        freqs_scratch_.push_back(
+            node.halted() ? GigaHertz{1e-6}
+                          : GigaHertz{node.cpu().delivered_frequency().value() * steal});
       }
-      const auto utils = app_->step(dt, freqs);
-      for (std::size_t r = 0; r < utils.size(); ++r) {
-        cluster_.node(node_for_rank_[r]).set_utilization(utils[r]);
+      app_->step(dt, freqs_scratch_, utils_scratch_);
+      for (std::size_t r = 0; r < utils_scratch_.size(); ++r) {
+        cluster_.node(node_for_rank_[r]).set_utilization(utils_scratch_[r]);
       }
       if (app_->done()) {
+        app_running = false;
         completion = app_->completion_time();
       }
     }
     for (std::size_t i = 0; i < cluster_.size(); ++i) {
       if (node_loads_[i]) {
         cluster_.node(i).set_utilization(node_loads_[i](now_));
-      } else if (app_ != nullptr && app_->done()) {
-        const bool is_app_node =
-            std::find(node_for_rank_.begin(), node_for_rank_.end(), i) != node_for_rank_.end();
-        if (is_app_node) {
-          cluster_.node(i).set_utilization(Utilization{0.02});  // job exited
-        }
+      } else if (app_ != nullptr && !app_running && rank_of_node_[i] != kNoRank) {
+        cluster_.node(i).set_utilization(Utilization{0.02});  // job exited
       }
     }
 

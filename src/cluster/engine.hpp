@@ -14,10 +14,17 @@
 // (barrier-coupled across nodes) or a time-driven SegmentLoad. The run ends
 // when the app completes (its completion time is the experiment's execution
 // time) or at the horizon.
+// Thread-safety: an Engine (and the Cluster/app it drives) belongs to one
+// thread. The first call to run() binds the engine to the calling thread and
+// any later run() from a different thread trips a THERMCTL_ASSERT — catching
+// the one misuse a parallel sweep invites (sharing a rig across runner
+// workers instead of building one rig per sweep point; see src/runtime/).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -72,7 +79,8 @@ class Engine {
 
   /// Node currently hosting rank `r` (requires an attached app).
   [[nodiscard]] std::size_t node_of_rank(std::size_t r) const;
-  /// Rank hosted on node `i`, if any.
+  /// Rank hosted on node `i`, if any. O(1): served from a reverse map kept
+  /// in sync by attach_app()/migrate_rank().
   [[nodiscard]] std::optional<std::size_t> rank_on_node(std::size_t i) const;
 
   /// Moves rank `r` to `new_node` (which must be free and not halted). The
@@ -96,11 +104,14 @@ class Engine {
   void record_sample();
   void finalize(RunResult& result) const;
 
+  static constexpr std::size_t kNoRank = static_cast<std::size_t>(-1);
+
   Cluster& cluster_;
   EngineConfig config_;
   workload::ParallelApp* app_ = nullptr;
   RoomModel* room_ = nullptr;
   std::vector<std::size_t> node_for_rank_;
+  std::vector<std::size_t> rank_of_node_;  // reverse map; kNoRank = vacant
   std::vector<std::function<Utilization(SimTime)>> node_loads_;
   std::vector<double> steal_fraction_;  // per node, from in-band overhead
   std::vector<PeriodicTask> tasks_;
@@ -108,6 +119,11 @@ class Engine {
   PeriodicSchedule record_schedule_;
   SimTime now_;
   int migrations_ = 0;
+  // Hot-loop scratch, reused every physics step instead of reallocated.
+  std::vector<GigaHertz> freqs_scratch_;
+  std::vector<Utilization> utils_scratch_;
+  // Set by the first run(); later runs must come from the same thread.
+  std::atomic<std::thread::id> owner_thread_{};
 };
 
 }  // namespace thermctl::cluster

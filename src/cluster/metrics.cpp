@@ -101,6 +101,20 @@ MetricsRecorder::MetricsRecorder(std::size_t node_count) {
 
 void MetricsRecorder::stamp(double t_seconds) { result_.times.push_back(t_seconds); }
 
+void MetricsRecorder::reserve(std::size_t samples) {
+  result_.times.reserve(samples);
+  for (NodeSeries& s : result_.nodes) {
+    s.die_temp.reserve(samples);
+    s.sensor_temp.reserve(samples);
+    s.duty.reserve(samples);
+    s.rpm.reserve(samples);
+    s.freq_ghz.reserve(samples);
+    s.power_w.reserve(samples);
+    s.util.reserve(samples);
+    s.activity.reserve(samples);
+  }
+}
+
 void MetricsRecorder::sample(double t_seconds, std::size_t node, double die, double sensor,
                              double duty, double rpm, double freq_ghz, double power_w,
                              double util, ActivityCode activity) {

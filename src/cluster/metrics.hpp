@@ -86,6 +86,10 @@ class MetricsRecorder {
   /// Appends the shared timestamp (once per sampling round).
   void stamp(double t_seconds);
 
+  /// Pre-sizes every series for `samples` sampling rounds so recording never
+  /// reallocates mid-run. A hint: recording past it still works.
+  void reserve(std::size_t samples);
+
   [[nodiscard]] RunResult& result() { return result_; }
   [[nodiscard]] const RunResult& result() const { return result_; }
 

@@ -55,8 +55,7 @@ Node::Node(int id, const NodeParams& params)
 
 void Node::set_utilization(Utilization u) { util_ = halted_ ? Utilization{0.0} : u; }
 
-void Node::apply_protection() {
-  const Celsius die = package_.die_temperature();
+void Node::apply_protection(Celsius die) {
   if (params_.protection.critical_enabled && die >= params_.protection.critical && !halted_) {
     halted_ = true;
     THERMCTL_LOG_WARN("node", "node %d THERMTRIP at %.1f C — halted", id_, die.value());
@@ -91,9 +90,10 @@ void Node::step(Seconds dt) {
   package_.set_cpu_power(halted_ ? Watts{2.0} : cpu_.power());  // halted: trickle
   package_.set_airflow(fan_.airflow());
   package_.step(dt);
+  const Celsius die = package_.die_temperature();
 
   // The chip continuously tracks its remote diode and tach inputs.
-  chip_.set_measured_temperature(package_.die_temperature());
+  chip_.set_measured_temperature(die);
   chip_.set_measured_rpm(fan_.rpm());
 
   meter_.integrate(dt);
@@ -102,7 +102,7 @@ void Node::step(Seconds dt) {
   if (cpu_.thermal_throttled()) {
     prochot_seconds_ += dt.value();
   }
-  apply_protection();
+  apply_protection(die);
 
   // /proc/stat accounting at USER_HZ with fractional carry.
   jiffy_remainder_busy_ += util_.fraction() * dt.value() * 100.0;

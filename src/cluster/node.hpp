@@ -126,7 +126,7 @@ class Node {
   void settle();
 
  private:
-  void apply_protection();
+  void apply_protection(Celsius die);
 
   int id_;
   NodeParams params_;

@@ -26,6 +26,7 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock{mutex_};
   if (sink) {
     sink_ = std::move(sink);
   } else {
@@ -39,14 +40,15 @@ void Logger::set_sink(Sink sink) {
 }
 
 void Logger::log(LogLevel level, std::string_view component, std::string_view msg) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) {
+  if (static_cast<int>(level) < static_cast<int>(this->level())) {
     return;
   }
+  std::lock_guard<std::mutex> lock{mutex_};
   sink_(level, component, msg);
 }
 
 void Logger::logf(LogLevel level, std::string_view component, const char* fmt, ...) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) {
+  if (static_cast<int>(level) < static_cast<int>(this->level())) {
     return;
   }
   char buf[512];

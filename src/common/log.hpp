@@ -4,10 +4,16 @@
 // retargets, tDVFS triggers) — the same events the paper's figures annotate.
 // The default sink is stderr; tests install a capturing sink to assert on
 // event sequences.
+// Thread-safety: the logger is shared by every thread of a parallel sweep;
+// emission is serialized on an internal mutex and the level is atomic.
+// set_sink()/set_level() are safe to call concurrently with logging, but
+// tests that install capturing sinks should do so while no sweep is running.
 #pragma once
 
+#include <atomic>
 #include <cstdarg>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -25,8 +31,8 @@ class Logger {
   static Logger& instance();
 
   /// Messages below `level` are dropped.
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  [[nodiscard]] LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Replaces the output sink; pass nullptr to restore the stderr default.
   void set_sink(Sink sink);
@@ -39,7 +45,8 @@ class Logger {
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex mutex_;  // guards sink_ and serializes emission
   Sink sink_;
 };
 

@@ -17,11 +17,19 @@ DutyCycle Adt7467::reg_to_duty(std::uint8_t v) {
 
 void Adt7467::set_measured_temperature(Celsius t) {
   const double clamped = std::clamp(t.value(), -128.0, 127.0);
-  temp_remote1_ = static_cast<std::int8_t>(std::lround(clamped));
+  const auto reg = static_cast<std::int8_t>(std::lround(clamped));
+  if (reg == temp_remote1_) {
+    return;  // sub-degree drift doesn't move the register or the auto curve
+  }
+  temp_remote1_ = reg;
   refresh_output();
 }
 
 void Adt7467::set_measured_rpm(Rpm rpm) {
+  if (rpm.value() == last_measured_rpm_) {
+    return;  // rotor at steady state: the latched tach period is current
+  }
+  last_measured_rpm_ = rpm.value();
   if (rpm.value() < 100.0) {
     tach1_ = 0xFFFF;  // stalled / too slow to measure
   } else {

@@ -90,6 +90,7 @@ class Adt7467 final : public I2cSlave {
 
   std::int8_t temp_remote1_ = 25;   // latched measurement, °C
   std::uint16_t tach1_ = 0xFFFF;    // latched tach period
+  double last_measured_rpm_ = -1.0;  // skip tach recompute when unchanged
   std::uint8_t pwm1_duty_ = 0;      // current duty register
   std::uint8_t pwm1_max_ = 0xFF;    // automatic-curve ceiling
   std::uint8_t pwm1_config_ = static_cast<std::uint8_t>(kBehaviourAutoRemote1 << 5);

@@ -21,6 +21,7 @@ void CpuDevice::set_pstate(std::size_t index) {
   if (index != current_) {
     current_ = index;
     ++transitions_;
+    power_valid_ = false;
   }
 }
 
@@ -37,7 +38,7 @@ void CpuDevice::set_frequency(GigaHertz f) {
   set_pstate(best);
 }
 
-Watts CpuDevice::power() const {
+void CpuDevice::recompute_power() const {
   const PState& ps = params_.pstates[current_];
   const double v2 = ps.voltage.value() * ps.voltage.value();
   const double activity =
@@ -51,7 +52,9 @@ Watts CpuDevice::power() const {
       params_.k_leak * v2 *
       (1.0 + params_.leakage_alpha * (die_temperature_.value() - params_.t_ref.value())) *
       idle_injector_.leakage_power_factor();
-  return Watts{p_dyn + std::max(0.0, p_leak)};
+  power_cache_ = p_dyn + std::max(0.0, p_leak);
+  power_valid_ = true;
+  power_injection_gen_ = idle_injector_.generation();
 }
 
 void CpuDevice::advance_counters(Seconds dt) {

@@ -83,7 +83,10 @@ class CpuDevice {
   /// OS-visible P-state — exactly how real parts behave: cpufreq still
   /// reports the requested frequency, but work completes at the throttled
   /// rate. Not counted as a transition.
-  void set_thermal_throttle(bool asserted) { throttled_ = asserted; }
+  void set_thermal_throttle(bool asserted) {
+    throttled_ = asserted;
+    power_valid_ = false;
+  }
   [[nodiscard]] bool thermal_throttled() const { return throttled_; }
 
   /// Frequency actually delivered to execution (accounts for PROCHOT).
@@ -92,14 +95,28 @@ class CpuDevice {
   }
 
   /// Instantaneous utilization imposed by the workload model.
-  void set_utilization(Utilization u) { utilization_ = u; }
+  void set_utilization(Utilization u) {
+    utilization_ = u;
+    power_valid_ = false;
+  }
   [[nodiscard]] Utilization utilization() const { return utilization_; }
 
   /// Die temperature feedback for the leakage term.
-  void set_die_temperature(Celsius t) { die_temperature_ = t; }
+  void set_die_temperature(Celsius t) {
+    die_temperature_ = t;
+    power_valid_ = false;
+  }
 
-  /// Instantaneous electrical power at the current operating point.
-  [[nodiscard]] Watts power() const;
+  /// Instantaneous electrical power at the current operating point. The node
+  /// reads it several times per physics step (package heat input, meter,
+  /// counters), so the value is memoized until an input changes; injection
+  /// changes are tracked through the injector's generation counter.
+  [[nodiscard]] Watts power() const {
+    if (!power_valid_ || power_injection_gen_ != idle_injector_.generation()) {
+      recompute_power();
+    }
+    return Watts{power_cache_};
+  }
 
   /// Number of completed frequency transitions since construction.
   [[nodiscard]] std::uint64_t transition_count() const { return transitions_; }
@@ -148,11 +165,16 @@ class CpuDevice {
   [[nodiscard]] const CpuParams& params() const { return params_; }
 
  private:
+  void recompute_power() const;
+
   CpuParams params_;
   IdleInjector idle_injector_;
   std::size_t current_ = 0;
   Utilization utilization_{0.0};
   Celsius die_temperature_{40.0};
+  mutable double power_cache_ = 0.0;
+  mutable bool power_valid_ = false;
+  mutable std::uint64_t power_injection_gen_ = 0;
   std::uint64_t transitions_ = 0;
   bool throttled_ = false;
   std::uint64_t aperf_ = 0;

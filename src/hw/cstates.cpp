@@ -31,6 +31,7 @@ void IdleInjector::set_injection(double fraction, std::size_t state) {
   THERMCTL_ASSERT(state < params_.cstates.size(), "C-state index out of range");
   fraction_ = std::clamp(fraction, 0.0, params_.max_fraction);
   state_ = state;
+  ++generation_;
 }
 
 double IdleInjector::throughput_factor() const {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -57,7 +58,10 @@ class IdleInjector {
   /// `state` (0-based into cstates()). Fraction is clamped to
   /// [0, max_fraction]; state must be valid.
   void set_injection(double fraction, std::size_t state);
-  void stop() { fraction_ = 0.0; }
+  void stop() {
+    fraction_ = 0.0;
+    ++generation_;
+  }
 
   [[nodiscard]] double fraction() const { return fraction_; }
   [[nodiscard]] std::size_t state() const { return state_; }
@@ -74,10 +78,15 @@ class IdleInjector {
 
   [[nodiscard]] const IdleInjectorParams& params() const { return params_; }
 
+  /// Bumped on every injection change; lets consumers (the CPU's power
+  /// cache) detect staleness without comparing the full injection state.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
  private:
   IdleInjectorParams params_;
   double fraction_ = 0.0;
   std::size_t state_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace thermctl::hw

@@ -11,40 +11,10 @@ FanDevice::FanDevice(FanParams params) : params_(params) {
   THERMCTL_ASSERT(params_.rotor_tau.value() > 0.0, "rotor time constant must be positive");
 }
 
-void FanDevice::set_duty(DutyCycle duty) { duty_ = duty; }
-
-Rpm FanDevice::target_rpm(DutyCycle duty) const {
-  if (duty.percent() < params_.stall_duty.percent()) {
-    return Rpm{0.0};
-  }
-  // Linear from the stall point up to max RPM at 100% duty.
-  const double span = 100.0 - params_.stall_duty.percent();
-  const double frac = (duty.percent() - params_.stall_duty.percent()) / span;
-  // Real fans keep spinning slowly right at the stall threshold; give the
-  // curve a floor of 15% RPM at the threshold for continuity with datasheet
-  // minimum-speed specs.
-  const double min_frac = 0.15;
-  return Rpm{params_.max_rpm.value() * (min_frac + (1.0 - min_frac) * frac)};
-}
-
-void FanDevice::step(Seconds dt) {
+void FanDevice::recompute_alpha(Seconds dt) {
   THERMCTL_ASSERT(dt.value() > 0.0, "step duration must be positive");
-  const double target = stuck_ ? 0.0 : target_rpm(duty_).value();
-  // First-order lag: exact discrete update, stable for any dt.
-  const double alpha = 1.0 - std::exp(-dt.value() / params_.rotor_tau.value());
-  rpm_ += (target - rpm_) * alpha;
-  if (rpm_ < 1.0 && target == 0.0) {
-    rpm_ = 0.0;
-  }
-}
-
-Cfm FanDevice::airflow() const {
-  return Cfm{params_.max_airflow.value() * rpm_ / params_.max_rpm.value()};
-}
-
-Watts FanDevice::power() const {
-  const double frac = rpm_ / params_.max_rpm.value();
-  return Watts{params_.idle_power.value() + params_.max_power.value() * frac * frac * frac};
+  alpha_ = 1.0 - std::exp(-dt.value() / params_.rotor_tau.value());
+  alpha_dt_ = dt.value();
 }
 
 }  // namespace thermctl::hw

@@ -14,6 +14,8 @@
 //  * Failure injection: a stuck rotor for the emergency scenarios.
 #pragma once
 
+#include <limits>
+
 #include "common/units.hpp"
 
 namespace thermctl::hw {
@@ -37,18 +39,45 @@ class FanDevice {
   explicit FanDevice(FanParams params = {});
 
   /// Commands a PWM duty cycle; takes effect through the rotor lag.
-  void set_duty(DutyCycle duty);
+  void set_duty(DutyCycle duty) { duty_ = duty; }
   [[nodiscard]] DutyCycle duty() const { return duty_; }
 
-  /// Advances rotor dynamics.
-  void step(Seconds dt);
+  /// Advances rotor dynamics. First-order lag via the exact discrete update;
+  /// the exponential smoothing factor only depends on dt, which the engine
+  /// holds constant, so it is cached rather than recomputed per step.
+  void step(Seconds dt) {
+    const double target = stuck_ ? 0.0 : target_rpm(duty_).value();
+    if (dt.value() != alpha_dt_) {
+      recompute_alpha(dt);
+    }
+    rpm_ += (target - rpm_) * alpha_;
+    if (rpm_ < 1.0 && target == 0.0) {
+      rpm_ = 0.0;
+    }
+  }
 
   [[nodiscard]] Rpm rpm() const { return Rpm{rpm_}; }
-  [[nodiscard]] Cfm airflow() const;
-  [[nodiscard]] Watts power() const;
+  [[nodiscard]] Cfm airflow() const {
+    return Cfm{params_.max_airflow.value() * rpm_ / params_.max_rpm.value()};
+  }
+  [[nodiscard]] Watts power() const {
+    const double frac = rpm_ / params_.max_rpm.value();
+    return Watts{params_.idle_power.value() + params_.max_power.value() * frac * frac * frac};
+  }
 
-  /// Steady-state RPM for a duty command (the rotor lag's fixed point).
-  [[nodiscard]] Rpm target_rpm(DutyCycle duty) const;
+  /// Steady-state RPM for a duty command (the rotor lag's fixed point):
+  /// linear from the stall point up to max RPM at 100% duty. Real fans keep
+  /// spinning slowly right at the stall threshold; the curve has a floor of
+  /// 15% RPM there for continuity with datasheet minimum-speed specs.
+  [[nodiscard]] Rpm target_rpm(DutyCycle duty) const {
+    if (duty.percent() < params_.stall_duty.percent()) {
+      return Rpm{0.0};
+    }
+    const double span = 100.0 - params_.stall_duty.percent();
+    const double frac = (duty.percent() - params_.stall_duty.percent()) / span;
+    constexpr double kMinFrac = 0.15;
+    return Rpm{params_.max_rpm.value() * (kMinFrac + (1.0 - kMinFrac) * frac)};
+  }
 
   /// Snaps the rotor to its steady state for the current duty (experiment
   /// priming).
@@ -63,10 +92,16 @@ class FanDevice {
   [[nodiscard]] const FanParams& params() const { return params_; }
 
  private:
+  void recompute_alpha(Seconds dt);
+
   FanParams params_;
   DutyCycle duty_{0.0};
   double rpm_ = 0.0;
   bool stuck_ = false;
+  // dt the cached smoothing factor was built for; NaN compares unequal to
+  // every dt, forcing (and validating) the first computation.
+  double alpha_dt_ = std::numeric_limits<double>::quiet_NaN();
+  double alpha_ = 0.0;
 };
 
 }  // namespace thermctl::hw

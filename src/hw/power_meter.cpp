@@ -20,13 +20,6 @@ Watts PowerMeter::read() const {
   return Watts{std::round(ac / r) * r};
 }
 
-void PowerMeter::integrate(Seconds dt) {
-  THERMCTL_ASSERT(dt.value() >= 0.0, "negative integration interval");
-  const double dc = params_.base_load.value() + dc_load_().value();
-  energy_joules_ += dc / params_.psu_efficiency * dt.value();
-  elapsed_seconds_ += dt.value();
-}
-
 Watts PowerMeter::average_power() const {
   if (elapsed_seconds_ <= 0.0) {
     return Watts{0.0};

@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/units.hpp"
 
 namespace thermctl::hw {
@@ -34,7 +35,12 @@ class PowerMeter {
   [[nodiscard]] Watts read() const;
 
   /// Advances the internal energy integral by `dt` at the current load.
-  void integrate(Seconds dt);
+  void integrate(Seconds dt) {
+    THERMCTL_ASSERT(dt.value() >= 0.0, "negative integration interval");
+    const double dc = params_.base_load.value() + dc_load_().value();
+    energy_joules_ += dc / params_.psu_efficiency * dt.value();
+    elapsed_seconds_ += dt.value();
+  }
 
   /// Energy accumulated so far (the meter's kWh counter, in joules).
   [[nodiscard]] Joules energy() const { return Joules{energy_joules_}; }

@@ -1,0 +1,56 @@
+// Fixed-size worker pool for the experiment runtime.
+//
+// Deliberately simple: a single FIFO queue drained by a fixed set of worker
+// threads, no work stealing, no dynamic resizing. Sweep workloads are
+// embarrassingly parallel and coarse-grained (each task is a whole Engine
+// run lasting milliseconds to seconds), so one shared mutex-protected queue
+// is nowhere near contention and keeps the scheduling order deterministic
+// and easy to reason about: tasks start in submission order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace thermctl::runtime {
+
+/// Number of workers to use when the caller does not care: the hardware
+/// concurrency, with a floor of 1 (hardware_concurrency() may return 0).
+[[nodiscard]] std::size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 picks default_thread_count()).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; workers pick tasks up in FIFO order.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;  // tasks currently executing
+  bool stopping_ = false;
+};
+
+}  // namespace thermctl::runtime

@@ -13,10 +13,4 @@ ConvectionModel::ConvectionModel(const ConvectionParams& p) : params_(p) {
   THERMCTL_ASSERT(p.r_conduction.value() >= 0.0, "conduction resistance must be non-negative");
 }
 
-KelvinPerWatt ConvectionModel::resistance(Cfm v) const {
-  THERMCTL_ASSERT(v.value() >= 0.0, "negative airflow");
-  const double g = params_.g_natural + params_.g_forced * std::pow(v.value(), params_.exponent);
-  return KelvinPerWatt{params_.r_conduction.value() + 1.0 / g};
-}
-
 }  // namespace thermctl::thermal

@@ -15,6 +15,9 @@
 // several degrees (diminishing returns of airflow).
 #pragma once
 
+#include <cmath>
+
+#include "common/assert.hpp"
 #include "common/units.hpp"
 
 namespace thermctl::thermal {
@@ -39,7 +42,11 @@ class ConvectionModel {
   explicit ConvectionModel(const ConvectionParams& p);
 
   /// Heatsink-to-ambient resistance at airflow `v`.
-  [[nodiscard]] KelvinPerWatt resistance(Cfm v) const;
+  [[nodiscard]] KelvinPerWatt resistance(Cfm v) const {
+    THERMCTL_ASSERT(v.value() >= 0.0, "negative airflow");
+    const double g = params_.g_natural + params_.g_forced * std::pow(v.value(), params_.exponent);
+    return KelvinPerWatt{params_.r_conduction.value() + 1.0 / g};
+  }
 
   /// Resistance with the fan stopped (natural convection only).
   [[nodiscard]] KelvinPerWatt still_air_resistance() const { return resistance(Cfm{0.0}); }

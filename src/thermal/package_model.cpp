@@ -13,27 +13,10 @@ PackageModel::PackageModel(const PackageParams& params)
   hs_amb_edge_ = net_.add_edge(heatsink_, ambient_, convection_.still_air_resistance());
 }
 
-void PackageModel::set_cpu_power(Watts p) { net_.set_power(die_, p); }
-
-void PackageModel::set_airflow(Cfm v) {
-  airflow_ = v;
-  net_.set_resistance(hs_amb_edge_, convection_.resistance(v));
-}
-
 void PackageModel::set_ambient(Celsius t) {
   params_.ambient = t;
   net_.set_fixed_temperature(ambient_, t);
 }
-
-void PackageModel::step(Seconds dt) { net_.step(dt); }
-
-void PackageModel::settle() { net_.settle(); }
-
-Celsius PackageModel::die_temperature() const { return net_.temperature(die_); }
-
-Celsius PackageModel::heatsink_temperature() const { return net_.temperature(heatsink_); }
-
-Celsius PackageModel::ambient_temperature() const { return net_.temperature(ambient_); }
 
 Watts PackageModel::cpu_power() const { return net_.power(die_); }
 

@@ -36,20 +36,29 @@ class PackageModel {
   explicit PackageModel(const PackageParams& params);
 
   /// Power dissipated in the die for subsequent steps.
-  void set_cpu_power(Watts p);
-  /// Airflow delivered by the fan across the heatsink.
-  void set_airflow(Cfm v);
+  void set_cpu_power(Watts p) { net_.set_power(die_, p); }
+  /// Airflow delivered by the fan across the heatsink. The convection power
+  /// law is only re-evaluated when the airflow actually moved — the fan's
+  /// rotor settles between duty changes, making steady steps free.
+  void set_airflow(Cfm v) {
+    if (airflow_set_ && v.value() == airflow_.value()) {
+      return;
+    }
+    airflow_ = v;
+    airflow_set_ = true;
+    net_.set_resistance(hs_amb_edge_, convection_.resistance(v));
+  }
   /// Chassis inlet temperature (hot-spot / HVAC scenarios).
   void set_ambient(Celsius t);
 
-  void step(Seconds dt);
+  void step(Seconds dt) { net_.step(dt); }
 
   /// Primes the model at equilibrium for the current power/airflow.
-  void settle();
+  void settle() { net_.settle(); }
 
-  [[nodiscard]] Celsius die_temperature() const;
-  [[nodiscard]] Celsius heatsink_temperature() const;
-  [[nodiscard]] Celsius ambient_temperature() const;
+  [[nodiscard]] Celsius die_temperature() const { return net_.temperature(die_); }
+  [[nodiscard]] Celsius heatsink_temperature() const { return net_.temperature(heatsink_); }
+  [[nodiscard]] Celsius ambient_temperature() const { return net_.temperature(ambient_); }
   [[nodiscard]] Cfm airflow() const { return airflow_; }
   [[nodiscard]] Watts cpu_power() const;
 
@@ -70,6 +79,7 @@ class PackageModel {
   EdgeId die_hs_edge_{};
   EdgeId hs_amb_edge_{};
   Cfm airflow_{0.0};
+  bool airflow_set_ = false;
 };
 
 }  // namespace thermctl::thermal

@@ -16,12 +16,22 @@
 // splits a requested step so that every sub-step is comfortably below the
 // smallest node time constant, which keeps the scheme stable for the stiff
 // die/heatsink combination without dragging in an implicit solver.
+//
+// step() is the simulator's innermost loop (every node of every cluster runs
+// it every physics step), so the solver keeps all of its working state in
+// preallocated members: edge adjacency is flattened into a CSR-style layout
+// rebuilt only when the topology changes, and the stability bound (smallest
+// time constant, hence the sub-step count) is cached and recomputed only
+// after a resistance change. Flux accumulation order matches the original
+// edge-ordered implementation bit-for-bit, so refactors here are verifiable
+// against recorded trajectories.
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/units.hpp"
 
 namespace thermctl::thermal {
@@ -49,12 +59,18 @@ class RcNetwork {
   /// Connects two nodes with thermal resistance `r` (> 0).
   EdgeId add_edge(NodeId a, NodeId b, KelvinPerWatt r);
 
-  /// Updates an edge's resistance (fan-dependent convection).
+  /// Updates an edge's resistance (fan-dependent convection). Cheap: the
+  /// flattened adjacency is patched in place; only the cached stability
+  /// bound is invalidated, and only when the value actually changed.
   void set_resistance(EdgeId e, KelvinPerWatt r);
   [[nodiscard]] KelvinPerWatt resistance(EdgeId e) const;
 
   /// Sets the power injected into a dynamic node for the next step(s).
-  void set_power(NodeId n, Watts p);
+  void set_power(NodeId n, Watts p) {
+    THERMCTL_ASSERT(n.index < nodes_.size(), "node out of range");
+    THERMCTL_ASSERT(!nodes_[n.index].fixed, "cannot inject power into a fixed node");
+    nodes_[n.index].power = p.value();
+  }
   [[nodiscard]] Watts power(NodeId n) const;
 
   /// Overrides a fixed node's boundary temperature (ambient drift, hot spots).
@@ -63,7 +79,10 @@ class RcNetwork {
   /// Forces a dynamic node's state (initialization / steady-state priming).
   void set_temperature(NodeId n, Celsius t);
 
-  [[nodiscard]] Celsius temperature(NodeId n) const;
+  [[nodiscard]] Celsius temperature(NodeId n) const {
+    THERMCTL_ASSERT(n.index < nodes_.size(), "node out of range");
+    return Celsius{nodes_[n.index].temperature};
+  }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] const std::string& node_name(NodeId n) const;
 
@@ -95,10 +114,32 @@ class RcNetwork {
   };
 
   void euler_substep(double dt);
+  /// Rebuilds the CSR adjacency after a topology change (node/edge added).
+  void ensure_adjacency() const;
+  /// Recomputes and caches the smallest time constant if invalidated.
+  void ensure_min_tau() const;
 
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
   std::vector<double> flux_;  // scratch: net heat into each node (W)
+
+  // CSR adjacency: node i's incident half-edges occupy
+  // [csr_offset_[i], csr_offset_[i+1]) of csr_neighbor_/csr_conductance_,
+  // in edge-insertion order (which keeps flux summation order identical to
+  // the edge-list formulation). edge_slots_ maps an edge to its two
+  // half-edge slots so set_resistance() can patch without a rebuild.
+  mutable std::vector<std::size_t> csr_offset_;
+  mutable std::vector<std::size_t> csr_neighbor_;
+  mutable std::vector<double> csr_conductance_;
+  mutable std::vector<std::pair<std::size_t, std::size_t>> edge_slots_;
+  mutable std::vector<double> node_conductance_;  // scratch for min-tau scan
+  mutable double min_tau_ = 0.0;
+  mutable bool adjacency_dirty_ = true;
+  mutable bool min_tau_dirty_ = true;
+
+  // Sub-step plan cache: valid while min_tau_ and the requested dt hold.
+  double cached_dt_ = -1.0;
+  int cached_substeps_ = 1;
 };
 
 }  // namespace thermctl::thermal

@@ -140,6 +140,13 @@ void ParallelApp::run_rank(Rank& r, GigaHertz f) {
 }
 
 std::vector<Utilization> ParallelApp::step(Seconds dt, std::span<const GigaHertz> frequencies) {
+  std::vector<Utilization> out;
+  step(dt, frequencies, out);
+  return out;
+}
+
+void ParallelApp::step(Seconds dt, std::span<const GigaHertz> frequencies,
+                       std::vector<Utilization>& out) {
   THERMCTL_ASSERT(dt.value() > 0.0, "step duration must be positive");
   THERMCTL_ASSERT(frequencies.size() == ranks_.size(), "one frequency per rank required");
   for (Rank& r : ranks_) {
@@ -180,12 +187,11 @@ std::vector<Utilization> ParallelApp::step(Seconds dt, std::span<const GigaHertz
     completion_ = elapsed_;
   }
 
-  std::vector<Utilization> out;
+  out.clear();
   out.reserve(ranks_.size());
   for (Rank& r : ranks_) {
     out.emplace_back(std::clamp(r.busy_accum / dt.value(), 0.0, 1.0));
   }
-  return out;
 }
 
 bool ParallelApp::done() const {

@@ -34,6 +34,10 @@ class ParallelApp {
   /// equal rank_count). Returns per-rank average utilization over the slice.
   std::vector<Utilization> step(Seconds dt, std::span<const GigaHertz> frequencies);
 
+  /// Allocation-free variant for the simulation hot loop: `out` is cleared
+  /// and refilled, reusing its capacity across steps.
+  void step(Seconds dt, std::span<const GigaHertz> frequencies, std::vector<Utilization>& out);
+
   [[nodiscard]] bool done() const;
 
   /// Simulated wall time consumed so far.

@@ -1,0 +1,88 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace thermctl::runtime {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerIsValidDegenerateCase) {
+  ThreadPool pool{1};
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesSubmissionOrder) {
+  // With one worker the FIFO queue is a total order — tasks run exactly in
+  // submission order (the property sweep determinism leans on).
+  ThreadPool pool{1};
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPool, WaitIdleReturnsImmediatelyWhenEmpty) {
+  ThreadPool pool{2};
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, WorkSubmittedAfterWaitIdleStillRuns) {
+  ThreadPool pool{2};
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool{2};
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        count.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsAtLeastOne) {
+  EXPECT_GE(default_thread_count(), 1u);
+  ThreadPool pool{};  // default-sized pool comes up and drains
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace thermctl::runtime
