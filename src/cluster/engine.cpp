@@ -283,6 +283,12 @@ void Engine::finalize(RunResult& result) const {
     s.freq_transitions = n.cpu().transition_count();
     s.prochot_events = n.prochot_events();
     s.prochot_seconds = n.prochot_time().value();
+
+    const hw::I2cErrorStats& io = n.fan_driver().io_stats();
+    s.i2c_retries = io.retries;
+    s.i2c_naks = io.naks;
+    s.i2c_bus_faults = io.bus_faults;
+    s.i2c_exhausted = io.exhausted;
   }
 }
 

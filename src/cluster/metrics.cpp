@@ -62,6 +62,30 @@ std::uint64_t RunResult::total_freq_transitions() const {
   return total;
 }
 
+std::uint64_t RunResult::total_i2c_retries() const {
+  std::uint64_t total = 0;
+  for (const NodeSummary& s : summaries) {
+    total += s.i2c_retries;
+  }
+  return total;
+}
+
+std::uint64_t RunResult::total_i2c_bus_faults() const {
+  std::uint64_t total = 0;
+  for (const NodeSummary& s : summaries) {
+    total += s.i2c_bus_faults;
+  }
+  return total;
+}
+
+std::uint64_t RunResult::total_i2c_exhausted() const {
+  std::uint64_t total = 0;
+  for (const NodeSummary& s : summaries) {
+    total += s.i2c_exhausted;
+  }
+  return total;
+}
+
 void RunResult::write_csv(const std::string& path, const std::string& field) const {
   std::vector<std::string> columns{"time_s"};
   for (std::size_t i = 0; i < nodes.size(); ++i) {

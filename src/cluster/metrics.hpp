@@ -50,6 +50,12 @@ struct NodeSummary {
   int prochot_events = 0;
   double prochot_seconds = 0.0;
   double seconds_above_threshold = 0.0;  // die time above the run's threshold
+  // Fault-event counters from the node's fan-driver i2c path (all zero on a
+  // clean run).
+  std::uint64_t i2c_retries = 0;
+  std::uint64_t i2c_naks = 0;        // address NAKs seen (attempt outcomes)
+  std::uint64_t i2c_bus_faults = 0;  // bus-fault attempt outcomes
+  std::uint64_t i2c_exhausted = 0;   // transfers that failed after all retries
 };
 
 struct RunResult {
@@ -66,6 +72,11 @@ struct RunResult {
   [[nodiscard]] double max_die_temp() const;
   [[nodiscard]] double avg_duty() const;
   [[nodiscard]] std::uint64_t total_freq_transitions() const;
+
+  /// Cluster totals of the per-node i2c fault counters.
+  [[nodiscard]] std::uint64_t total_i2c_retries() const;
+  [[nodiscard]] std::uint64_t total_i2c_bus_faults() const;
+  [[nodiscard]] std::uint64_t total_i2c_exhausted() const;
 
   /// Power-delay product, the paper's combined metric (Table 1): average
   /// per-node wall power × execution time.

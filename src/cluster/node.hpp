@@ -114,6 +114,7 @@ class Node {
   [[nodiscard]] hw::ThermalSensor& sensor() { return sensor_; }
   [[nodiscard]] sysfs::VirtualFs& vfs() { return vfs_; }
   [[nodiscard]] sysfs::Adt7467Driver& fan_driver() { return driver_; }
+  [[nodiscard]] const sysfs::Adt7467Driver& fan_driver() const { return driver_; }
   [[nodiscard]] sysfs::CpufreqPolicy& cpufreq() { return *cpufreq_; }
   [[nodiscard]] sysfs::HwmonDevice& hwmon() { return *hwmon_; }
   [[nodiscard]] sysfs::PowerClampDevice& powerclamp() { return *clamp_; }

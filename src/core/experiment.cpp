@@ -18,7 +18,91 @@ ExperimentConfig paper_platform() {
   return cfg;
 }
 
+std::vector<FaultEpisode> make_fault_schedule(const FaultCampaignConfig& cfg, std::size_t node,
+                                              Seconds horizon) {
+  std::vector<FaultEpisode> schedule;
+  if (!cfg.enabled || cfg.episodes_per_node <= 0) {
+    return schedule;
+  }
+  THERMCTL_ASSERT(cfg.max_duration.value() >= cfg.min_duration.value(),
+                  "fault durations inverted");
+  const double latest_start = horizon.value() - cfg.min_duration.value();
+  if (latest_start <= cfg.start_after.value()) {
+    return schedule;  // horizon too short for any episode
+  }
+  // Per-node stream: same splitmix64-style spread the cluster uses for node
+  // seeds, so schedules are independent across nodes and stable across runs.
+  Rng rng{cfg.seed * 0x9e3779b97f4a7c15ULL + node + 1};
+  schedule.reserve(static_cast<std::size_t>(cfg.episodes_per_node));
+  for (int i = 0; i < cfg.episodes_per_node; ++i) {
+    FaultEpisode e;
+    e.kind = rng.uniform() < cfg.sensor_stuck_weight ? FaultEpisode::Kind::kSensorStuck
+                                                     : FaultEpisode::Kind::kBusFault;
+    e.start = Seconds{rng.uniform(cfg.start_after.value(), latest_start)};
+    const double duration = rng.uniform(cfg.min_duration.value(), cfg.max_duration.value());
+    e.end = Seconds{std::min(e.start.value() + duration, horizon.value())};
+    schedule.push_back(e);
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const FaultEpisode& a, const FaultEpisode& b) {
+              return a.start.value() < b.start.value();
+            });
+  return schedule;
+}
+
 namespace {
+
+/// Walks one node's fault schedule as edge events; overlapping episodes of
+/// the same kind are refcounted so a fault clears only when the last
+/// overlapping episode ends.
+struct FaultApplier {
+  struct Edge {
+    double t = 0.0;
+    FaultEpisode::Kind kind{};
+    int delta = 0;  // +1 start, -1 end
+  };
+
+  cluster::Node* node = nullptr;
+  std::vector<Edge> edges;
+  std::size_t next = 0;
+  int stuck_active = 0;
+  int bus_active = 0;
+
+  explicit FaultApplier(cluster::Node& n, const std::vector<FaultEpisode>& schedule) : node(&n) {
+    edges.reserve(schedule.size() * 2);
+    for (const FaultEpisode& e : schedule) {
+      edges.push_back({e.start.value(), e.kind, +1});
+      edges.push_back({e.end.value(), e.kind, -1});
+    }
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      if (a.t != b.t) return a.t < b.t;
+      return a.delta < b.delta;  // ends before starts at the same instant
+    });
+  }
+
+  void tick(SimTime now) {
+    while (next < edges.size() && edges[next].t <= now.seconds()) {
+      const Edge& e = edges[next++];
+      int& active =
+          e.kind == FaultEpisode::Kind::kSensorStuck ? stuck_active : bus_active;
+      const int before = active;
+      active += e.delta;
+      if (e.kind == FaultEpisode::Kind::kSensorStuck) {
+        if (before == 0 && active > 0) {
+          node->sensor().inject_stuck_fault();
+        } else if (before > 0 && active == 0) {
+          node->sensor().clear_fault();
+        }
+      } else {
+        if (before == 0 && active > 0) {
+          node->i2c().inject_bus_fault();
+        } else if (before > 0 && active == 0) {
+          node->i2c().clear_bus_fault();
+        }
+      }
+    }
+  }
+};
 
 /// Everything the harness allocates for a run; kept alive until the engine
 /// finishes.
@@ -30,7 +114,27 @@ struct Rig {
   std::vector<std::unique_ptr<DynamicFanController>> fans;
   std::vector<std::unique_ptr<TdvfsDaemon>> tdvfs;
   std::vector<std::unique_ptr<CpuspeedGovernor>> cpuspeed;
+  std::vector<std::unique_ptr<FaultApplier>> fault_appliers;
 };
+
+/// Registers the fault-injection walker for every node. Must run before the
+/// controllers are registered so a tick's faults are in force by the time
+/// the controllers sample.
+void build_fault_campaign(Rig& rig, const ExperimentConfig& config, Seconds horizon,
+                          ExperimentResult& result) {
+  if (!config.faults.enabled) {
+    return;
+  }
+  result.fault_schedules.resize(config.nodes);
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    result.fault_schedules[i] = make_fault_schedule(config.faults, i, horizon);
+    auto applier = std::make_unique<FaultApplier>(rig.cluster->node(i), result.fault_schedules[i]);
+    FaultApplier* raw = applier.get();
+    rig.fault_appliers.push_back(std::move(applier));
+    rig.engine->add_periodic(config.node_params.sample_period,
+                             [raw](SimTime now) { raw->tick(now); });
+  }
+}
 
 void build_workload(Rig& rig, const ExperimentConfig& config) {
   Rng rng{config.seed};
@@ -123,6 +227,8 @@ void build_fan_policy(Rig& rig, const ExperimentConfig& config) {
         FanControlConfig fc = config.fan_cfg;
         fc.pp = config.pp;
         fc.max_duty = config.max_duty;
+        fc.fault_aware = config.fault_aware;
+        fc.health = config.health;
         auto controller = std::make_unique<DynamicFanController>(node.hwmon(), fc);
         DynamicFanController* raw = controller.get();
         rig.fans.push_back(std::move(controller));
@@ -143,6 +249,8 @@ void build_dvfs_policy(Rig& rig, const ExperimentConfig& config) {
       case DvfsPolicyKind::kTdvfs: {
         TdvfsConfig tc = config.tdvfs;
         tc.pp = config.pp;
+        tc.fault_aware = config.fault_aware;
+        tc.health = config.health;
         auto daemon = std::make_unique<TdvfsDaemon>(node.hwmon(), node.cpufreq(), tc);
         TdvfsDaemon* raw = daemon.get();
         rig.tdvfs.push_back(std::move(daemon));
@@ -192,11 +300,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   rig.engine = std::make_unique<cluster::Engine>(*rig.cluster, engine_cfg);
 
+  ExperimentResult result;
   build_workload(rig, config);
+  build_fault_campaign(rig, config, engine_cfg.horizon, result);
   build_fan_policy(rig, config);
   build_dvfs_policy(rig, config);
 
-  ExperimentResult result;
   result.run = rig.engine->run();
 
   result.tdvfs_events.resize(config.nodes);
@@ -211,6 +320,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   for (std::size_t i = 0; i < rig.fans.size(); ++i) {
     result.fan_events[i] = rig.fans[i]->events();
+  }
+
+  ControllerFaultStats& fs = result.fault_stats;
+  for (const auto& fan : rig.fans) {
+    fs.failsafe_entries += fan->failsafe_entries();
+    fs.failsafe_exits += fan->failsafe_exits();
+    if (const SensorHealthMonitor* m = fan->health(); m != nullptr) {
+      fs.sensor_rejected += m->stats().rejected;
+      fs.sensor_stuck_detections += m->stats().stuck_detections;
+      fs.sensor_failures += m->stats().failures;
+      fs.sensor_recoveries += m->stats().recoveries;
+    }
+  }
+  for (const auto& daemon : rig.tdvfs) {
+    fs.dvfs_hold_entries += daemon->hold_entries();
+    fs.dvfs_held_ticks += daemon->held_ticks();
+    if (const SensorHealthMonitor* m = daemon->health(); m != nullptr) {
+      fs.sensor_rejected += m->stats().rejected;
+      fs.sensor_stuck_detections += m->stats().stuck_detections;
+      fs.sensor_failures += m->stats().failures;
+      fs.sensor_recoveries += m->stats().recoveries;
+    }
   }
   return result;
 }

@@ -50,6 +50,50 @@ enum class WorkloadKind {
   kFig2Profile,    // the sudden/gradual/jitter composite
 };
 
+/// One scheduled fault episode on one node (half-open interval, sim time).
+struct FaultEpisode {
+  enum class Kind : std::uint8_t {
+    kSensorStuck,  // thermal sensor freezes at its last conversion
+    kBusFault,     // i2c transfers fail electrically
+  };
+  Kind kind{};
+  Seconds start{0.0};
+  Seconds end{0.0};
+};
+
+/// Randomized fault campaign: every node gets a seeded, reproducible
+/// schedule of sensor-stuck and bus-fault episodes. Pairs with
+/// `ExperimentConfig::fault_aware` to exercise the degradation paths; with
+/// it off, the same campaign shows what the blind controller does instead.
+struct FaultCampaignConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+  int episodes_per_node = 2;
+  /// No episode starts before this (lets the controllers reach steady state).
+  Seconds start_after{20.0};
+  Seconds min_duration{10.0};
+  Seconds max_duration{30.0};
+  /// Probability an episode is kSensorStuck (the rest are kBusFault).
+  double sensor_stuck_weight = 0.5;
+};
+
+/// The deterministic schedule for `node` (sorted by start time). Exposed so
+/// tests can assert exactly which faults a run saw.
+[[nodiscard]] std::vector<FaultEpisode> make_fault_schedule(const FaultCampaignConfig& cfg,
+                                                            std::size_t node, Seconds horizon);
+
+/// Cluster-wide controller-side fault counters (sums over all nodes).
+struct ControllerFaultStats {
+  std::uint64_t failsafe_entries = 0;      // fan fail-safe cooling entries
+  std::uint64_t failsafe_exits = 0;        // ... and recoveries out of it
+  std::uint64_t dvfs_hold_entries = 0;     // tDVFS frequency-hold entries
+  std::uint64_t dvfs_held_ticks = 0;       // ticks spent holding
+  std::uint64_t sensor_rejected = 0;       // readings rejected by the monitors
+  std::uint64_t sensor_stuck_detections = 0;
+  std::uint64_t sensor_failures = 0;       // confirmed-failure entries
+  std::uint64_t sensor_recoveries = 0;
+};
+
 struct ExperimentConfig {
   std::string name = "experiment";
   std::size_t nodes = 4;
@@ -75,6 +119,14 @@ struct ExperimentConfig {
   cluster::NodeParams node_params{};
   cluster::EngineConfig engine{};
   std::uint64_t seed = 20260708;
+
+  /// Sensor-health gating for the dynamic fan and tDVFS controllers (one
+  /// knob for both, like Pp). Off by default: zero-fault runs are
+  /// bit-identical with it on or off, but the default keeps the paper's
+  /// blind-controller behaviour exact under injected faults too.
+  bool fault_aware = false;
+  SensorHealthConfig health{};
+  FaultCampaignConfig faults{};
 };
 
 struct ExperimentResult {
@@ -85,6 +137,10 @@ struct ExperimentResult {
   std::vector<std::vector<FanEvent>> fan_events;
   /// First DVFS intervention time across the cluster (-1 if none).
   double first_dvfs_trigger_s = -1.0;
+  /// Controller-side fault counters (all zero unless fault_aware was set).
+  ControllerFaultStats fault_stats;
+  /// The fault schedule each node actually ran (empty when no campaign).
+  std::vector<std::vector<FaultEpisode>> fault_schedules;
 };
 
 /// Builds, runs and tears down one experiment.

@@ -28,7 +28,11 @@ DynamicFanController::DynamicFanController(sysfs::HwmonDevice& hwmon, FanControl
       config_(config),
       array_(duty_modes(config), config.array_size, config.pp),
       selector_(config.selector, config.array_size),
-      window_(config.window) {}
+      window_(config.window) {
+  if (config_.fault_aware) {
+    health_.emplace(config_.health);
+  }
+}
 
 DutyCycle DynamicFanController::current_duty() const {
   return DutyCycle{array_.mode(index_)};
@@ -42,7 +46,7 @@ void DynamicFanController::set_policy(PolicyParam pp) {
 }
 
 void DynamicFanController::on_sample(SimTime now) {
-  const Celsius reading = hwmon_.read_temperature();
+  Celsius reading = hwmon_.read_temperature();
 
   if (!initialized_) {
     // Take over from the BIOS/auto mode: claim manual PWM control, then
@@ -53,6 +57,45 @@ void DynamicFanController::on_sample(SimTime now) {
       hwmon_.write_pwm(DutyCycle{array_.least_effective()});
     }
     initialized_ = true;
+  }
+
+  if (health_.has_value()) {
+    const SensorState state = health_->observe(now, reading);
+    if (health_->failed()) {
+      if (!failsafe_) {
+        failsafe_ = true;
+        failsafe_applied_ = false;
+        ++failsafe_entries_;
+        window_.reset();  // history under a dead sensor predicts nothing
+        THERMCTL_LOG_DEBUG("fanctl", "t=%.2fs sensor failed; fail-safe cooling", now.seconds());
+      }
+      // Blind on temperature ⇒ cool as hard as the array allows. Keep
+      // retrying the write: the sensor fault may coincide with a bus fault,
+      // and the whole point is to reach max cooling as soon as the bus lets
+      // us.
+      if (!failsafe_applied_ && hwmon_.write_pwm(DutyCycle{array_.most_effective()})) {
+        failsafe_applied_ = true;
+      }
+      return;
+    }
+    if (failsafe_) {
+      // Recovered: resume normal control from the fail-safe operating point;
+      // the window machinery walks the duty back down as readings warrant.
+      failsafe_ = false;
+      ++failsafe_exits_;
+      index_ = array_.size() - 1;
+      window_.reset();
+      THERMCTL_LOG_DEBUG("fanctl", "t=%.2fs sensor recovered; resuming control", now.seconds());
+    }
+    if (state != SensorState::kOk) {
+      // Isolated bad sample below the failure threshold: bridge with the
+      // last good reading rather than steering on garbage.
+      const auto good = health_->last_good();
+      if (!good.has_value()) {
+        return;
+      }
+      reading = *good;
+    }
   }
 
   const auto round = window_.add_sample(reading);
@@ -67,14 +110,21 @@ void DynamicFanController::on_sample(SimTime now) {
 
   const double from = array_.mode(index_);
   const double to = array_.mode(decision.target);
-  index_ = decision.target;
-  if (to != from) {
-    if (hwmon_.write_pwm(DutyCycle{to})) {
-      ++retargets_;
-      events_.push_back(FanEvent{now.seconds(), from, to, decision.used_level2});
-      THERMCTL_LOG_DEBUG("fanctl", "t=%.2fs duty %.0f%% -> %.0f%% (%s)", now.seconds(), from,
-                         to, decision.used_level2 ? "gradual" : "sudden");
-    }
+  if (to == from) {
+    // Distinct cells can hold the same duty (Eq. (1) duplicates); track the
+    // index without touching the hardware.
+    index_ = decision.target;
+    return;
+  }
+  if (hwmon_.write_pwm(DutyCycle{to})) {
+    // Commit the index only once the duty actually reached the chip —
+    // otherwise a bus fault would desynchronize the controller's belief
+    // from the hardware.
+    index_ = decision.target;
+    ++retargets_;
+    events_.push_back(FanEvent{now.seconds(), from, to, decision.used_level2});
+    THERMCTL_LOG_DEBUG("fanctl", "t=%.2fs duty %.0f%% -> %.0f%% (%s)", now.seconds(), from,
+                       to, decision.used_level2 ? "gradual" : "sudden");
   }
 }
 

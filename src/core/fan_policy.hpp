@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/sim_time.hpp"
@@ -26,6 +27,7 @@
 #include "core/control_array.hpp"
 #include "core/mode_selector.hpp"
 #include "core/policy.hpp"
+#include "core/sensor_health.hpp"
 #include "core/two_level_window.hpp"
 #include "sysfs/adt7467_driver.hpp"
 #include "sysfs/hwmon.hpp"
@@ -41,6 +43,12 @@ struct FanControlConfig {
   DutyCycle max_duty{100.0};
   ModeSelectorConfig selector{};
   WindowConfig window{};
+  /// Gate readings through a SensorHealthMonitor and fail safe (escalate to
+  /// the array's most effective mode) on confirmed sensor failure. Off by
+  /// default: the paper's controller trusts its sensor, and zero-fault runs
+  /// must behave identically either way.
+  bool fault_aware = false;
+  SensorHealthConfig health{};
 };
 
 /// One controller retarget, for figure annotations and tests.
@@ -65,6 +73,15 @@ class DynamicFanController {
   [[nodiscard]] const std::vector<FanEvent>& events() const { return events_; }
   [[nodiscard]] std::uint64_t retarget_count() const { return retargets_; }
 
+  /// Fail-safe cooling state (only ever true when `fault_aware` is set).
+  [[nodiscard]] bool in_failsafe() const { return failsafe_; }
+  [[nodiscard]] std::uint64_t failsafe_entries() const { return failsafe_entries_; }
+  [[nodiscard]] std::uint64_t failsafe_exits() const { return failsafe_exits_; }
+  /// The gating monitor, or nullptr when not fault-aware.
+  [[nodiscard]] const SensorHealthMonitor* health() const {
+    return health_.has_value() ? &*health_ : nullptr;
+  }
+
   /// Re-tunes the policy parameter at runtime.
   void set_policy(PolicyParam pp);
 
@@ -80,6 +97,11 @@ class DynamicFanController {
   bool initialized_ = false;
   std::vector<FanEvent> events_;
   std::uint64_t retargets_ = 0;
+  std::optional<SensorHealthMonitor> health_;
+  bool failsafe_ = false;
+  bool failsafe_applied_ = false;  // fail-safe duty reached the chip
+  std::uint64_t failsafe_entries_ = 0;
+  std::uint64_t failsafe_exits_ = 0;
 };
 
 /// Applies the traditional static policy: programs the Fig. 1 curve into the

@@ -1,5 +1,6 @@
 #include "core/mode_selector.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.hpp"
@@ -15,12 +16,19 @@ ModeSelector::ModeSelector(ModeSelectorConfig config, std::size_t array_size)
 }
 
 std::size_t ModeSelector::apply(std::size_t current, CelsiusDelta dt) const {
+  if (!std::isfinite(dt.value())) {
+    // A NaN/Inf variation carries no directional information; stay put
+    // rather than feed UB into the double→long cast below.
+    return current;
+  }
   if (std::abs(dt.value()) < config_.deadband.value()) {
     return current;
   }
   // Truncation toward zero: a variation must be worth at least one full cell
-  // before the mode moves.
-  const double raw = c_ * dt.value();
+  // before the mode moves. The cast is UB for values outside long's range,
+  // so clamp first — no useful step ever exceeds the whole array anyway.
+  const double limit = static_cast<double>(array_size_ - 1);
+  const double raw = std::clamp(c_ * dt.value(), -limit, limit);
   const long step = static_cast<long>(raw);
   long target = static_cast<long>(current) + step;
   if (target < 0) {

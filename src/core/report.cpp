@@ -38,6 +38,27 @@ std::string render_report(const ExperimentResult& result, const ReportOptions& o
   std::ostringstream out;
   out << render_verdict(result) << "\n";
 
+  // Fault accounting, printed only when something actually happened so
+  // clean-run reports are byte-identical to the pre-fault-handling format.
+  const ControllerFaultStats& fs = result.fault_stats;
+  const std::uint64_t i2c_retries = result.run.total_i2c_retries();
+  const std::uint64_t i2c_bus_faults = result.run.total_i2c_bus_faults();
+  const std::uint64_t i2c_exhausted = result.run.total_i2c_exhausted();
+  if (i2c_retries + i2c_bus_faults + i2c_exhausted != 0) {
+    out << "i2c faults: " << i2c_bus_faults << " bus faults, " << i2c_retries << " retries, "
+        << i2c_exhausted << " transfers exhausted\n";
+  }
+  if (fs.sensor_rejected + fs.sensor_stuck_detections + fs.sensor_failures != 0) {
+    out << "sensor health: " << fs.sensor_rejected << " rejected, "
+        << fs.sensor_stuck_detections << " stuck detections, " << fs.sensor_failures
+        << " failures, " << fs.sensor_recoveries << " recoveries\n";
+  }
+  if (fs.failsafe_entries + fs.dvfs_hold_entries != 0) {
+    out << "degradation: " << fs.failsafe_entries << " fail-safe entries ("
+        << fs.failsafe_exits << " exits), " << fs.dvfs_hold_entries << " DVFS holds ("
+        << fs.dvfs_held_ticks << " held ticks)\n";
+  }
+
   if (options.per_node) {
     TextTable table{{"node", "avg die (degC)", "max die", "avg duty (%)", "avg power (W)",
                      "freq changes", "PROCHOT"}};

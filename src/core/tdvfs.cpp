@@ -31,6 +31,9 @@ TdvfsDaemon::TdvfsDaemon(sysfs::HwmonDevice& hwmon, sysfs::CpufreqPolicy& cpufre
       window_(config.window) {
   THERMCTL_ASSERT(config_.consistency_rounds >= 1, "consistency must be >= 1 round");
   THERMCTL_ASSERT(config_.restore_rounds >= 1, "restore consistency must be >= 1 round");
+  if (config_.fault_aware) {
+    health_.emplace(config_.health);
+  }
 }
 
 GigaHertz TdvfsDaemon::current_target() const { return GigaHertz{array_.mode(index_)}; }
@@ -54,7 +57,39 @@ void TdvfsDaemon::retarget(SimTime now, std::size_t target) {
 }
 
 void TdvfsDaemon::on_sample(SimTime now) {
-  const auto round = window_.add_sample(hwmon_.read_temperature());
+  Celsius reading = hwmon_.read_temperature();
+
+  if (health_.has_value()) {
+    const SensorState state = health_->observe(now, reading);
+    if (health_->failed()) {
+      if (!holding_) {
+        holding_ = true;
+        ++hold_entries_;
+        // Forget the pre-failure trend; whatever consistency was building
+        // was built on readings we now distrust.
+        rounds_above_ = 0;
+        rounds_below_ = 0;
+        window_.reset();
+        THERMCTL_LOG_INFO("tdvfs", "t=%.2fs sensor failed; holding %.1f GHz", now.seconds(),
+                          array_.mode(index_));
+      }
+      ++held_ticks_;
+      return;
+    }
+    if (holding_) {
+      holding_ = false;
+      THERMCTL_LOG_INFO("tdvfs", "t=%.2fs sensor recovered; resuming control", now.seconds());
+    }
+    if (state != SensorState::kOk) {
+      const auto good = health_->last_good();
+      if (!good.has_value()) {
+        return;
+      }
+      reading = *good;
+    }
+  }
+
+  const auto round = window_.add_sample(reading);
   if (!round.has_value()) {
     return;
   }

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/sim_time.hpp"
@@ -28,6 +29,7 @@
 #include "core/control_array.hpp"
 #include "core/mode_selector.hpp"
 #include "core/policy.hpp"
+#include "core/sensor_health.hpp"
 #include "core/two_level_window.hpp"
 #include "sysfs/cpufreq.hpp"
 #include "sysfs/hwmon.hpp"
@@ -52,6 +54,12 @@ struct TdvfsConfig {
   std::size_t array_size = 16;
   ModeSelectorConfig selector{};
   WindowConfig window{};
+  /// Gate readings through a SensorHealthMonitor and *hold* the current
+  /// frequency on confirmed sensor failure: scaling on garbage would
+  /// oscillate, and the fan's fail-safe already covers cooling. Off by
+  /// default for bit-identical zero-fault behaviour.
+  bool fault_aware = false;
+  SensorHealthConfig health{};
 };
 
 struct TdvfsEvent {
@@ -72,6 +80,15 @@ class TdvfsDaemon {
   [[nodiscard]] const std::vector<TdvfsEvent>& events() const { return events_; }
   [[nodiscard]] const ThermalControlArray& array() const { return array_; }
 
+  /// Frequency-hold state (only ever true when `fault_aware` is set).
+  [[nodiscard]] bool holding() const { return holding_; }
+  [[nodiscard]] std::uint64_t hold_entries() const { return hold_entries_; }
+  [[nodiscard]] std::uint64_t held_ticks() const { return held_ticks_; }
+  /// The gating monitor, or nullptr when not fault-aware.
+  [[nodiscard]] const SensorHealthMonitor* health() const {
+    return health_.has_value() ? &*health_ : nullptr;
+  }
+
   void set_policy(PolicyParam pp);
 
  private:
@@ -87,6 +104,10 @@ class TdvfsDaemon {
   int rounds_above_ = 0;
   int rounds_below_ = 0;
   std::vector<TdvfsEvent> events_;
+  std::optional<SensorHealthMonitor> health_;
+  bool holding_ = false;
+  std::uint64_t hold_entries_ = 0;
+  std::uint64_t held_ticks_ = 0;
 };
 
 }  // namespace thermctl::core

@@ -7,6 +7,12 @@ UnifiedConfig UnifiedController::harmonize(UnifiedConfig config) {
   config.fan.pp = config.pp;
   config.tdvfs.pp = config.pp;
   config.idle.pp = config.pp;
+  // Fault-awareness is likewise a single knob: both gated techniques see the
+  // same classification thresholds.
+  config.fan.fault_aware = config.fault_aware;
+  config.fan.health = config.health;
+  config.tdvfs.fault_aware = config.fault_aware;
+  config.tdvfs.health = config.health;
   return config;
 }
 

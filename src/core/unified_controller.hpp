@@ -29,6 +29,13 @@ struct UnifiedConfig {
   /// tdvfs.threshold so it only engages when DVFS alone is losing.
   bool enable_idle_injection = false;
   IdleInjectionConfig idle{};
+  /// Shared fault-awareness knob, harmonized into both sub-controllers the
+  /// same way Pp is: each keeps its own SensorHealthMonitor (they classify
+  /// the same stream but degrade differently — fan fails safe to maximum
+  /// cooling, tDVFS holds). The idle-injection backstop is not gated; it is
+  /// already the defence of last resort.
+  bool fault_aware = false;
+  SensorHealthConfig health{};
 };
 
 class UnifiedController {

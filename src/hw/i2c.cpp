@@ -1,5 +1,7 @@
 #include "hw/i2c.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
 
 namespace thermctl::hw {
@@ -15,14 +17,24 @@ void I2cBus::detach(std::uint8_t address) { devices_.erase(address); }
 
 void I2cBus::record(I2cTransaction t) {
   if (log_limit_ != 0 && log_.size() >= log_limit_) {
-    log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(log_limit_ / 2));
+    // Evict at least one entry so a limit of 1 still caps the log.
+    const std::size_t evict = std::max<std::size_t>(log_limit_ / 2, 1);
+    log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(evict));
   }
   log_.push_back(t);
 }
 
+bool I2cBus::transfer_faulted() {
+  if (transient_faults_ > 0) {
+    --transient_faults_;
+    return true;
+  }
+  return faulted_;
+}
+
 I2cStatus I2cBus::read_byte_data(std::uint8_t address, std::uint8_t reg, std::uint8_t& out) {
   I2cTransaction t{address, reg, 0, /*is_write=*/false, I2cStatus::kOk};
-  if (faulted_) {
+  if (transfer_faulted()) {
     t.status = I2cStatus::kBusFault;
   } else if (auto it = devices_.find(address); it == devices_.end()) {
     t.status = I2cStatus::kAddressNak;
@@ -38,7 +50,7 @@ I2cStatus I2cBus::read_byte_data(std::uint8_t address, std::uint8_t reg, std::ui
 
 I2cStatus I2cBus::write_byte_data(std::uint8_t address, std::uint8_t reg, std::uint8_t value) {
   I2cTransaction t{address, reg, value, /*is_write=*/true, I2cStatus::kOk};
-  if (faulted_) {
+  if (transfer_faulted()) {
     t.status = I2cStatus::kBusFault;
   } else if (auto it = devices_.find(address); it == devices_.end()) {
     t.status = I2cStatus::kAddressNak;

@@ -59,6 +59,12 @@ class I2cBus {
   void inject_bus_fault() { faulted_ = true; }
   void clear_bus_fault() { faulted_ = false; }
 
+  /// Injects a transient glitch: the next `transfers` transfers fail with
+  /// kBusFault, then the bus recovers on its own — the failure mode a
+  /// retry-with-backoff master is designed to ride out.
+  void inject_transient_bus_fault(int transfers) { transient_faults_ = transfers; }
+  [[nodiscard]] bool faulted() const { return faulted_ || transient_faults_ > 0; }
+
   [[nodiscard]] const std::vector<I2cTransaction>& log() const { return log_; }
   void clear_log() { log_.clear(); }
   /// Caps the log so long simulations don't grow unbounded (0 = unlimited).
@@ -67,10 +73,14 @@ class I2cBus {
  private:
   void record(I2cTransaction t);
 
+  /// Consumes one transfer's worth of fault state; true if it failed.
+  bool transfer_faulted();
+
   std::map<std::uint8_t, I2cSlave*> devices_;
   std::vector<I2cTransaction> log_;
   std::size_t log_limit_ = 4096;
   bool faulted_ = false;
+  int transient_faults_ = 0;
 };
 
 }  // namespace thermctl::hw

@@ -1,0 +1,83 @@
+// Retry-with-bounded-backoff wrapper around the i2c bus.
+//
+// Real SMBus links drop transfers: electrical glitches surface as bus faults,
+// a busy or resetting device NAKs its own address. Production drivers
+// (i2c-core's adapter retries, lm-sensors fault paths) retry such transfers a
+// bounded number of times with a short backoff before reporting failure
+// upward. This wrapper gives the simulated ADT7467 driver the same posture:
+// transient faults are absorbed inside one transfer call, persistent faults
+// exhaust the budget and fail fast, and every outcome is counted per device
+// so fault-event totals can flow into the cluster metrics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "hw/i2c.hpp"
+
+namespace thermctl::hw {
+
+struct I2cRetryConfig {
+  /// Total attempts per transfer (first try included). 1 disables retry.
+  int max_attempts = 3;
+  /// Backoff before the first retry; doubles each further retry.
+  std::uint64_t base_backoff_us = 100;
+  /// Cap on any single backoff interval.
+  std::uint64_t max_backoff_us = 2000;
+};
+
+/// Per-device (and aggregate) transfer outcome counters.
+struct I2cErrorStats {
+  std::uint64_t transfers = 0;      // transfer calls (not attempts)
+  std::uint64_t retries = 0;        // extra attempts beyond the first
+  std::uint64_t naks = 0;           // address-NAK attempt outcomes
+  std::uint64_t register_naks = 0;  // register-NAK outcomes (never retried)
+  std::uint64_t bus_faults = 0;     // bus-fault attempt outcomes
+  std::uint64_t exhausted = 0;      // transfers that failed after all attempts
+  std::uint64_t backoff_us = 0;     // total backoff delay accounted
+
+  I2cErrorStats& operator+=(const I2cErrorStats& o) {
+    transfers += o.transfers;
+    retries += o.retries;
+    naks += o.naks;
+    register_naks += o.register_naks;
+    bus_faults += o.bus_faults;
+    exhausted += o.exhausted;
+    backoff_us += o.backoff_us;
+    return *this;
+  }
+};
+
+class RetryingI2cMaster {
+ public:
+  explicit RetryingI2cMaster(I2cBus& bus, I2cRetryConfig config = {});
+
+  /// SMBus transfers with the retry budget applied. On failure `out` is left
+  /// untouched (same contract as the raw bus).
+  I2cStatus read_byte_data(std::uint8_t address, std::uint8_t reg, std::uint8_t& out);
+  I2cStatus write_byte_data(std::uint8_t address, std::uint8_t reg, std::uint8_t value);
+
+  [[nodiscard]] const I2cErrorStats& stats(std::uint8_t address) const;
+  /// Aggregate over every device this master has talked to.
+  [[nodiscard]] I2cErrorStats total() const;
+
+  [[nodiscard]] const I2cRetryConfig& config() const { return config_; }
+  [[nodiscard]] I2cBus& bus() { return bus_; }
+
+ private:
+  /// True when `status` is worth another attempt: bus faults and address
+  /// NAKs look transient; a register NAK is a deterministic protocol
+  /// rejection and retrying it would just repeat the answer.
+  static bool retryable(I2cStatus status);
+
+  /// Tracks the outcome of one attempt and, for retryable failures with
+  /// budget left, accounts the capped-exponential backoff. Returns true when
+  /// another attempt should be made.
+  bool note_attempt(I2cErrorStats& s, I2cStatus status, int attempt);
+
+  I2cBus& bus_;
+  I2cRetryConfig config_;
+  std::map<std::uint8_t, I2cErrorStats> stats_;
+};
+
+}  // namespace thermctl::hw

@@ -35,7 +35,15 @@ class ThermalSensor {
   /// Most recent reading without resampling (sample-and-hold).
   [[nodiscard]] Celsius last_reading() const { return last_; }
 
-  /// Fault injection: the sensor reports a frozen value until cleared.
+  /// True once at least one real reading exists. Before that,
+  /// `last_reading()` is the constructed 0.0 °C placeholder — callers that
+  /// can observe the sensor pre-settle should check this first.
+  [[nodiscard]] bool ready() const { return has_reading_; }
+
+  /// Fault injection: the sensor reports a frozen value until cleared. A
+  /// fault injected before the first `sample()` does NOT freeze the 0.0 °C
+  /// placeholder: the first sample still takes a real reading and sticks
+  /// there (a frozen register holds its last conversion, not reset garbage).
   void inject_stuck_fault() { stuck_ = true; }
   void clear_fault() { stuck_ = false; }
   [[nodiscard]] bool faulted() const { return stuck_; }

@@ -6,6 +6,8 @@
 // manual behaviour, and exposes duty/temperature/RPM operations — all
 // implemented as i2c register transactions, never as direct object access.
 // Errors surface as status codes the way -EIO would from a real driver.
+// Transfers go through a retry-with-backoff master, so transient bus glitches
+// are absorbed below the driver API and counted in `io_stats()`.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +16,7 @@
 #include "common/units.hpp"
 #include "hw/adt7467.hpp"
 #include "hw/i2c.hpp"
+#include "hw/i2c_retry.hpp"
 
 namespace thermctl::sysfs {
 
@@ -28,7 +31,8 @@ class Adt7467Driver {
   /// Typical ADT7467 SMBus address.
   static constexpr std::uint8_t kDefaultAddress = 0x2E;
 
-  Adt7467Driver(hw::I2cBus& bus, std::uint8_t address = kDefaultAddress);
+  Adt7467Driver(hw::I2cBus& bus, std::uint8_t address = kDefaultAddress,
+                hw::I2cRetryConfig retry = {});
 
   /// Verifies device/company IDs and switches PWM1 to manual behaviour.
   /// Must succeed before the control operations are used.
@@ -60,11 +64,14 @@ class Adt7467Driver {
   /// emulate less powerful fans under the traditional policy.
   DriverStatus set_max_duty(DutyCycle max_duty);
 
+  /// Transfer/retry/fault counters for this driver's device address.
+  [[nodiscard]] const hw::I2cErrorStats& io_stats() const { return master_.stats(address_); }
+
  private:
   DriverStatus read_reg(std::uint8_t reg, std::uint8_t& out);
   DriverStatus write_reg(std::uint8_t reg, std::uint8_t value);
 
-  hw::I2cBus& bus_;
+  hw::RetryingI2cMaster master_;
   std::uint8_t address_;
   bool probed_ = false;
 };

@@ -25,6 +25,10 @@ RunResult sample_result() {
   r.summaries[1].max_die_temp = 45.0;
   r.summaries[0].freq_transitions = 101;
   r.summaries[1].freq_transitions = 2;
+  r.summaries[0].i2c_retries = 3;
+  r.summaries[1].i2c_retries = 2;
+  r.summaries[0].i2c_bus_faults = 4;
+  r.summaries[1].i2c_exhausted = 1;
   return r;
 }
 
@@ -41,6 +45,21 @@ TEST(Metrics, ClusterAverages) {
   EXPECT_NEAR(r.avg_die_temp(), (41.5 + 43.5) / 2.0, 1e-9);
   EXPECT_DOUBLE_EQ(r.max_die_temp(), 45.0);
   EXPECT_EQ(r.total_freq_transitions(), 103u);
+}
+
+TEST(Metrics, I2cFaultCountersSumAcrossNodes) {
+  const RunResult r = sample_result();
+  EXPECT_EQ(r.total_i2c_retries(), 5u);
+  EXPECT_EQ(r.total_i2c_bus_faults(), 4u);
+  EXPECT_EQ(r.total_i2c_exhausted(), 1u);
+}
+
+TEST(Metrics, I2cFaultCountersDefaultToZero) {
+  RunResult r;
+  r.summaries.resize(2);
+  EXPECT_EQ(r.total_i2c_retries(), 0u);
+  EXPECT_EQ(r.total_i2c_bus_faults(), 0u);
+  EXPECT_EQ(r.total_i2c_exhausted(), 0u);
 }
 
 TEST(Metrics, PowerDelayProduct) {

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "common/sim_time.hpp"
 #include "hw/adt7467.hpp"
 #include "hw/cpu_device.hpp"
 #include "hw/i2c.hpp"

@@ -118,6 +118,53 @@ TEST(ControlArray, SetPolicyRefills) {
   EXPECT_GT(arr.mode(40), before);
 }
 
+TEST(ControlArray, SetPolicyMatchesFreshConstruction) {
+  // A runtime re-tune must land on exactly the fill a fresh array built
+  // with the new Pp would have — no history leaks through set_policy.
+  for (int from : {1, 25, 75, 100}) {
+    for (int to : {1, 33, 66, 100}) {
+      ThermalControlArray retuned{duty_1_to(75), 100, PolicyParam{from}};
+      retuned.set_policy(PolicyParam{to});
+      const ThermalControlArray fresh{duty_1_to(75), 100, PolicyParam{to}};
+      ASSERT_EQ(retuned.np(), fresh.np()) << from << "->" << to;
+      for (std::size_t i = 0; i < retuned.size(); ++i) {
+        ASSERT_DOUBLE_EQ(retuned.mode(i), fresh.mode(i))
+            << from << "->" << to << " cell " << i;
+      }
+    }
+  }
+}
+
+TEST(ControlArray, SetPolicyKeepsNonDescendingInvariant) {
+  // Walk the whole Pp range over a duplicate-heavy geometry (N > physical
+  // modes) and check the effectiveness ordering survives every refill.
+  const std::vector<double> freqs{2.4, 2.2, 2.0, 1.8, 1.0};
+  ThermalControlArray arr{freqs, 16, PolicyParam{50}};
+  for (int pp = 1; pp <= 100; ++pp) {
+    arr.set_policy(PolicyParam{pp});
+    EXPECT_EQ(arr.policy().value, pp);
+    for (std::size_t i = 1; i < arr.size(); ++i) {
+      ASSERT_LE(arr.mode(i), arr.mode(i - 1) + 1e-12) << "Pp=" << pp << " i=" << i;
+    }
+    EXPECT_DOUBLE_EQ(arr.least_effective(), 2.4);
+    EXPECT_DOUBLE_EQ(arr.most_effective(), 1.0);
+  }
+}
+
+TEST(ControlArray, SetPolicyBoundaryFlip) {
+  // Pp 1 ↔ 100 are Eq. (1)'s extremes: n_p snaps between 1 and N, and the
+  // interior cells flip between all-strongest and the gentle ramp.
+  ThermalControlArray arr{duty_1_to(100), 100, PolicyParam{1}};
+  EXPECT_EQ(arr.np(), 1u);
+  EXPECT_DOUBLE_EQ(arr.mode(50), 100.0);  // everything past cell 1 is max
+  arr.set_policy(PolicyParam{100});
+  EXPECT_EQ(arr.np(), 100u);
+  EXPECT_DOUBLE_EQ(arr.mode(50), 51.0);  // identity-ish ramp
+  arr.set_policy(PolicyParam{1});
+  EXPECT_EQ(arr.np(), 1u);
+  EXPECT_DOUBLE_EQ(arr.mode(50), 100.0);
+}
+
 TEST(ControlArray, IndexOfNearest) {
   ThermalControlArray arr{duty_1_to(100), 100, PolicyParam{100}};  // identity-ish ramp
   EXPECT_EQ(arr.index_of_nearest(1.0), 0u);

@@ -1,5 +1,7 @@
 #include "core/mode_selector.hpp"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace thermctl::core {
@@ -99,6 +101,33 @@ TEST(ModeSelector, SmallerArrayScalesConstant) {
   EXPECT_NEAR(s.c(), 15.0 / 44.0, 1e-12);
   // A 3 °C rise moves just one cell.
   EXPECT_EQ(s.apply(4, CelsiusDelta{3.0}), 5u);
+}
+
+TEST(ModeSelector, HugeDeltaClampsInsteadOfOverflowing) {
+  // Regression: c·Δt used to be cast straight to long, which is UB once the
+  // product leaves long's range. A huge (but finite) delta must clamp to the
+  // array bounds instead.
+  const ModeSelector s = paper_selector();
+  EXPECT_EQ(s.apply(10, CelsiusDelta{1e18}), 99u);
+  EXPECT_EQ(s.apply(10, CelsiusDelta{-1e18}), 0u);
+  EXPECT_EQ(s.apply(0, CelsiusDelta{std::numeric_limits<double>::max()}), 99u);
+}
+
+TEST(ModeSelector, NonFiniteDeltaKeepsIndex) {
+  // NaN/Inf deltas carry no directional information and previously fed UB
+  // into the double→long cast; the selector must stay put.
+  const ModeSelector s = paper_selector();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(s.apply(10, CelsiusDelta{nan}), 10u);
+  EXPECT_EQ(s.apply(10, CelsiusDelta{inf}), 10u);
+  EXPECT_EQ(s.apply(10, CelsiusDelta{-inf}), 10u);
+
+  WindowRound round;
+  round.level1_delta = CelsiusDelta{nan};
+  round.level2_delta = CelsiusDelta{nan};
+  round.level2_valid = true;
+  EXPECT_FALSE(s.decide(10, round).changed);
 }
 
 TEST(ModeSelectorDeath, RejectsInvertedBand) {

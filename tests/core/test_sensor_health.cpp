@@ -1,0 +1,160 @@
+#include "core/sensor_health.hpp"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace thermctl::core {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+SimTime at(double seconds) {
+  SimTime t;
+  t.advance_us(static_cast<std::uint64_t>(seconds * 1e6));
+  return t;
+}
+
+/// Small thresholds so tests stay short; semantics are identical.
+SensorHealthConfig quick() {
+  SensorHealthConfig cfg;
+  cfg.stuck_samples = 4;
+  cfg.reject_samples = 3;
+  cfg.recovery_samples = 2;
+  return cfg;
+}
+
+TEST(SensorHealthMonitor, HealthyStreamStaysOk) {
+  SensorHealthMonitor mon{quick()};
+  // A quantized noisy sensor toggles codes — model that.
+  const double codes[] = {50.0, 50.25, 50.0, 50.25, 50.5, 50.25};
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_EQ(mon.observe(at(0.25 * i), Celsius{codes[i % 6]}), SensorState::kOk);
+  }
+  EXPECT_FALSE(mon.failed());
+  EXPECT_EQ(mon.stats().samples, 60u);
+  EXPECT_EQ(mon.stats().rejected, 0u);
+  EXPECT_EQ(mon.stats().stuck_detections, 0u);
+}
+
+TEST(SensorHealthMonitor, NonFiniteRejectedAndBridged) {
+  SensorHealthMonitor mon{quick()};
+  mon.observe(at(0.0), Celsius{50.0});
+  EXPECT_EQ(mon.observe(at(0.25), Celsius{kNan}), SensorState::kNonFinite);
+  // An isolated reject does not fail the sensor; last-good bridges it.
+  EXPECT_FALSE(mon.failed());
+  ASSERT_TRUE(mon.last_good().has_value());
+  EXPECT_DOUBLE_EQ(mon.last_good()->value(), 50.0);
+  EXPECT_DOUBLE_EQ(mon.last_good_age(at(0.25)).value(), 0.25);
+}
+
+TEST(SensorHealthMonitor, OutOfRangeRejected) {
+  SensorHealthMonitor mon{quick()};
+  EXPECT_EQ(mon.observe(at(0.0), Celsius{250.0}), SensorState::kOutOfRange);
+  EXPECT_EQ(mon.observe(at(0.25), Celsius{-60.0}), SensorState::kOutOfRange);
+  EXPECT_EQ(mon.stats().rejected, 2u);
+}
+
+TEST(SensorHealthMonitor, RejectStreakConfirmsFailure) {
+  SensorHealthMonitor mon{quick()};
+  mon.observe(at(0.0), Celsius{50.0});
+  for (int i = 1; i <= 3; ++i) {
+    mon.observe(at(0.25 * i), Celsius{kNan});
+  }
+  EXPECT_TRUE(mon.failed());
+  EXPECT_EQ(mon.stats().failures, 1u);
+}
+
+TEST(SensorHealthMonitor, StuckRunConfirmsFailure) {
+  SensorHealthMonitor mon{quick()};
+  SensorState last = SensorState::kOk;
+  for (int i = 0; i < 4; ++i) {
+    last = mon.observe(at(0.25 * i), Celsius{55.0});
+  }
+  EXPECT_EQ(last, SensorState::kStuck);
+  EXPECT_TRUE(mon.failed());
+  EXPECT_EQ(mon.stats().stuck_detections, 1u);
+  // Staying stuck is still one episode, not one detection per sample.
+  mon.observe(at(1.0), Celsius{55.0});
+  EXPECT_EQ(mon.stats().stuck_detections, 1u);
+}
+
+TEST(SensorHealthMonitor, StuckRunBelowThresholdIsOk) {
+  SensorHealthMonitor mon{quick()};
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(mon.observe(at(0.25 * i), Celsius{55.0}), SensorState::kOk);
+  }
+  EXPECT_FALSE(mon.failed());
+}
+
+TEST(SensorHealthMonitor, RecoveryClearsLatchAfterConsistentGoodRun) {
+  SensorHealthMonitor mon{quick()};
+  for (int i = 0; i < 4; ++i) {
+    mon.observe(at(0.25 * i), Celsius{55.0});  // stuck → failed
+  }
+  ASSERT_TRUE(mon.failed());
+  // One good reading is not enough (recovery_samples = 2)...
+  mon.observe(at(2.0), Celsius{56.0});
+  EXPECT_TRUE(mon.failed());
+  // ...two in a row is.
+  mon.observe(at(2.25), Celsius{56.25});
+  EXPECT_FALSE(mon.failed());
+  EXPECT_EQ(mon.stats().recoveries, 1u);
+}
+
+TEST(SensorHealthMonitor, GarbageInterruptsIdenticalRun) {
+  SensorHealthMonitor mon{quick()};
+  mon.observe(at(0.0), Celsius{55.0});
+  mon.observe(at(0.25), Celsius{55.0});
+  mon.observe(at(0.5), Celsius{kNan});  // breaks the run
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(mon.observe(at(0.75 + 0.25 * i), Celsius{55.0}), SensorState::kOk);
+  }
+  EXPECT_FALSE(mon.failed());
+}
+
+TEST(SensorHealthMonitor, StalenessTracksObservationSchedule) {
+  SensorHealthMonitor mon{quick()};
+  EXPECT_TRUE(mon.stale(at(0.0)));  // never observed
+  mon.observe(at(1.0), Celsius{50.0});
+  EXPECT_FALSE(mon.stale(at(1.25)));
+  EXPECT_TRUE(mon.stale(at(4.0)));  // default deadline 2 s
+}
+
+TEST(SensorHealthMonitor, StuckDisabledWithZeroThreshold) {
+  SensorHealthConfig cfg = quick();
+  cfg.stuck_samples = 0;  // noiseless-simulation escape hatch
+  SensorHealthMonitor mon{cfg};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(mon.observe(at(0.25 * i), Celsius{55.0}), SensorState::kOk);
+  }
+  EXPECT_FALSE(mon.failed());
+}
+
+TEST(SensorHealthMonitor, ResetKeepsCounters) {
+  SensorHealthMonitor mon{quick()};
+  for (int i = 0; i < 4; ++i) {
+    mon.observe(at(0.25 * i), Celsius{55.0});
+  }
+  ASSERT_TRUE(mon.failed());
+  mon.reset();
+  EXPECT_FALSE(mon.failed());
+  EXPECT_FALSE(mon.last_good().has_value());
+  EXPECT_EQ(mon.stats().failures, 1u);  // history gone, accounting kept
+}
+
+TEST(SensorHealthMonitorDeath, RejectsEmptyPlausibleBand) {
+  SensorHealthConfig cfg;
+  cfg.min_plausible = Celsius{100.0};
+  cfg.max_plausible = Celsius{0.0};
+  EXPECT_DEATH(SensorHealthMonitor{cfg}, "band");
+}
+
+TEST(SensorHealthMonitorDeath, RejectsZeroRecovery) {
+  SensorHealthConfig cfg;
+  cfg.recovery_samples = 0;
+  EXPECT_DEATH(SensorHealthMonitor{cfg}, "recovery");
+}
+
+}  // namespace
+}  // namespace thermctl::core

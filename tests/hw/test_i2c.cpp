@@ -102,6 +102,48 @@ TEST(I2cBus, LogCapEvictsOldEntries) {
   EXPECT_LE(bus.log().size(), 16u);
 }
 
+TEST(I2cBus, LogCapOfOneStillCaps) {
+  // Regression: the evictor erased limit/2 entries, which is zero at limit
+  // 1, so the log grew without bound.
+  I2cBus bus;
+  ScratchDevice dev;
+  bus.attach(0x2E, &dev);
+  bus.set_log_limit(1);
+  std::uint8_t out = 0;
+  for (int i = 0; i < 100; ++i) {
+    bus.read_byte_data(0x2E, 0, out);
+  }
+  EXPECT_LE(bus.log().size(), 1u);
+}
+
+TEST(I2cBus, FailedReadLeavesOutUntouched) {
+  I2cBus bus;
+  ScratchDevice dev;
+  bus.attach(0x2E, &dev);
+  std::uint8_t out = 0x5A;
+  EXPECT_EQ(bus.read_byte_data(0x10, 0, out), I2cStatus::kAddressNak);
+  EXPECT_EQ(out, 0x5A);
+  EXPECT_EQ(bus.read_byte_data(0x2E, 9, out), I2cStatus::kRegisterNak);
+  EXPECT_EQ(out, 0x5A);
+  bus.inject_bus_fault();
+  EXPECT_EQ(bus.read_byte_data(0x2E, 0, out), I2cStatus::kBusFault);
+  EXPECT_EQ(out, 0x5A);
+}
+
+TEST(I2cBus, TransientFaultRecoversByItself) {
+  I2cBus bus;
+  ScratchDevice dev;
+  bus.attach(0x2E, &dev);
+  bus.inject_transient_bus_fault(2);
+  EXPECT_TRUE(bus.faulted());
+  std::uint8_t out = 0;
+  EXPECT_EQ(bus.read_byte_data(0x2E, 0, out), I2cStatus::kBusFault);
+  EXPECT_EQ(bus.write_byte_data(0x2E, 1, 0x11), I2cStatus::kBusFault);
+  // Glitch over: the third transfer succeeds with no clear call.
+  EXPECT_EQ(bus.read_byte_data(0x2E, 0, out), I2cStatus::kOk);
+  EXPECT_FALSE(bus.faulted());
+}
+
 TEST(I2cBusDeath, DoubleAttachAborts) {
   I2cBus bus;
   ScratchDevice a;

@@ -1,0 +1,146 @@
+#include "hw/i2c_retry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl::hw {
+namespace {
+
+/// Minimal device for retry-path tests (register 1 read-only mirrors reg 0).
+class EchoDevice final : public I2cSlave {
+ public:
+  std::optional<std::uint8_t> read_register(std::uint8_t reg) override {
+    if (reg >= 2) {
+      return std::nullopt;
+    }
+    return value_;
+  }
+  bool write_register(std::uint8_t reg, std::uint8_t value) override {
+    if (reg != 0) {
+      return false;
+    }
+    value_ = value;
+    return true;
+  }
+
+ private:
+  std::uint8_t value_ = 0x7E;
+};
+
+struct RetryRig {
+  I2cBus bus;
+  EchoDevice dev;
+  RetryingI2cMaster master{bus};
+
+  RetryRig() { bus.attach(0x2E, &dev); }
+};
+
+TEST(RetryingI2cMaster, CleanTransfersCostOneAttempt) {
+  RetryRig rig;
+  std::uint8_t out = 0;
+  EXPECT_EQ(rig.master.read_byte_data(0x2E, 0, out), I2cStatus::kOk);
+  EXPECT_EQ(out, 0x7E);
+  EXPECT_EQ(rig.master.write_byte_data(0x2E, 0, 0x11), I2cStatus::kOk);
+  const I2cErrorStats& s = rig.master.stats(0x2E);
+  EXPECT_EQ(s.transfers, 2u);
+  EXPECT_EQ(s.retries, 0u);
+  EXPECT_EQ(s.backoff_us, 0u);
+}
+
+TEST(RetryingI2cMaster, TransientBusFaultIsAbsorbed) {
+  RetryRig rig;
+  rig.bus.inject_transient_bus_fault(2);  // budget is 3 attempts
+  std::uint8_t out = 0;
+  EXPECT_EQ(rig.master.read_byte_data(0x2E, 0, out), I2cStatus::kOk);
+  EXPECT_EQ(out, 0x7E);
+  const I2cErrorStats& s = rig.master.stats(0x2E);
+  EXPECT_EQ(s.transfers, 1u);
+  EXPECT_EQ(s.retries, 2u);
+  EXPECT_EQ(s.bus_faults, 2u);
+  EXPECT_EQ(s.exhausted, 0u);
+  // base + 2*base backoff before the two retries.
+  EXPECT_EQ(s.backoff_us, 100u + 200u);
+}
+
+TEST(RetryingI2cMaster, PersistentFaultExhaustsBudget) {
+  RetryRig rig;
+  rig.bus.inject_bus_fault();
+  std::uint8_t out = 0x42;
+  EXPECT_EQ(rig.master.read_byte_data(0x2E, 0, out), I2cStatus::kBusFault);
+  EXPECT_EQ(out, 0x42);  // untouched, same contract as the raw bus
+  const I2cErrorStats& s = rig.master.stats(0x2E);
+  EXPECT_EQ(s.transfers, 1u);
+  EXPECT_EQ(s.retries, 2u);    // attempts 2 and 3
+  EXPECT_EQ(s.bus_faults, 3u);
+  EXPECT_EQ(s.exhausted, 1u);
+  // Only 3 bus transactions happened — the budget bounds the bus traffic.
+  EXPECT_EQ(rig.bus.log().size(), 3u);
+}
+
+TEST(RetryingI2cMaster, AddressNakIsRetried) {
+  RetryRig rig;
+  std::uint8_t out = 0;
+  EXPECT_EQ(rig.master.read_byte_data(0x10, 0, out), I2cStatus::kAddressNak);
+  const I2cErrorStats& s = rig.master.stats(0x10);
+  EXPECT_EQ(s.naks, 3u);
+  EXPECT_EQ(s.retries, 2u);
+  EXPECT_EQ(s.exhausted, 1u);
+}
+
+TEST(RetryingI2cMaster, RegisterNakFailsFast) {
+  // A register NAK is the device *answering* — retrying would just repeat
+  // the same deterministic rejection.
+  RetryRig rig;
+  EXPECT_EQ(rig.master.write_byte_data(0x2E, 1, 0x00), I2cStatus::kRegisterNak);
+  const I2cErrorStats& s = rig.master.stats(0x2E);
+  EXPECT_EQ(s.register_naks, 1u);
+  EXPECT_EQ(s.retries, 0u);
+  EXPECT_EQ(s.exhausted, 1u);
+  EXPECT_EQ(rig.bus.log().size(), 1u);
+}
+
+TEST(RetryingI2cMaster, BackoffIsCapped) {
+  I2cBus bus;
+  I2cRetryConfig cfg;
+  cfg.max_attempts = 8;
+  cfg.base_backoff_us = 100;
+  cfg.max_backoff_us = 500;
+  RetryingI2cMaster master{bus, cfg};
+  bus.inject_bus_fault();
+  std::uint8_t out = 0;
+  EXPECT_EQ(master.read_byte_data(0x2E, 0, out), I2cStatus::kBusFault);
+  const I2cErrorStats& s = master.stats(0x2E);
+  EXPECT_EQ(s.retries, 7u);
+  // 100 + 200 + 400 + 500 + 500 + 500 + 500: capped after the third retry.
+  EXPECT_EQ(s.backoff_us, 2700u);
+}
+
+TEST(RetryingI2cMaster, SingleAttemptConfigDisablesRetry) {
+  I2cBus bus;
+  EchoDevice dev;
+  bus.attach(0x2E, &dev);
+  RetryingI2cMaster master{bus, I2cRetryConfig{.max_attempts = 1}};
+  bus.inject_transient_bus_fault(1);
+  std::uint8_t out = 0;
+  EXPECT_EQ(master.read_byte_data(0x2E, 0, out), I2cStatus::kBusFault);
+  EXPECT_EQ(master.stats(0x2E).retries, 0u);
+  EXPECT_EQ(master.stats(0x2E).exhausted, 1u);
+}
+
+TEST(RetryingI2cMaster, TotalAggregatesAcrossDevices) {
+  RetryRig rig;
+  std::uint8_t out = 0;
+  rig.master.read_byte_data(0x2E, 0, out);
+  rig.master.read_byte_data(0x10, 0, out);  // NAKs + exhausts
+  const I2cErrorStats total = rig.master.total();
+  EXPECT_EQ(total.transfers, 2u);
+  EXPECT_EQ(total.naks, 3u);
+  EXPECT_EQ(total.exhausted, 1u);
+}
+
+TEST(RetryingI2cMasterDeath, RejectsZeroAttempts) {
+  I2cBus bus;
+  EXPECT_DEATH(RetryingI2cMaster(bus, I2cRetryConfig{.max_attempts = 0}), "attempt");
+}
+
+}  // namespace
+}  // namespace thermctl::hw

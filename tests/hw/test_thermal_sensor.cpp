@@ -93,6 +93,27 @@ TEST(ThermalSensor, StuckFaultFreezesReading) {
   EXPECT_DOUBLE_EQ(s.sample().value(), 80.0);
 }
 
+TEST(ThermalSensor, StuckBeforeFirstSampleHoldsFirstRealReading) {
+  // Regression: a fault injected before any sample() must not freeze the
+  // constructed 0.0 °C placeholder — a frozen register holds its last
+  // *conversion*, and the first conversion happens at the first sample.
+  double truth = 55.0;
+  ThermalSensor s{[&truth] { return Celsius{truth}; }, noiseless(), Rng{1}};
+  s.inject_stuck_fault();
+  EXPECT_FALSE(s.ready());
+  EXPECT_DOUBLE_EQ(s.sample().value(), 55.0);  // real reading, not 0.0
+  EXPECT_TRUE(s.ready());
+  truth = 80.0;
+  EXPECT_DOUBLE_EQ(s.sample().value(), 55.0);  // now frozen at the first one
+}
+
+TEST(ThermalSensor, ReadyFlipsOnFirstSample) {
+  ThermalSensor s{[] { return Celsius{40.0}; }, noiseless(), Rng{1}};
+  EXPECT_FALSE(s.ready());
+  s.sample();
+  EXPECT_TRUE(s.ready());
+}
+
 TEST(ThermalSensor, DeterministicGivenSeed) {
   SensorParams p;
   p.noise_sigma_degc = 0.2;

@@ -118,5 +118,48 @@ TEST(Adt7467Driver, BusFaultSurfacesAsIoError) {
   EXPECT_EQ(rig.driver.read_temperature(t), DriverStatus::kIoError);
 }
 
+TEST(Adt7467Driver, FaultedReadLeavesCallerStateUntouched) {
+  // Protocol contract: an errored read must not consume `out`. A caller
+  // that (wrongly) ignored the status would keep its previous value rather
+  // than pick up garbage.
+  DriverRig rig;
+  ASSERT_EQ(rig.driver.probe(), DriverStatus::kOk);
+  rig.chip.set_measured_temperature(Celsius{47.0});
+  Celsius temp{0.0};
+  ASSERT_EQ(rig.driver.read_temperature(temp), DriverStatus::kOk);
+  ASSERT_DOUBLE_EQ(temp.value(), 47.0);
+  DutyCycle duty{0.0};
+  ASSERT_EQ(rig.driver.set_duty(DutyCycle{63.0}), DriverStatus::kOk);
+  ASSERT_EQ(rig.driver.read_duty(duty), DriverStatus::kOk);
+
+  rig.bus.inject_bus_fault();
+  rig.chip.set_measured_temperature(Celsius{90.0});
+  const double held_temp = temp.value();
+  const double held_duty = duty.percent();
+  EXPECT_EQ(rig.driver.read_temperature(temp), DriverStatus::kIoError);
+  EXPECT_DOUBLE_EQ(temp.value(), held_temp);
+  EXPECT_EQ(rig.driver.read_duty(duty), DriverStatus::kIoError);
+  EXPECT_DOUBLE_EQ(duty.percent(), held_duty);
+  // The driver itself is also unchanged: once the bus recovers it keeps
+  // working without a re-probe.
+  EXPECT_TRUE(rig.driver.probed());
+  rig.bus.clear_bus_fault();
+  EXPECT_EQ(rig.driver.read_temperature(temp), DriverStatus::kOk);
+  EXPECT_DOUBLE_EQ(temp.value(), 90.0);
+}
+
+TEST(Adt7467Driver, TransientBusGlitchAbsorbedByRetry) {
+  DriverRig rig;
+  ASSERT_EQ(rig.driver.probe(), DriverStatus::kOk);
+  rig.bus.inject_transient_bus_fault(2);
+  // The default budget (3 attempts) rides out a 2-transfer glitch: the
+  // caller never sees the fault.
+  EXPECT_EQ(rig.driver.set_duty(DutyCycle{42.0}), DriverStatus::kOk);
+  EXPECT_NEAR(rig.chip.output_duty().percent(), 42.0, 0.5);
+  EXPECT_EQ(rig.driver.io_stats().retries, 2u);
+  EXPECT_EQ(rig.driver.io_stats().bus_faults, 2u);
+  EXPECT_EQ(rig.driver.io_stats().exhausted, 0u);
+}
+
 }  // namespace
 }  // namespace thermctl::sysfs
