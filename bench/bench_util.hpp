@@ -9,6 +9,9 @@
 #include "cluster/metrics.hpp"
 #include "common/csv.hpp"
 #include "common/table.hpp"
+#include "core/report.hpp"
+#include "obs/chrome_export.hpp"
+#include "obs/trace_io.hpp"
 
 namespace thermctl::bench {
 
@@ -63,6 +66,23 @@ inline void dump_csv(const cluster::RunResult& run, const std::string& name,
   const std::string path = out_dir() + "/" + name + ".csv";
   run.write_csv(path, field);
   std::printf("  series written: %s\n", path.c_str());
+}
+
+/// Exports a traced run's telemetry bundle under bench_out/: the binary
+/// .thermtrace (for bench/trace_analyze), the Chrome trace_event JSON (load
+/// in Perfetto / chrome://tracing), and the machine-readable run summary.
+inline void export_telemetry(const core::ExperimentResult& result, const std::string& name) {
+  const std::string base = out_dir() + "/" + name;
+  if (result.trace != nullptr) {
+    obs::write_trace_file(base + ".thermtrace", *result.trace);
+    obs::write_chrome_trace(base + ".trace.json", *result.trace);
+    std::printf("  trace written: %s (+.trace.json; %llu events, %llu dropped)\n",
+                (base + ".thermtrace").c_str(),
+                static_cast<unsigned long long>(result.trace->total_emitted()),
+                static_cast<unsigned long long>(result.trace->total_dropped()));
+  }
+  core::write_run_summary_json(base + ".summary.json", name, result);
+  std::printf("  run summary written: %s\n", (base + ".summary.json").c_str());
 }
 
 }  // namespace thermctl::bench

@@ -36,6 +36,10 @@ int main() {
   base.faults.start_after = Seconds{20.0};
   base.faults.min_duration = Seconds{10.0};
   base.faults.max_duration = Seconds{30.0};
+  // Decision tracing: the degradation story (classify -> fail-safe ->
+  // recover, i2c retries under bus faults) is exactly what the trace records.
+  base.telemetry.trace = true;
+  base.telemetry.metrics = true;
 
   // Three seeded campaigns plus a zero-fault control run of the same stack.
   const std::vector<std::uint64_t> seeds{7, 11, 13};
@@ -73,6 +77,7 @@ int main() {
                   1);
     tb::dump_csv(r.run, configs[i].name + "_temp", "sensor_temp");
     tb::dump_csv(r.run, configs[i].name + "_duty", "duty");
+    tb::export_telemetry(r, configs[i].name);
   }
   std::printf("%s", table.render().c_str());
   tb::note("fail-safe contract: confirmed sensor failure -> most effective fan mode,\n"

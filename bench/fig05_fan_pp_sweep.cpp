@@ -30,6 +30,10 @@ int main() {
     cfg.cpu_burn_duration = Seconds{300.0};       // "about five minutes"
     cfg.fan = FanPolicyKind::kDynamic;
     cfg.pp = PolicyParam{pp};
+    // Trace the controller so every retarget in the figure has its window
+    // round / Δt-source recorded alongside.
+    cfg.telemetry.trace = true;
+    cfg.telemetry.metrics = true;
     configs.push_back(cfg);
   }
   const std::vector<ExperimentResult> results = runtime::run_sweep(configs);
@@ -48,6 +52,7 @@ int main() {
                        r.run.max_die_temp(), r.run.avg_power_w()});
     tb::dump_csv(r.run, configs[i].name + "_temp", "sensor_temp");
     tb::dump_csv(r.run, configs[i].name + "_duty", "duty");
+    tb::export_telemetry(r, configs[i].name);
   }
 
   TextTable table{{"policy", "avg PWM duty (%)", "avg temp (degC)", "max temp (degC)",

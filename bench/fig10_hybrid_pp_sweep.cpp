@@ -29,6 +29,10 @@ int main() {
     cfg.dvfs = DvfsPolicyKind::kTdvfs;
     cfg.pp = PolicyParam{pp};
     cfg.max_duty = DutyCycle{50.0};
+    // Full telemetry: the Fig. 10 story is exactly the trigger causality the
+    // decision trace records (which Pp trips tDVFS, when, and off which Δt).
+    cfg.telemetry.trace = true;
+    cfg.telemetry.metrics = true;
     configs.push_back(cfg);
   }
   const std::vector<ExperimentResult> results = runtime::run_sweep(configs);
@@ -54,6 +58,7 @@ int main() {
                        r.first_dvfs_trigger_s, r.run.exec_time_s, min_freq});
     tb::dump_csv(r.run, configs[i].name + "_temp", "sensor_temp");
     tb::dump_csv(r.run, configs[i].name + "_freq", "freq_ghz");
+    tb::export_telemetry(r, configs[i].name);
   }
 
   TextTable table{{"policy", "avg temp (degC)", "max temp", "tDVFS trigger (s)",

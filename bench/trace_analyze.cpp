@@ -1,0 +1,94 @@
+// trace_analyze — decision-trace analyzer CLI.
+//
+// Ingests a .thermtrace file written by any traced run (fig05/fig10/
+// fault_campaign, trace_smoke, or user code calling obs::write_trace_file)
+// and renders the three views the paper's evaluation reasons in:
+//
+//   * per-node decision timelines (retargets, triggers, fail-safe episodes),
+//   * mode-residency histograms (time at each duty / frequency),
+//   * the trigger-causality table (rounds -> decisions -> actuations, with
+//     Δt-source and clamp attribution).
+//
+// Usage: trace_analyze <run.thermtrace> [--max-rows N] [--chrome out.json]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_export.hpp"
+#include "obs/trace_io.hpp"
+#include "obs/trace_summary.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <run.thermtrace> [--max-rows N] [--chrome out.json]\n"
+               "  --max-rows N   cap timeline rows per node (default 40, 0 = unlimited)\n"
+               "  --chrome PATH  also re-export the trace as Chrome trace_event JSON\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace thermctl;
+
+  std::string path;
+  std::string chrome_out;
+  std::size_t max_rows = 40;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-rows") == 0 && i + 1 < argc) {
+      max_rows = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--chrome") == 0 && i + 1 < argc) {
+      chrome_out = argv[++i];
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) {
+    return usage(argv[0]);
+  }
+
+  try {
+    const obs::TraceFile file = obs::read_trace_file(path);
+    const std::vector<obs::TraceEvent>& events = file.events;
+    const double end_s = events.empty() ? 0.0 : events.back().t_s;
+
+    std::printf("%s: %zu events across %u node(s), t = 0 .. %.2f s\n\n", path.c_str(),
+                events.size(), file.node_count, end_s);
+
+    std::printf("decision timeline (max %zu rows/node):\n", max_rows);
+    std::printf("%s\n", obs::render_timeline(events, max_rows).c_str());
+
+    const std::string fan_res =
+        obs::render_residency(events, obs::TraceSubsystem::kFan, end_s);
+    if (!fan_res.empty()) {
+      std::printf("fan duty residency:\n%s\n", fan_res.c_str());
+    }
+    const std::string dvfs_res =
+        obs::render_residency(events, obs::TraceSubsystem::kTdvfs, end_s);
+    if (!dvfs_res.empty()) {
+      std::printf("cpu frequency residency:\n%s\n", dvfs_res.c_str());
+    }
+
+    std::printf("trigger causality:\n%s", obs::render_causality(events).c_str());
+
+    if (!chrome_out.empty()) {
+      obs::write_chrome_trace(chrome_out, events);
+      std::printf("\nchrome trace written: %s (load in Perfetto / chrome://tracing)\n",
+                  chrome_out.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_analyze: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

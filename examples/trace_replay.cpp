@@ -9,6 +9,7 @@
 // writes and replays a demonstration trace (a web-serving diurnal pattern
 // compressed to five minutes: quiet -> ramp -> bursty peak -> decay).
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -24,7 +25,11 @@ namespace {
 using namespace thermctl;
 
 std::string write_demo_trace() {
-  const std::string path = "trace_replay_demo.csv";
+  // Keep generated artifacts with the other run outputs (bench_out/ is
+  // gitignored) instead of littering the working directory.
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  const std::string path = "bench_out/trace_replay_demo.csv";
   std::ofstream out{path};
   out << "time_s,utilization\n";
   // Quiet baseline.

@@ -112,6 +112,22 @@ void Engine::add_periodic(Seconds period, std::function<void(SimTime)> task) {
       std::move(task)});
 }
 
+void Engine::set_metrics(obs::MetricsShard* shard) {
+  if (shard == nullptr) {
+    m_steps_ = nullptr;
+    m_sensor_samples_ = nullptr;
+    m_task_ticks_ = nullptr;
+    m_record_samples_ = nullptr;
+    m_sim_time_ = nullptr;
+    return;
+  }
+  m_steps_ = &shard->counter("engine.steps");
+  m_sensor_samples_ = &shard->counter("engine.sensor_samples");
+  m_task_ticks_ = &shard->counter("engine.task_ticks");
+  m_record_samples_ = &shard->counter("engine.record_samples");
+  m_sim_time_ = &shard->gauge("engine.sim_time_s");
+}
+
 void Engine::record_sample() {
   recorder_.stamp(now_.seconds());
   for (std::size_t i = 0; i < cluster_.size(); ++i) {
@@ -223,10 +239,17 @@ RunResult Engine::run() {
     }
     now_.advance_us(static_cast<std::int64_t>(dt.value() * 1e6));
 
+    if (m_steps_ != nullptr) {
+      m_steps_->inc();
+    }
+
     // 3. Sensor sampling (per node, on its own schedule).
     for (std::size_t i = 0; i < cluster_.size(); ++i) {
       while (cluster_.node(i).sample_schedule().due(now_)) {
         cluster_.node(i).sample_sensor();
+        if (m_sensor_samples_ != nullptr) {
+          m_sensor_samples_->inc();
+        }
       }
     }
 
@@ -234,12 +257,18 @@ RunResult Engine::run() {
     for (PeriodicTask& task : tasks_) {
       while (task.schedule.due(now_)) {
         task.fn(now_);
+        if (m_task_ticks_ != nullptr) {
+          m_task_ticks_->inc();
+        }
       }
     }
 
     // 5. Metrics.
     while (record_schedule_.due(now_)) {
       record_sample();
+      if (m_record_samples_ != nullptr) {
+        m_record_samples_->inc();
+      }
     }
 
     // 6. Termination.
@@ -250,6 +279,10 @@ RunResult Engine::run() {
     if (now_.seconds() >= config_.horizon.value()) {
       break;
     }
+  }
+
+  if (m_sim_time_ != nullptr) {
+    m_sim_time_->set(now_.seconds());
   }
 
   RunResult result = recorder_.result();

@@ -31,6 +31,7 @@
 #include "cluster/metrics.hpp"
 #include "cluster/room.hpp"
 #include "common/sim_time.hpp"
+#include "obs/metrics_registry.hpp"
 #include "workload/app.hpp"
 #include "workload/synthetic.hpp"
 #include "workload/trace_load.hpp"
@@ -90,6 +91,11 @@ class Engine {
 
   [[nodiscard]] int migrations() const { return migrations_; }
 
+  /// Points the engine at a metrics shard (nullptr detaches). Handles are
+  /// resolved once here, so the run loop pays one branch + one non-atomic
+  /// add per update — never a name lookup.
+  void set_metrics(obs::MetricsShard* shard);
+
   /// Runs to completion and returns the recorded result.
   RunResult run();
 
@@ -117,6 +123,12 @@ class Engine {
   std::vector<PeriodicTask> tasks_;
   MetricsRecorder recorder_;
   PeriodicSchedule record_schedule_;
+  // Pre-resolved metric handles; all null when no shard is attached.
+  obs::Counter* m_steps_ = nullptr;
+  obs::Counter* m_sensor_samples_ = nullptr;
+  obs::Counter* m_task_ticks_ = nullptr;
+  obs::Counter* m_record_samples_ = nullptr;
+  obs::Gauge* m_sim_time_ = nullptr;
   SimTime now_;
   int migrations_ = 0;
   // Hot-loop scratch, reused every physics step instead of reallocated.

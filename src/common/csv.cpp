@@ -26,6 +26,23 @@ std::string format_number(double v, int max_decimals) {
   return s;
 }
 
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\r\n") == std::string_view::npos) {
+    return std::string{field};
+  }
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char ch : field) {
+    if (ch == '"') {
+      out += '"';
+    }
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
     : path_(path), out_(path), columns_(columns.size()) {
   if (!out_) {
@@ -36,7 +53,7 @@ CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
     if (i > 0) {
       out_ << ',';
     }
-    out_ << columns[i];
+    out_ << csv_escape(columns[i]);
   }
   out_ << '\n';
 }

@@ -37,4 +37,10 @@ class CsvWriter {
 /// Formats a double with trailing-zero trimming ("42", "42.5", "42.125").
 [[nodiscard]] std::string format_number(double v, int max_decimals = 6);
 
+/// RFC 4180 field quoting: fields containing a comma, quote, CR or LF come
+/// back wrapped in quotes with internal quotes doubled; anything else passes
+/// through unchanged. Header columns go through this (series names can carry
+/// units like "power (W), total").
+[[nodiscard]] std::string csv_escape(std::string_view field);
+
 }  // namespace thermctl

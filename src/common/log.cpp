@@ -1,6 +1,9 @@
 #include "common/log.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 namespace thermctl {
 
@@ -18,7 +21,35 @@ std::string_view to_string(LogLevel level) {
   return "?";
 }
 
-Logger::Logger() { set_sink(nullptr); }
+std::optional<LogLevel> parse_log_level(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char ch : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  if (lower == "debug" || lower == "0") {
+    return LogLevel::kDebug;
+  }
+  if (lower == "info" || lower == "1") {
+    return LogLevel::kInfo;
+  }
+  if (lower == "warn" || lower == "warning" || lower == "2") {
+    return LogLevel::kWarn;
+  }
+  if (lower == "error" || lower == "3") {
+    return LogLevel::kError;
+  }
+  return std::nullopt;
+}
+
+Logger::Logger() {
+  set_sink(nullptr);
+  if (const char* env = std::getenv("THERMCTL_LOG_LEVEL")) {
+    if (const auto level = parse_log_level(env)) {
+      set_level(*level);
+    }
+  }
+}
 
 Logger& Logger::instance() {
   static Logger logger;

@@ -14,6 +14,7 @@
 #include <cstdarg>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -23,11 +24,19 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 [[nodiscard]] std::string_view to_string(LogLevel level);
 
+/// Parses a level name ("debug", "info", "warn"/"warning", "error",
+/// case-insensitive) or its numeric value ("0".."3"). nullopt on anything
+/// else — callers keep their current level rather than guessing.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view text);
+
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, std::string_view component, std::string_view msg)>;
 
-  /// Process-wide logger instance.
+  /// Process-wide logger instance. First use reads THERMCTL_LOG_LEVEL from
+  /// the environment (e.g. "debug" to surface per-tick controller decisions
+  /// from a bench run without a rebuild); unset or unparsable keeps the
+  /// kWarn default.
   static Logger& instance();
 
   /// Messages below `level` are dropped.

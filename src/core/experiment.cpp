@@ -115,6 +115,14 @@ struct Rig {
   std::vector<std::unique_ptr<TdvfsDaemon>> tdvfs;
   std::vector<std::unique_ptr<CpuspeedGovernor>> cpuspeed;
   std::vector<std::unique_ptr<FaultApplier>> fault_appliers;
+  std::shared_ptr<obs::RunTrace> trace;
+  std::unique_ptr<obs::MetricsRegistry> registry;
+
+  /// The node's trace ring, or nullptr when tracing is off — controllers
+  /// treat nullptr as "don't record".
+  [[nodiscard]] obs::TraceRing* ring(std::size_t node) {
+    return trace != nullptr ? &trace->ring(node) : nullptr;
+  }
 };
 
 /// Registers the fault-injection walker for every node. Must run before the
@@ -230,6 +238,7 @@ void build_fan_policy(Rig& rig, const ExperimentConfig& config) {
         fc.fault_aware = config.fault_aware;
         fc.health = config.health;
         auto controller = std::make_unique<DynamicFanController>(node.hwmon(), fc);
+        controller->set_trace(rig.ring(i));
         DynamicFanController* raw = controller.get();
         rig.fans.push_back(std::move(controller));
         rig.engine->add_periodic(config.node_params.sample_period,
@@ -252,6 +261,7 @@ void build_dvfs_policy(Rig& rig, const ExperimentConfig& config) {
         tc.fault_aware = config.fault_aware;
         tc.health = config.health;
         auto daemon = std::make_unique<TdvfsDaemon>(node.hwmon(), node.cpufreq(), tc);
+        daemon->set_trace(rig.ring(i));
         TdvfsDaemon* raw = daemon.get();
         rig.tdvfs.push_back(std::move(daemon));
         rig.engine->add_periodic(config.node_params.sample_period,
@@ -300,6 +310,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   rig.engine = std::make_unique<cluster::Engine>(*rig.cluster, engine_cfg);
 
+  if (config.telemetry.trace) {
+    rig.trace = std::make_shared<obs::RunTrace>(config.nodes, config.telemetry.trace_ring_capacity);
+    // The fan i2c master rides the same ring as the node's controllers, so
+    // bus retries interleave with the decisions that caused the traffic.
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      rig.cluster->node(i).fan_driver().set_trace(rig.ring(i));
+    }
+  }
+  if (config.telemetry.metrics) {
+    rig.registry = std::make_unique<obs::MetricsRegistry>(1);
+    rig.engine->set_metrics(&rig.registry->shard(0));
+  }
+
   ExperimentResult result;
   build_workload(rig, config);
   build_fault_campaign(rig, config, engine_cfg.horizon, result);
@@ -343,6 +366,46 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       fs.sensor_recoveries += m->stats().recoveries;
     }
   }
+
+  if (rig.registry != nullptr) {
+    // Controller/bus totals and series-shape histograms, folded in post-run
+    // so the control loops never pay for the bookkeeping.
+    obs::MetricsShard& shard = rig.registry->shard(0);
+    for (const auto& fan : rig.fans) {
+      shard.counter("fan.retargets").add(fan->retarget_count());
+      shard.counter("fan.failsafe_entries").add(fan->failsafe_entries());
+      shard.counter("fan.failsafe_exits").add(fan->failsafe_exits());
+    }
+    for (const auto& daemon : rig.tdvfs) {
+      shard.counter("tdvfs.transitions").add(daemon->events().size());
+      shard.counter("tdvfs.hold_entries").add(daemon->hold_entries());
+      shard.counter("tdvfs.held_ticks").add(daemon->held_ticks());
+    }
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      const hw::I2cErrorStats& io = rig.cluster->node(i).fan_driver().io_stats();
+      shard.counter("i2c.transfers").add(io.transfers);
+      shard.counter("i2c.retries").add(io.retries);
+      shard.counter("i2c.exhausted").add(io.exhausted);
+    }
+    obs::Histogram& duty_h =
+        shard.histogram("fan.duty_pct", {10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+    obs::Histogram& temp_h =
+        shard.histogram("node.die_temp_c", {40, 45, 50, 55, 60, 65, 70, 75, 80, 85});
+    for (const cluster::NodeSeries& series : result.run.nodes) {
+      for (double d : series.duty) {
+        duty_h.observe(d);
+      }
+      for (double t : series.die_temp) {
+        temp_h.observe(t);
+      }
+    }
+    if (rig.trace != nullptr) {
+      shard.counter("trace.emitted").add(rig.trace->total_emitted());
+      shard.counter("trace.dropped").add(rig.trace->total_dropped());
+    }
+    result.metrics = rig.registry->merged();
+  }
+  result.trace = rig.trace;
   return result;
 }
 

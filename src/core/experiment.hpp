@@ -21,6 +21,8 @@
 #include "core/policy.hpp"
 #include "core/tdvfs.hpp"
 #include "core/unified_controller.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "workload/npb.hpp"
 #include "workload/synthetic.hpp"
 
@@ -94,6 +96,20 @@ struct ControllerFaultStats {
   std::uint64_t sensor_recoveries = 0;
 };
 
+/// Run telemetry switches. Both default off; a disabled run pays one untaken
+/// branch per decision site and is bit-identical to a build without any of
+/// this wired in.
+struct TelemetryConfig {
+  /// Record controller decisions into per-node trace rings; the result then
+  /// carries a RunTrace for export (.thermtrace / Chrome JSON) and analysis.
+  bool trace = false;
+  /// Events retained per node (oldest overwritten beyond this).
+  std::size_t trace_ring_capacity = 1u << 14;
+  /// Count engine/controller activity into a metrics registry; the result
+  /// then carries a merged MetricsSnapshot.
+  bool metrics = false;
+};
+
 struct ExperimentConfig {
   std::string name = "experiment";
   std::size_t nodes = 4;
@@ -127,6 +143,8 @@ struct ExperimentConfig {
   bool fault_aware = false;
   SensorHealthConfig health{};
   FaultCampaignConfig faults{};
+
+  TelemetryConfig telemetry{};
 };
 
 struct ExperimentResult {
@@ -141,6 +159,11 @@ struct ExperimentResult {
   ControllerFaultStats fault_stats;
   /// The fault schedule each node actually ran (empty when no campaign).
   std::vector<std::vector<FaultEpisode>> fault_schedules;
+  /// Decision trace (null unless telemetry.trace). Shared so results can be
+  /// copied around by sweeps without duplicating event buffers.
+  std::shared_ptr<obs::RunTrace> trace;
+  /// Merged run telemetry (empty unless telemetry.metrics).
+  obs::MetricsSnapshot metrics;
 };
 
 /// Builds, runs and tears down one experiment.

@@ -46,6 +46,9 @@ void DynamicFanController::set_policy(PolicyParam pp) {
 }
 
 void DynamicFanController::on_sample(SimTime now) {
+  // Keep the ring's clock fresh before any bus traffic so i2c retry events
+  // emitted below land at this tick's sim time.
+  THERMCTL_TRACE_SET_TIME(trace_, now.seconds());
   Celsius reading = hwmon_.read_temperature();
 
   if (!initialized_) {
@@ -61,12 +64,26 @@ void DynamicFanController::on_sample(SimTime now) {
 
   if (health_.has_value()) {
     const SensorState state = health_->observe(now, reading);
+    const bool sample_ok = state == SensorState::kOk;
+    if (!sample_ok || !last_sample_ok_) {
+      // Non-OK classifications, plus the first OK closing a bad streak.
+      THERMCTL_TRACE_EMIT(trace_,
+                          (obs::TraceEvent{.type = obs::TraceEventType::kSensorClassified,
+                                           .subsystem = obs::TraceSubsystem::kFan,
+                                           .i0 = static_cast<std::int64_t>(state),
+                                           .a = reading.value()}));
+    }
+    last_sample_ok_ = sample_ok;
     if (health_->failed()) {
       if (!failsafe_) {
         failsafe_ = true;
         failsafe_applied_ = false;
         ++failsafe_entries_;
         window_.reset();  // history under a dead sensor predicts nothing
+        THERMCTL_TRACE_EMIT(trace_,
+                            (obs::TraceEvent{.type = obs::TraceEventType::kFailsafeEnter,
+                                             .subsystem = obs::TraceSubsystem::kFan,
+                                             .a = array_.most_effective()}));
         THERMCTL_LOG_DEBUG("fanctl", "t=%.2fs sensor failed; fail-safe cooling", now.seconds());
       }
       // Blind on temperature ⇒ cool as hard as the array allows. Keep
@@ -85,6 +102,9 @@ void DynamicFanController::on_sample(SimTime now) {
       ++failsafe_exits_;
       index_ = array_.size() - 1;
       window_.reset();
+      THERMCTL_TRACE_EMIT(trace_, (obs::TraceEvent{.type = obs::TraceEventType::kFailsafeExit,
+                                                   .subsystem = obs::TraceSubsystem::kFan,
+                                                   .i0 = static_cast<std::int64_t>(index_)}));
       THERMCTL_LOG_DEBUG("fanctl", "t=%.2fs sensor recovered; resuming control", now.seconds());
     }
     if (state != SensorState::kOk) {
@@ -102,8 +122,27 @@ void DynamicFanController::on_sample(SimTime now) {
   if (!round.has_value()) {
     return;
   }
+  THERMCTL_TRACE_EMIT(
+      trace_,
+      (obs::TraceEvent{.type = obs::TraceEventType::kWindowRound,
+                       .subsystem = obs::TraceSubsystem::kFan,
+                       .flags = round->level2_valid ? obs::kTraceFlagLevel2Valid : obs::kTraceFlagNone,
+                       .a = round->level1_average.value(),
+                       .b = round->level1_delta.value(),
+                       .c = round->level2_delta.value()}));
 
   const ModeDecision decision = selector_.decide(index_, *round);
+  THERMCTL_TRACE_EMIT(trace_,
+                      (obs::TraceEvent{.type = obs::TraceEventType::kModeDecision,
+                                       .subsystem = obs::TraceSubsystem::kFan,
+                                       .flags = (decision.changed ? obs::kTraceFlagChanged : 0u) |
+                                                (decision.used_level2 ? obs::kTraceFlagUsedLevel2 : 0u) |
+                                                (decision.clamped ? obs::kTraceFlagClamped : 0u),
+                                       .i0 = static_cast<std::int64_t>(index_),
+                                       .i1 = static_cast<std::int64_t>(decision.target),
+                                       .a = decision.raw_target,
+                                       .b = decision.delta_used.value(),
+                                       .c = array_.mode(decision.target)}));
   if (!decision.changed) {
     return;
   }
@@ -116,7 +155,16 @@ void DynamicFanController::on_sample(SimTime now) {
     index_ = decision.target;
     return;
   }
-  if (hwmon_.write_pwm(DutyCycle{to})) {
+  const bool write_ok = hwmon_.write_pwm(DutyCycle{to});
+  THERMCTL_TRACE_EMIT(trace_,
+                      (obs::TraceEvent{.type = obs::TraceEventType::kFanRetarget,
+                                       .subsystem = obs::TraceSubsystem::kFan,
+                                       .flags = (write_ok ? obs::kTraceFlagWriteOk : 0u) |
+                                                (decision.used_level2 ? obs::kTraceFlagUsedLevel2 : 0u),
+                                       .i0 = static_cast<std::int64_t>(decision.target),
+                                       .a = from,
+                                       .b = to}));
+  if (write_ok) {
     // Commit the index only once the duty actually reached the chip —
     // otherwise a bus fault would desynchronize the controller's belief
     // from the hardware.

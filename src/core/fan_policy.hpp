@@ -29,6 +29,7 @@
 #include "core/policy.hpp"
 #include "core/sensor_health.hpp"
 #include "core/two_level_window.hpp"
+#include "obs/trace.hpp"
 #include "sysfs/adt7467_driver.hpp"
 #include "sysfs/hwmon.hpp"
 
@@ -85,6 +86,11 @@ class DynamicFanController {
   /// Re-tunes the policy parameter at runtime.
   void set_policy(PolicyParam pp);
 
+  /// Attaches a decision-trace ring (nullptr detaches). Every window round,
+  /// selector decision, PWM retarget, sensor classification, and fail-safe
+  /// transition is then recorded; control behaviour is unchanged.
+  void set_trace(obs::TraceRing* trace) { trace_ = trace; }
+
  private:
   static std::vector<double> duty_modes(const FanControlConfig& config);
 
@@ -102,6 +108,8 @@ class DynamicFanController {
   bool failsafe_applied_ = false;  // fail-safe duty reached the chip
   std::uint64_t failsafe_entries_ = 0;
   std::uint64_t failsafe_exits_ = 0;
+  obs::TraceRing* trace_ = nullptr;
+  bool last_sample_ok_ = true;  // edge detector for sensor-classification events
 };
 
 /// Applies the traditional static policy: programs the Fig. 1 curve into the

@@ -15,42 +15,61 @@ ModeSelector::ModeSelector(ModeSelectorConfig config, std::size_t array_size)
        (config_.tmax.value() - config_.tmin.value());
 }
 
-std::size_t ModeSelector::apply(std::size_t current, CelsiusDelta dt) const {
+ModeSelector::ApplyOutcome ModeSelector::apply_detail(std::size_t current, CelsiusDelta dt) const {
+  ApplyOutcome out{current, static_cast<double>(current), false};
   if (!std::isfinite(dt.value())) {
     // A NaN/Inf variation carries no directional information; stay put
     // rather than feed UB into the double→long cast below.
-    return current;
+    return out;
   }
   if (std::abs(dt.value()) < config_.deadband.value()) {
-    return current;
+    return out;
   }
   // Truncation toward zero: a variation must be worth at least one full cell
   // before the mode moves. The cast is UB for values outside long's range,
   // so clamp first — no useful step ever exceeds the whole array anyway.
   const double limit = static_cast<double>(array_size_ - 1);
-  const double raw = std::clamp(c_ * dt.value(), -limit, limit);
-  const long step = static_cast<long>(raw);
+  const double scaled = c_ * dt.value();
+  out.raw = static_cast<double>(current) + scaled;
+  const double clamped_scaled = std::clamp(scaled, -limit, limit);
+  out.clamped = clamped_scaled != scaled;
+  const long step = static_cast<long>(clamped_scaled);
   long target = static_cast<long>(current) + step;
   if (target < 0) {
     target = 0;
+    out.clamped = true;
   }
   const long max_index = static_cast<long>(array_size_) - 1;
   if (target > max_index) {
     target = max_index;
+    out.clamped = true;
   }
-  return static_cast<std::size_t>(target);
+  out.target = static_cast<std::size_t>(target);
+  return out;
+}
+
+std::size_t ModeSelector::apply(std::size_t current, CelsiusDelta dt) const {
+  return apply_detail(current, dt).target;
 }
 
 ModeDecision ModeSelector::decide(std::size_t current, const WindowRound& round) const {
   ModeDecision d;
-  d.target = apply(current, round.level1_delta);
+  const ApplyOutcome level1 = apply_detail(current, round.level1_delta);
+  d.target = level1.target;
+  d.raw_target = level1.raw;
+  d.delta_used = round.level1_delta;
+  d.clamped = level1.clamped;
   if (d.target != current) {
     d.changed = true;
     return d;
   }
   if (round.level2_valid) {
-    d.target = apply(current, round.level2_delta);
-    if (d.target != current) {
+    const ApplyOutcome level2 = apply_detail(current, round.level2_delta);
+    if (level2.target != current) {
+      d.target = level2.target;
+      d.raw_target = level2.raw;
+      d.delta_used = round.level2_delta;
+      d.clamped = level2.clamped;
       d.changed = true;
       d.used_level2 = true;
     }

@@ -35,6 +35,12 @@ struct ModeDecision {
   std::size_t target = 0;
   bool changed = false;
   bool used_level2 = false;  // the decision came from the gradual predictor
+  /// Causality payload for decision tracing; does not affect control flow.
+  /// The real-valued i + c·Δt before truncation/clamping, the Δt that
+  /// produced `target`, and whether the raw value left [0, N−1].
+  double raw_target = 0.0;
+  CelsiusDelta delta_used{0.0};
+  bool clamped = false;
 };
 
 class ModeSelector {
@@ -51,6 +57,13 @@ class ModeSelector {
   [[nodiscard]] ModeDecision decide(std::size_t current, const WindowRound& round) const;
 
  private:
+  struct ApplyOutcome {
+    std::size_t target = 0;
+    double raw = 0.0;  // real-valued i + c·Δt (i itself when Δt is rejected)
+    bool clamped = false;
+  };
+  [[nodiscard]] ApplyOutcome apply_detail(std::size_t current, CelsiusDelta dt) const;
+
   ModeSelectorConfig config_;
   std::size_t array_size_;
   double c_;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/csv.hpp"
 #include "common/table.hpp"
+#include "obs/json_writer.hpp"
 
 namespace thermctl::core {
 
@@ -108,6 +111,100 @@ std::string render_report(const ExperimentResult& result, const ReportOptions& o
     }
   }
   return out.str();
+}
+
+void write_run_summary_json(const std::string& path, const std::string& name,
+                            const ExperimentResult& result) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) {
+    throw std::runtime_error("run summary: cannot open " + path + " for writing");
+  }
+  obs::JsonWriter w{out};
+  w.begin_object();
+  w.field("schema", "thermctl-run-summary-v1");
+  w.field("name", name);
+  w.field("completed", result.run.app_completed);
+  w.field("exec_time_s", result.run.exec_time_s);
+  w.field("max_die_temp_c", result.run.max_die_temp());
+  w.field("avg_node_power_w", result.run.avg_power_w());
+  w.field("freq_transitions", static_cast<std::uint64_t>(result.run.total_freq_transitions()));
+  w.field("first_dvfs_trigger_s", result.first_dvfs_trigger_s);
+
+  w.begin_array("nodes");
+  for (std::size_t i = 0; i < result.run.summaries.size(); ++i) {
+    const cluster::NodeSummary& s = result.run.summaries[i];
+    w.begin_object();
+    w.field("node", static_cast<std::uint64_t>(i));
+    w.field("avg_die_temp_c", s.avg_die_temp);
+    w.field("max_die_temp_c", s.max_die_temp);
+    w.field("avg_duty_pct", s.avg_duty);
+    w.field("avg_power_w", s.avg_power_w);
+    w.field("energy_j", s.energy_j);
+    w.field("freq_transitions", static_cast<std::uint64_t>(s.freq_transitions));
+    w.field("prochot_events", static_cast<std::uint64_t>(s.prochot_events));
+    w.field("i2c_retries", s.i2c_retries);
+    w.field("i2c_exhausted", s.i2c_exhausted);
+    w.end_object();
+  }
+  w.end_array();
+
+  const ControllerFaultStats& fs = result.fault_stats;
+  w.begin_object("faults");
+  w.field("failsafe_entries", fs.failsafe_entries);
+  w.field("failsafe_exits", fs.failsafe_exits);
+  w.field("dvfs_hold_entries", fs.dvfs_hold_entries);
+  w.field("dvfs_held_ticks", fs.dvfs_held_ticks);
+  w.field("sensor_rejected", fs.sensor_rejected);
+  w.field("sensor_stuck_detections", fs.sensor_stuck_detections);
+  w.field("sensor_failures", fs.sensor_failures);
+  w.field("sensor_recoveries", fs.sensor_recoveries);
+  w.end_object();
+
+  if (result.trace != nullptr) {
+    w.begin_object("trace");
+    w.field("nodes", static_cast<std::uint64_t>(result.trace->node_count()));
+    w.field("emitted", result.trace->total_emitted());
+    w.field("dropped", result.trace->total_dropped());
+    w.end_object();
+  }
+
+  if (!result.metrics.empty()) {
+    w.begin_object("metrics");
+    w.begin_object("counters");
+    for (const auto& [k, v] : result.metrics.counters) {
+      w.field(k, v);
+    }
+    w.end_object();
+    w.begin_object("gauges");
+    for (const auto& [k, v] : result.metrics.gauges) {
+      w.field(k, v);
+    }
+    w.end_object();
+    w.begin_object("histograms");
+    for (const auto& [k, h] : result.metrics.histograms) {
+      w.begin_object(k);
+      w.begin_array("bounds");
+      for (double bound : h.bounds) {
+        w.value(bound);
+      }
+      w.end_array();
+      w.begin_array("counts");
+      for (std::uint64_t c : h.counts) {
+        w.value(c);
+      }
+      w.end_array();
+      w.field("total", h.total);
+      w.field("sum", h.sum);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+  out << "\n";
+  if (!out) {
+    throw std::runtime_error("run summary: write failed for " + path);
+  }
 }
 
 }  // namespace thermctl::core

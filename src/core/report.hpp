@@ -28,4 +28,10 @@ struct ReportOptions {
 /// One-line verdict: completion, hottest die, power, transition count.
 [[nodiscard]] std::string render_verdict(const ExperimentResult& result);
 
+/// Writes the machine-readable run-summary JSON: run aggregates, per-node
+/// summaries, fault counters, trace bookkeeping, and (when telemetry was on)
+/// the merged metrics snapshot. Throws std::runtime_error on I/O failure.
+void write_run_summary_json(const std::string& path, const std::string& name,
+                            const ExperimentResult& result);
+
 }  // namespace thermctl::core

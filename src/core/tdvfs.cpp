@@ -44,7 +44,8 @@ void TdvfsDaemon::set_policy(PolicyParam pp) {
   window_.reset();
 }
 
-void TdvfsDaemon::retarget(SimTime now, std::size_t target) {
+void TdvfsDaemon::retarget(SimTime now, std::size_t target, int consistency, bool used_level2,
+                           bool is_restore) {
   const double from = array_.mode(index_);
   const double to = array_.mode(target);
   index_ = target;
@@ -52,15 +53,36 @@ void TdvfsDaemon::retarget(SimTime now, std::size_t target) {
     return;
   }
   cpufreq_.set_khz(sysfs::CpufreqPolicy::to_khz(GigaHertz{to}));
+  THERMCTL_TRACE_EMIT(trace_,
+                      (obs::TraceEvent{.type = is_restore ? obs::TraceEventType::kTdvfsRestore
+                                                          : obs::TraceEventType::kTdvfsTrigger,
+                                       .subsystem = obs::TraceSubsystem::kTdvfs,
+                                       .flags = used_level2 ? obs::kTraceFlagUsedLevel2
+                                                            : obs::kTraceFlagNone,
+                                       .i0 = consistency,
+                                       .i1 = static_cast<std::int64_t>(target),
+                                       .a = from,
+                                       .b = to}));
   events_.push_back(TdvfsEvent{now.seconds(), from, to});
   THERMCTL_LOG_INFO("tdvfs", "t=%.2fs frequency %.1f GHz -> %.1f GHz", now.seconds(), from, to);
 }
 
 void TdvfsDaemon::on_sample(SimTime now) {
+  THERMCTL_TRACE_SET_TIME(trace_, now.seconds());
   Celsius reading = hwmon_.read_temperature();
 
   if (health_.has_value()) {
     const SensorState state = health_->observe(now, reading);
+    const bool sample_ok = state == SensorState::kOk;
+    if (!sample_ok || !last_sample_ok_) {
+      // Non-OK classifications, plus the first OK closing a bad streak.
+      THERMCTL_TRACE_EMIT(trace_,
+                          (obs::TraceEvent{.type = obs::TraceEventType::kSensorClassified,
+                                           .subsystem = obs::TraceSubsystem::kTdvfs,
+                                           .i0 = static_cast<std::int64_t>(state),
+                                           .a = reading.value()}));
+    }
+    last_sample_ok_ = sample_ok;
     if (health_->failed()) {
       if (!holding_) {
         holding_ = true;
@@ -70,6 +92,10 @@ void TdvfsDaemon::on_sample(SimTime now) {
         rounds_above_ = 0;
         rounds_below_ = 0;
         window_.reset();
+        THERMCTL_TRACE_EMIT(trace_,
+                            (obs::TraceEvent{.type = obs::TraceEventType::kDvfsHoldEnter,
+                                             .subsystem = obs::TraceSubsystem::kTdvfs,
+                                             .a = array_.mode(index_)}));
         THERMCTL_LOG_INFO("tdvfs", "t=%.2fs sensor failed; holding %.1f GHz", now.seconds(),
                           array_.mode(index_));
       }
@@ -78,6 +104,8 @@ void TdvfsDaemon::on_sample(SimTime now) {
     }
     if (holding_) {
       holding_ = false;
+      THERMCTL_TRACE_EMIT(trace_, (obs::TraceEvent{.type = obs::TraceEventType::kDvfsHoldExit,
+                                                   .subsystem = obs::TraceSubsystem::kTdvfs}));
       THERMCTL_LOG_INFO("tdvfs", "t=%.2fs sensor recovered; resuming control", now.seconds());
     }
     if (state != SensorState::kOk) {
@@ -93,6 +121,15 @@ void TdvfsDaemon::on_sample(SimTime now) {
   if (!round.has_value()) {
     return;
   }
+  THERMCTL_TRACE_EMIT(
+      trace_,
+      (obs::TraceEvent{.type = obs::TraceEventType::kWindowRound,
+                       .subsystem = obs::TraceSubsystem::kTdvfs,
+                       .flags = round->level2_valid ? obs::kTraceFlagLevel2Valid
+                                                   : obs::kTraceFlagNone,
+                       .a = round->level1_average.value(),
+                       .b = round->level1_delta.value(),
+                       .c = round->level2_delta.value()}));
 
   const double avg = round->level1_average.value();
   if (avg > config_.threshold.value()) {
@@ -118,13 +155,24 @@ void TdvfsDaemon::on_sample(SimTime now) {
       ++next_distinct;
     }
     const ModeDecision d = selector_.decide(index_, *round);
+    THERMCTL_TRACE_EMIT(trace_,
+                        (obs::TraceEvent{.type = obs::TraceEventType::kModeDecision,
+                                         .subsystem = obs::TraceSubsystem::kTdvfs,
+                                         .flags = (d.changed ? obs::kTraceFlagChanged : 0u) |
+                                                  (d.used_level2 ? obs::kTraceFlagUsedLevel2 : 0u) |
+                                                  (d.clamped ? obs::kTraceFlagClamped : 0u),
+                                         .i0 = static_cast<std::int64_t>(index_),
+                                         .i1 = static_cast<std::int64_t>(d.target),
+                                         .a = d.raw_target,
+                                         .b = d.delta_used.value(),
+                                         .c = array_.mode(d.target)}));
     std::size_t target = d.changed ? std::max(d.target, next_distinct) : next_distinct;
     target = std::min(target, array_.size() - 1);
-    retarget(now, target);
+    retarget(now, target, rounds_above_, d.changed && d.used_level2, /*is_restore=*/false);
     rounds_above_ = 0;
   } else if (rounds_below_ >= config_.restore_rounds && index_ != 0) {
     // Consistently cool again: restore the original frequency outright.
-    retarget(now, 0);
+    retarget(now, 0, rounds_below_, /*used_level2=*/false, /*is_restore=*/true);
     rounds_below_ = 0;
   }
 }

@@ -31,6 +31,7 @@
 #include "core/policy.hpp"
 #include "core/sensor_health.hpp"
 #include "core/two_level_window.hpp"
+#include "obs/trace.hpp"
 #include "sysfs/cpufreq.hpp"
 #include "sysfs/hwmon.hpp"
 
@@ -91,8 +92,16 @@ class TdvfsDaemon {
 
   void set_policy(PolicyParam pp);
 
+  /// Attaches a decision-trace ring (nullptr detaches). Window rounds,
+  /// selector decisions, trigger/restore transitions (with the consistency
+  /// counts that armed them), and hold transitions are then recorded.
+  void set_trace(obs::TraceRing* trace) { trace_ = trace; }
+
  private:
-  void retarget(SimTime now, std::size_t target);
+  /// `consistency` and `is_restore` feed the decision trace: how many
+  /// consistent rounds armed this move and which direction it is.
+  void retarget(SimTime now, std::size_t target, int consistency, bool used_level2,
+                bool is_restore);
 
   sysfs::HwmonDevice& hwmon_;
   sysfs::CpufreqPolicy& cpufreq_;
@@ -108,6 +117,8 @@ class TdvfsDaemon {
   bool holding_ = false;
   std::uint64_t hold_entries_ = 0;
   std::uint64_t held_ticks_ = 0;
+  obs::TraceRing* trace_ = nullptr;
+  bool last_sample_ok_ = true;  // edge detector for sensor-classification events
 };
 
 }  // namespace thermctl::core

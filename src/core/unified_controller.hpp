@@ -68,6 +68,14 @@ class UnifiedController {
   /// time" Fig. 10 compares across Pp.
   [[nodiscard]] double first_dvfs_trigger_s() const;
 
+  /// Attaches one decision-trace ring to both sub-controllers (nullptr
+  /// detaches): their events interleave on the node's single timeline,
+  /// distinguished by subsystem.
+  void set_trace(obs::TraceRing* trace) {
+    fan_.set_trace(trace);
+    dvfs_.set_trace(trace);
+  }
+
  private:
   static UnifiedConfig harmonize(UnifiedConfig config);
 

@@ -31,6 +31,10 @@ bool RetryingI2cMaster::note_attempt(I2cErrorStats& s, I2cStatus status, int att
   }
   if (!retryable(status) || attempt + 1 >= config_.max_attempts) {
     ++s.exhausted;
+    THERMCTL_TRACE_EMIT(trace_, (obs::TraceEvent{.type = obs::TraceEventType::kI2cExhausted,
+                                                 .subsystem = obs::TraceSubsystem::kI2c,
+                                                 .i0 = attempt,
+                                                 .i1 = static_cast<std::int64_t>(status)}));
     return false;
   }
   ++s.retries;
@@ -40,6 +44,11 @@ bool RetryingI2cMaster::note_attempt(I2cErrorStats& s, I2cStatus status, int att
   std::uint64_t delay = shift < 63 ? config_.base_backoff_us << shift : config_.max_backoff_us;
   delay = std::min(delay, config_.max_backoff_us);
   s.backoff_us += delay;
+  THERMCTL_TRACE_EMIT(trace_, (obs::TraceEvent{.type = obs::TraceEventType::kI2cRetry,
+                                               .subsystem = obs::TraceSubsystem::kI2c,
+                                               .i0 = attempt,
+                                               .i1 = static_cast<std::int64_t>(status),
+                                               .a = static_cast<double>(delay)}));
   return true;
 }
 

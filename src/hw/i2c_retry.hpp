@@ -14,6 +14,7 @@
 #include <map>
 
 #include "hw/i2c.hpp"
+#include "obs/trace.hpp"
 
 namespace thermctl::hw {
 
@@ -64,6 +65,12 @@ class RetryingI2cMaster {
   [[nodiscard]] const I2cRetryConfig& config() const { return config_; }
   [[nodiscard]] I2cBus& bus() { return bus_; }
 
+  /// Attaches a decision-trace ring (nullptr detaches). Retried attempts and
+  /// exhausted transfers are then emitted with the ring's current sim time —
+  /// the bus has no clock of its own, so whoever drives the node's timeline
+  /// keeps the ring's clock fresh (controllers do, on every tick).
+  void set_trace(obs::TraceRing* trace) { trace_ = trace; }
+
  private:
   /// True when `status` is worth another attempt: bus faults and address
   /// NAKs look transient; a register NAK is a deterministic protocol
@@ -78,6 +85,7 @@ class RetryingI2cMaster {
   I2cBus& bus_;
   I2cRetryConfig config_;
   std::map<std::uint8_t, I2cErrorStats> stats_;
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace thermctl::hw

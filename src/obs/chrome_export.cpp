@@ -1,0 +1,209 @@
+#include "obs/chrome_export.hpp"
+
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/json_writer.hpp"
+
+namespace thermctl::obs {
+
+namespace {
+
+constexpr double kUsPerS = 1e6;
+
+/// pid/tid scheme: one process per node, one thread per subsystem.
+std::int64_t tid_of(TraceSubsystem subsystem) { return static_cast<std::int64_t>(subsystem); }
+
+void event_header(JsonWriter& json, const TraceEvent& ev, std::string_view name,
+                  std::string_view ph) {
+  json.begin_object()
+      .field("name", name)
+      .field("ph", ph)
+      .field("ts", ev.t_s * kUsPerS)
+      .field("pid", static_cast<std::int64_t>(ev.node))
+      .field("tid", tid_of(ev.subsystem));
+}
+
+void instant(JsonWriter& json, const TraceEvent& ev, std::string_view name,
+             const std::vector<std::pair<std::string_view, double>>& args) {
+  event_header(json, ev, name, "i");
+  json.field("s", "t");
+  json.begin_object("args");
+  for (const auto& [key, value] : args) {
+    json.field(key, value);
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void counter(JsonWriter& json, const TraceEvent& ev, std::string_view name,
+             std::string_view series, double value) {
+  event_header(json, ev, name, "C");
+  json.begin_object("args").field(series, value).end_object();
+  json.end_object();
+}
+
+void metadata(JsonWriter& json, std::string_view what, std::int64_t pid, std::int64_t tid,
+              std::string_view name) {
+  json.begin_object()
+      .field("name", what)
+      .field("ph", "M")
+      .field("pid", pid)
+      .field("tid", tid)
+      .begin_object("args")
+      .field("name", name)
+      .end_object()
+      .end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::string& path, const std::vector<TraceEvent>& events) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) {
+    throw std::runtime_error("chrome_export: cannot open " + path);
+  }
+  JsonWriter json{out};
+  json.begin_object();
+  json.field("displayTimeUnit", "ms");
+  json.begin_array("traceEvents");
+
+  // Name the pid/tid rows once per (node, subsystem) actually present.
+  std::map<std::uint16_t, bool> nodes_seen;
+  std::map<std::pair<std::uint16_t, TraceSubsystem>, bool> lanes_seen;
+  for (const TraceEvent& ev : events) {
+    if (!nodes_seen[ev.node]) {
+      nodes_seen[ev.node] = true;
+      metadata(json, "process_name", ev.node, 0, "node" + std::to_string(ev.node));
+    }
+    auto& lane = lanes_seen[{ev.node, ev.subsystem}];
+    if (!lane) {
+      lane = true;
+      metadata(json, "thread_name", ev.node, tid_of(ev.subsystem),
+               std::string{to_string(ev.subsystem)});
+    }
+  }
+
+  // Degraded-operation episodes render as spans: remember the open edge per
+  // (node, kind) and close it when the matching exit arrives.
+  std::map<std::pair<std::uint16_t, TraceEventType>, TraceEvent> open_spans;
+  double last_ts = 0.0;
+
+  for (const TraceEvent& ev : events) {
+    last_ts = ev.t_s;
+    switch (ev.type) {
+      case TraceEventType::kWindowRound:
+        instant(json, ev, "window_round",
+                {{"level1_avg_c", ev.a},
+                 {"level1_delta_c", ev.b},
+                 {"level2_delta_c", ev.c},
+                 {"level2_valid", (ev.flags & kTraceFlagLevel2Valid) ? 1.0 : 0.0}});
+        break;
+      case TraceEventType::kModeDecision:
+        instant(json, ev, "mode_decision",
+                {{"index", static_cast<double>(ev.i0)},
+                 {"target", static_cast<double>(ev.i1)},
+                 {"raw_target", ev.a},
+                 {"delta_used_c", ev.b},
+                 {"target_mode", ev.c},
+                 {"changed", (ev.flags & kTraceFlagChanged) ? 1.0 : 0.0},
+                 {"used_level2", (ev.flags & kTraceFlagUsedLevel2) ? 1.0 : 0.0}});
+        break;
+      case TraceEventType::kFanRetarget:
+        instant(json, ev, "fan_retarget",
+                {{"from_duty_pct", ev.a},
+                 {"to_duty_pct", ev.b},
+                 {"target_index", static_cast<double>(ev.i0)},
+                 {"write_ok", (ev.flags & kTraceFlagWriteOk) ? 1.0 : 0.0},
+                 {"used_level2", (ev.flags & kTraceFlagUsedLevel2) ? 1.0 : 0.0}});
+        if (ev.flags & kTraceFlagWriteOk) {
+          counter(json, ev, "fan_duty", "pct", ev.b);
+        }
+        break;
+      case TraceEventType::kTdvfsTrigger:
+        instant(json, ev, "tdvfs_trigger",
+                {{"from_ghz", ev.a},
+                 {"to_ghz", ev.b},
+                 {"rounds_above", static_cast<double>(ev.i0)},
+                 {"target_index", static_cast<double>(ev.i1)},
+                 {"used_level2", (ev.flags & kTraceFlagUsedLevel2) ? 1.0 : 0.0}});
+        counter(json, ev, "cpu_freq", "ghz", ev.b);
+        break;
+      case TraceEventType::kTdvfsRestore:
+        instant(json, ev, "tdvfs_restore",
+                {{"from_ghz", ev.a},
+                 {"to_ghz", ev.b},
+                 {"rounds_below", static_cast<double>(ev.i0)}});
+        counter(json, ev, "cpu_freq", "ghz", ev.b);
+        break;
+      case TraceEventType::kSensorClassified:
+        instant(json, ev, "sensor_classified",
+                {{"reading_c", ev.a}, {"state", static_cast<double>(ev.i0)}});
+        break;
+      case TraceEventType::kFailsafeEnter:
+      case TraceEventType::kDvfsHoldEnter:
+        open_spans[{ev.node, ev.type}] = ev;
+        break;
+      case TraceEventType::kFailsafeExit:
+      case TraceEventType::kDvfsHoldExit: {
+        const TraceEventType enter_type = ev.type == TraceEventType::kFailsafeExit
+                                              ? TraceEventType::kFailsafeEnter
+                                              : TraceEventType::kDvfsHoldEnter;
+        const char* name =
+            ev.type == TraceEventType::kFailsafeExit ? "failsafe_cooling" : "dvfs_hold";
+        auto it = open_spans.find({ev.node, enter_type});
+        const double start_s = it != open_spans.end() ? it->second.t_s : ev.t_s;
+        // The span starts at the enter edge, so stamp ts from it — not from
+        // the exit event this branch is handling.
+        TraceEvent span = ev;
+        span.t_s = start_s;
+        event_header(json, span, name, "X");
+        json.field("dur", (ev.t_s - start_s) * kUsPerS);
+        json.begin_object("args").field("start_s", start_s).field("end_s", ev.t_s).end_object();
+        json.end_object();
+        if (it != open_spans.end()) {
+          open_spans.erase(it);
+        }
+        break;
+      }
+      case TraceEventType::kI2cRetry:
+        instant(json, ev, "i2c_retry",
+                {{"attempt", static_cast<double>(ev.i0)},
+                 {"status", static_cast<double>(ev.i1)},
+                 {"backoff_us", ev.a}});
+        break;
+      case TraceEventType::kI2cExhausted:
+        instant(json, ev, "i2c_exhausted", {{"status", static_cast<double>(ev.i1)}});
+        break;
+      case TraceEventType::kNone:
+        break;
+    }
+  }
+
+  // A fault active at end-of-run leaves its span open; close it at the last
+  // event's timestamp so the trace stays well-formed.
+  for (const auto& [key, enter] : open_spans) {
+    const char* name =
+        key.second == TraceEventType::kFailsafeEnter ? "failsafe_cooling" : "dvfs_hold";
+    TraceEvent synthetic = enter;
+    event_header(json, synthetic, name, "X");
+    json.field("dur", (last_ts - enter.t_s) * kUsPerS);
+    json.begin_object("args").field("start_s", enter.t_s).field("open", true).end_object();
+    json.end_object();
+  }
+
+  json.end_array();
+  json.end_object();
+  out << "\n";
+  if (!out) {
+    throw std::runtime_error("chrome_export: write failed for " + path);
+  }
+}
+
+void write_chrome_trace(const std::string& path, const RunTrace& trace) {
+  write_chrome_trace(path, trace.merged_events());
+}
+
+}  // namespace thermctl::obs

@@ -1,0 +1,25 @@
+// Chrome trace_event exporter.
+//
+// Converts a thermctl decision trace into the JSON Array Format consumed by
+// Perfetto and chrome://tracing: each node becomes a pid, each subsystem a
+// tid, decisions become instant events with their causality payload under
+// "args", and fan duty / CPU frequency become counter tracks so the mode
+// staircase is visible next to the decisions that produced it. Fail-safe and
+// DVFS-hold episodes export as complete ("X") spans so degraded operation
+// shows up as a duration, not two disconnected instants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace thermctl::obs {
+
+/// Writes the merged stream as Chrome trace JSON. Throws std::runtime_error
+/// on I/O failure.
+void write_chrome_trace(const std::string& path, const std::vector<TraceEvent>& events);
+
+void write_chrome_trace(const std::string& path, const RunTrace& trace);
+
+}  // namespace thermctl::obs

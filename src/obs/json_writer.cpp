@@ -1,0 +1,168 @@
+#include "obs/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace thermctl::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (!has_items_.empty()) {
+    if (has_items_.back()) {
+      out_ << ',';
+    }
+    has_items_.back() = true;
+  }
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma();
+  out_ << '"' << json_escape(k) << "\":";
+}
+
+void JsonWriter::number(double v) {
+  // JSON has no NaN/Inf; null is the conventional stand-in.
+  if (!std::isfinite(v)) {
+    out_ << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out_ << buf;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ << '{';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  THERMCTL_ASSERT(!has_items_.empty(), "end_object without begin");
+  has_items_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ << '[';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  THERMCTL_ASSERT(!has_items_.empty(), "end_array without begin");
+  has_items_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object(std::string_view k) {
+  key(k);
+  out_ << '{';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view k) {
+  key(k);
+  out_ << '[';
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::string_view v) {
+  key(k);
+  out_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, const char* v) {
+  return field(k, std::string_view{v});
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, double v) {
+  key(k);
+  number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::int64_t v) {
+  key(k);
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::uint64_t v) {
+  key(k);
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, bool v) {
+  key(k);
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  out_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ << v;
+  return *this;
+}
+
+}  // namespace thermctl::obs

@@ -1,0 +1,55 @@
+// Minimal streaming JSON writer.
+//
+// Enough JSON for the exporters (Chrome trace_event arrays, run-summary
+// documents): objects, arrays, string escaping, finite-number formatting.
+// No reflection, no DOM — callers drive the structure and the writer keeps
+// the commas and quoting honest.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace thermctl::obs {
+
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object-context variants: emit the key, then open the container.
+  JsonWriter& begin_object(std::string_view key);
+  JsonWriter& begin_array(std::string_view key);
+
+  /// Key/value pairs (object context).
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value);
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, bool value);
+
+  /// Bare values (array context).
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+
+ private:
+  void comma();
+  void key(std::string_view k);
+  void number(double v);
+
+  std::ostream& out_;
+  std::vector<bool> has_items_;  // per open container: wrote a member yet?
+};
+
+}  // namespace thermctl::obs

@@ -1,0 +1,128 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace thermctl::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  THERMCTL_ASSERT(!bounds_.empty(), "histogram needs at least one bucket bound");
+  THERMCTL_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  "histogram bounds must ascend");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  // First bucket whose upper edge admits v; everything past the last edge
+  // lands in the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++total_;
+  sum_ += v;
+}
+
+Counter& MetricsShard::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsShard::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsShard::histogram(const std::string& name, std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  } else {
+    THERMCTL_ASSERT(slot->bounds() == upper_bounds,
+                    "histogram re-registered with different bounds");
+  }
+  return *slot;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) {
+    counters[name] += v;
+  }
+  for (const auto& [name, v] : other.gauges) {
+    gauges[name] = v;
+  }
+  for (const auto& [name, h] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, h);
+      continue;
+    }
+    HistogramValue& mine = it->second;
+    THERMCTL_ASSERT(mine.bounds == h.bounds, "merging histograms with different bounds");
+    for (std::size_t i = 0; i < mine.counts.size(); ++i) {
+      mine.counts[i] += h.counts[i];
+    }
+    mine.total += h.total;
+    mine.sum += h.sum;
+  }
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t shards) {
+  THERMCTL_ASSERT(shards >= 1, "registry needs at least one shard");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<MetricsShard>());
+  }
+}
+
+MetricsShard& MetricsRegistry::shard(std::size_t index) {
+  THERMCTL_ASSERT(index < shards_.size(), "shard index out of range");
+  return *shards_[index];
+}
+
+MetricsSnapshot MetricsRegistry::merged() const {
+  MetricsSnapshot snap;
+  for (const auto& shard : shards_) {
+    // Shard fold order is ascending index by construction — the determinism
+    // contract parallel sweeps rely on.
+    for (const auto& [name, c] : shard->counters_) {
+      snap.counters[name] += c->value();
+    }
+    for (const auto& [name, g] : shard->gauges_) {
+      if (g->is_set()) {
+        snap.gauges[name] = g->value();
+      }
+    }
+    for (const auto& [name, h] : shard->histograms_) {
+      auto it = snap.histograms.find(name);
+      if (it == snap.histograms.end()) {
+        MetricsSnapshot::HistogramValue v;
+        v.bounds = h->bounds();
+        v.counts = h->counts();
+        v.total = h->total_count();
+        v.sum = h->sum();
+        snap.histograms.emplace(name, std::move(v));
+        continue;
+      }
+      MetricsSnapshot::HistogramValue& mine = it->second;
+      THERMCTL_ASSERT(mine.bounds == h->bounds(),
+                      "shards registered one histogram with different bounds");
+      for (std::size_t i = 0; i < mine.counts.size(); ++i) {
+        mine.counts[i] += h->counts()[i];
+      }
+      mine.total += h->total_count();
+      mine.sum += h->sum();
+    }
+  }
+  return snap;
+}
+
+}  // namespace thermctl::obs

@@ -1,0 +1,82 @@
+#include "obs/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace thermctl::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'H', 'M', 'T', 'R', 'C', '1', '\0'};
+constexpr std::uint32_t kHeaderSize = 32;
+
+struct Header {
+  char magic[8];
+  std::uint32_t header_size;
+  std::uint32_t record_size;
+  std::uint64_t event_count;  // 8-aligned at offset 16, so no padding anywhere
+  std::uint32_t node_count;
+  std::uint32_t reserved;
+};
+static_assert(sizeof(Header) == kHeaderSize, "trace header layout drifted");
+
+}  // namespace
+
+void write_trace_file(const std::string& path, const RunTrace& trace) {
+  write_trace_file(path, static_cast<std::uint32_t>(trace.node_count()),
+                   trace.merged_events());
+}
+
+void write_trace_file(const std::string& path, std::uint32_t node_count,
+                      const std::vector<TraceEvent>& events) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) {
+    throw std::runtime_error("trace_io: cannot open " + path + " for writing");
+  }
+  Header header{};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.header_size = kHeaderSize;
+  header.record_size = static_cast<std::uint32_t>(sizeof(TraceEvent));
+  header.node_count = node_count;
+  header.event_count = events.size();
+  header.reserved = 0;
+  out.write(reinterpret_cast<const char*>(&header), sizeof header);
+  if (!events.empty()) {
+    out.write(reinterpret_cast<const char*>(events.data()),
+              static_cast<std::streamsize>(events.size() * sizeof(TraceEvent)));
+  }
+  if (!out) {
+    throw std::runtime_error("trace_io: write failed for " + path);
+  }
+}
+
+TraceFile read_trace_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    throw std::runtime_error("trace_io: cannot open " + path);
+  }
+  Header header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof header);
+  if (!in || std::memcmp(header.magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("trace_io: " + path + " is not a thermctl trace");
+  }
+  if (header.header_size != kHeaderSize ||
+      header.record_size != static_cast<std::uint32_t>(sizeof(TraceEvent))) {
+    throw std::runtime_error("trace_io: " + path +
+                             " was written with an incompatible record layout");
+  }
+  TraceFile file;
+  file.node_count = header.node_count;
+  file.events.resize(static_cast<std::size_t>(header.event_count));
+  if (!file.events.empty()) {
+    in.read(reinterpret_cast<char*>(file.events.data()),
+            static_cast<std::streamsize>(file.events.size() * sizeof(TraceEvent)));
+  }
+  if (!in) {
+    throw std::runtime_error("trace_io: " + path + " is truncated");
+  }
+  return file;
+}
+
+}  // namespace thermctl::obs

@@ -1,0 +1,42 @@
+// Trace serialization: the .thermtrace binary container and its readers.
+//
+// Format (little-endian, versioned):
+//
+//   offset  size  field
+//   0       8     magic "THMTRC1\0"
+//   8       4     u32 header size (= 32)
+//   12      4     u32 event record size (= sizeof(TraceEvent) = 56)
+//   16      8     u64 event count
+//   24      4     u32 node count
+//   28      4     u32 reserved (0)
+//   32      ...   event records, merged stream order (time, node)
+//
+// The record size is stored so a reader can reject traces from a build whose
+// TraceEvent layout drifted instead of misparsing them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace thermctl::obs {
+
+struct TraceFile {
+  std::uint32_t node_count = 0;
+  std::vector<TraceEvent> events;  // merged stream order
+};
+
+/// Writes the merged event stream of `trace` to `path`. Throws
+/// std::runtime_error on I/O failure.
+void write_trace_file(const std::string& path, const RunTrace& trace);
+
+/// Writes an already-merged stream (e.g. a filtered one).
+void write_trace_file(const std::string& path, std::uint32_t node_count,
+                      const std::vector<TraceEvent>& events);
+
+/// Reads a trace file back. Throws std::runtime_error on I/O failure, bad
+/// magic, or a record-size mismatch.
+[[nodiscard]] TraceFile read_trace_file(const std::string& path);
+
+}  // namespace thermctl::obs

@@ -1,0 +1,252 @@
+#include "obs/trace_summary.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace thermctl::obs {
+
+namespace {
+
+std::string fmt(const char* format, double a, double b = 0.0, double c = 0.0) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf, format, a, b, c);
+  return std::string{buf};
+}
+
+}  // namespace
+
+std::vector<ModeChange> mode_change_sequence(const std::vector<TraceEvent>& events) {
+  std::vector<ModeChange> out;
+  for (const TraceEvent& ev : events) {
+    ModeChange mc;
+    mc.t_s = ev.t_s;
+    mc.node = ev.node;
+    mc.subsystem = ev.subsystem;
+    switch (ev.type) {
+      case TraceEventType::kFanRetarget:
+        if ((ev.flags & kTraceFlagWriteOk) == 0) {
+          continue;  // the duty never reached the chip
+        }
+        mc.from = ev.a;
+        mc.to = ev.b;
+        mc.used_level2 = (ev.flags & kTraceFlagUsedLevel2) != 0;
+        break;
+      case TraceEventType::kTdvfsTrigger:
+        mc.from = ev.a;
+        mc.to = ev.b;
+        mc.used_level2 = (ev.flags & kTraceFlagUsedLevel2) != 0;
+        mc.consistency_rounds = ev.i0;
+        break;
+      case TraceEventType::kTdvfsRestore:
+        mc.from = ev.a;
+        mc.to = ev.b;
+        mc.consistency_rounds = ev.i0;
+        mc.is_restore = true;
+        break;
+      default:
+        continue;
+    }
+    out.push_back(mc);
+  }
+  return out;
+}
+
+std::map<std::uint16_t, std::map<double, double>> mode_residency(
+    const std::vector<TraceEvent>& events, TraceSubsystem subsystem, double end_s) {
+  struct Open {
+    double mode = 0.0;
+    double since_s = 0.0;
+    bool valid = false;
+  };
+  std::map<std::uint16_t, std::map<double, double>> residency;
+  std::map<std::uint16_t, Open> open;
+  for (const ModeChange& mc : mode_change_sequence(events)) {
+    if (mc.subsystem != subsystem) {
+      continue;
+    }
+    Open& o = open[mc.node];
+    if (o.valid) {
+      residency[mc.node][o.mode] += mc.t_s - o.since_s;
+    } else {
+      // The stretch before the first change ran at mc.from — attribute it
+      // from t=0, which is when the controller initialized that mode.
+      residency[mc.node][mc.from] += mc.t_s;
+    }
+    o.mode = mc.to;
+    o.since_s = mc.t_s;
+    o.valid = true;
+  }
+  for (auto& [node, o] : open) {
+    if (o.valid && end_s > o.since_s) {
+      residency[node][o.mode] += end_s - o.since_s;
+    }
+  }
+  return residency;
+}
+
+std::map<std::uint16_t, NodeDecisionStats> decision_stats(
+    const std::vector<TraceEvent>& events) {
+  std::map<std::uint16_t, NodeDecisionStats> stats;
+  for (const TraceEvent& ev : events) {
+    NodeDecisionStats& s = stats[ev.node];
+    switch (ev.type) {
+      case TraceEventType::kWindowRound:
+        ++s.window_rounds;
+        break;
+      case TraceEventType::kModeDecision:
+        ++s.decisions;
+        if (ev.flags & kTraceFlagChanged) {
+          ++s.decisions_changed;
+        }
+        if (ev.flags & kTraceFlagUsedLevel2) {
+          ++s.level2_decisions;
+        }
+        if (ev.flags & kTraceFlagClamped) {
+          ++s.clamped_decisions;
+        }
+        break;
+      case TraceEventType::kFanRetarget:
+        if (ev.flags & kTraceFlagWriteOk) {
+          ++s.fan_retargets;
+        } else {
+          ++s.fan_write_failures;
+        }
+        break;
+      case TraceEventType::kTdvfsTrigger:
+        ++s.tdvfs_triggers;
+        break;
+      case TraceEventType::kTdvfsRestore:
+        ++s.tdvfs_restores;
+        break;
+      case TraceEventType::kSensorClassified:
+        if (ev.i0 != 0) {
+          ++s.sensor_flags;
+        }
+        break;
+      case TraceEventType::kFailsafeEnter:
+        ++s.failsafe_entries;
+        break;
+      case TraceEventType::kDvfsHoldEnter:
+        ++s.dvfs_holds;
+        break;
+      case TraceEventType::kI2cRetry:
+        ++s.i2c_retries;
+        break;
+      case TraceEventType::kI2cExhausted:
+        ++s.i2c_exhausted;
+        break;
+      default:
+        break;
+    }
+  }
+  return stats;
+}
+
+std::string render_timeline(const std::vector<TraceEvent>& events, std::size_t max_rows) {
+  std::ostringstream out;
+  std::map<std::uint16_t, std::size_t> rows;
+  std::size_t suppressed = 0;
+  for (const TraceEvent& ev : events) {
+    std::string text;
+    switch (ev.type) {
+      case TraceEventType::kFanRetarget:
+        text = fmt("fan duty %.0f%% -> %.0f%%", ev.a, ev.b) +
+               ((ev.flags & kTraceFlagWriteOk) ? "" : " [WRITE FAILED]") +
+               ((ev.flags & kTraceFlagUsedLevel2) ? " (gradual, level-2)" : " (sudden, level-1)");
+        break;
+      case TraceEventType::kTdvfsTrigger:
+        text = fmt("tDVFS %.2f -> %.2f GHz after %.0f hot rounds", ev.a, ev.b,
+                   static_cast<double>(ev.i0)) +
+               ((ev.flags & kTraceFlagUsedLevel2) ? " (level-2 push)" : "");
+        break;
+      case TraceEventType::kTdvfsRestore:
+        text = fmt("tDVFS restore %.2f -> %.2f GHz after %.0f cool rounds", ev.a, ev.b,
+                   static_cast<double>(ev.i0));
+        break;
+      case TraceEventType::kFailsafeEnter:
+        text = fmt("FAIL-SAFE: sensor failed, commanding %.0f%% duty", ev.a);
+        break;
+      case TraceEventType::kFailsafeExit:
+        text = "fail-safe exit: sensor recovered";
+        break;
+      case TraceEventType::kDvfsHoldEnter:
+        text = fmt("DVFS HOLD: sensor failed, holding %.2f GHz", ev.a);
+        break;
+      case TraceEventType::kDvfsHoldExit:
+        text = "DVFS hold released";
+        break;
+      case TraceEventType::kI2cExhausted:
+        text = "i2c transfer exhausted its retry budget";
+        break;
+      default:
+        continue;  // window rounds / raw decisions are too dense for this view
+    }
+    std::size_t& count = rows[ev.node];
+    if (max_rows != 0 && count >= max_rows) {
+      ++suppressed;
+      continue;
+    }
+    ++count;
+    out << fmt("  t=%8.2fs", ev.t_s) << "  node" << ev.node << "  ["
+        << to_string(ev.subsystem) << "]  " << text << "\n";
+  }
+  if (suppressed != 0) {
+    out << "  (" << suppressed << " further rows suppressed; raise --max-rows)\n";
+  }
+  return out.str();
+}
+
+std::string render_residency(const std::vector<TraceEvent>& events, TraceSubsystem subsystem,
+                             double end_s) {
+  const auto residency = mode_residency(events, subsystem, end_s);
+  std::ostringstream out;
+  const char* unit = subsystem == TraceSubsystem::kFan ? "%" : " GHz";
+  for (const auto& [node, modes] : residency) {
+    double total = 0.0;
+    for (const auto& [mode, seconds] : modes) {
+      total += seconds;
+    }
+    out << "  node" << node << " (" << to_string(subsystem) << "):\n";
+    for (const auto& [mode, seconds] : modes) {
+      const double share = total > 0.0 ? seconds / total : 0.0;
+      out << fmt("    %7.2f", mode) << unit << fmt("  %8.1f s  %5.1f%%  ", seconds, share * 100.0);
+      const int bar = static_cast<int>(share * 40.0 + 0.5);
+      for (int i = 0; i < bar; ++i) {
+        out << '#';
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string render_causality(const std::vector<TraceEvent>& events) {
+  const auto stats = decision_stats(events);
+  std::ostringstream out;
+  out << "  node  rounds  decided  changed  lvl2  clamped  fan-moves  wr-fail  "
+         "dvfs-trig  dvfs-rest  sensor-flags  failsafe  holds  i2c-retry\n";
+  for (const auto& [node, s] : stats) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "  %4u  %6llu  %7llu  %7llu  %4llu  %7llu  %9llu  %7llu  %9llu  %9llu  "
+                  "%12llu  %8llu  %5llu  %9llu\n",
+                  static_cast<unsigned>(node),
+                  static_cast<unsigned long long>(s.window_rounds),
+                  static_cast<unsigned long long>(s.decisions),
+                  static_cast<unsigned long long>(s.decisions_changed),
+                  static_cast<unsigned long long>(s.level2_decisions),
+                  static_cast<unsigned long long>(s.clamped_decisions),
+                  static_cast<unsigned long long>(s.fan_retargets),
+                  static_cast<unsigned long long>(s.fan_write_failures),
+                  static_cast<unsigned long long>(s.tdvfs_triggers),
+                  static_cast<unsigned long long>(s.tdvfs_restores),
+                  static_cast<unsigned long long>(s.sensor_flags),
+                  static_cast<unsigned long long>(s.failsafe_entries),
+                  static_cast<unsigned long long>(s.dvfs_holds),
+                  static_cast<unsigned long long>(s.i2c_retries));
+    out << buf;
+  }
+  return out.str();
+}
+
+}  // namespace thermctl::obs

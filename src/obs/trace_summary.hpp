@@ -1,0 +1,80 @@
+// Decision-trace analysis: the queries the trace_analyze CLI and the tests
+// ask of a recorded event stream.
+//
+// All functions take the merged, time-ordered stream (RunTrace::merged_events
+// or TraceFile::events) and are pure — they derive timelines, residency
+// histograms and causality tables without touching the live rings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace thermctl::obs {
+
+/// One applied mode change (fan duty or DVFS frequency actually reaching the
+/// hardware), reconstructed from the trace.
+struct ModeChange {
+  double t_s = 0.0;
+  std::uint16_t node = 0;
+  TraceSubsystem subsystem = TraceSubsystem::kNone;
+  double from = 0.0;  // duty % or GHz
+  double to = 0.0;
+  /// Δt source attribution: true when the level-2 (gradual) predictor
+  /// supplied the step. Restores carry false (they are consistency-count
+  /// driven, not window-driven).
+  bool used_level2 = false;
+  /// Consistency count that armed a tDVFS trigger/restore (0 for fan moves).
+  std::int64_t consistency_rounds = 0;
+  bool is_restore = false;
+};
+
+/// Applied mode changes in stream order. Fan retargets whose PWM write
+/// failed are excluded — the hardware never changed mode.
+[[nodiscard]] std::vector<ModeChange> mode_change_sequence(
+    const std::vector<TraceEvent>& events);
+
+/// Time spent at each mode value between changes, per node, for one
+/// subsystem. `end_s` closes the final residency interval (pass the run's
+/// end time); the stretch before the first change is attributed from t=0 to
+/// that change's from-mode (the mode the controller initialized).
+[[nodiscard]] std::map<std::uint16_t, std::map<double, double>> mode_residency(
+    const std::vector<TraceEvent>& events, TraceSubsystem subsystem, double end_s);
+
+/// Per-node decision statistics for the causality table.
+struct NodeDecisionStats {
+  std::uint64_t window_rounds = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t decisions_changed = 0;
+  std::uint64_t level2_decisions = 0;   // Δt came from the gradual predictor
+  std::uint64_t clamped_decisions = 0;  // raw i + c·Δt fell outside [0, N-1]
+  std::uint64_t fan_retargets = 0;
+  std::uint64_t fan_write_failures = 0;
+  std::uint64_t tdvfs_triggers = 0;
+  std::uint64_t tdvfs_restores = 0;
+  std::uint64_t sensor_flags = 0;  // non-OK classifications
+  std::uint64_t failsafe_entries = 0;
+  std::uint64_t dvfs_holds = 0;
+  std::uint64_t i2c_retries = 0;
+  std::uint64_t i2c_exhausted = 0;
+};
+
+[[nodiscard]] std::map<std::uint16_t, NodeDecisionStats> decision_stats(
+    const std::vector<TraceEvent>& events);
+
+/// Human-readable per-node decision timeline (the CLI's main view).
+/// `max_rows` caps output rows per node (0 = unlimited).
+[[nodiscard]] std::string render_timeline(const std::vector<TraceEvent>& events,
+                                          std::size_t max_rows = 0);
+
+/// Mode-residency histogram rendering for one subsystem.
+[[nodiscard]] std::string render_residency(const std::vector<TraceEvent>& events,
+                                           TraceSubsystem subsystem, double end_s);
+
+/// Trigger-causality table: per node, what fired and why.
+[[nodiscard]] std::string render_causality(const std::vector<TraceEvent>& events);
+
+}  // namespace thermctl::obs

@@ -67,6 +67,10 @@ class Adt7467Driver {
   /// Transfer/retry/fault counters for this driver's device address.
   [[nodiscard]] const hw::I2cErrorStats& io_stats() const { return master_.stats(address_); }
 
+  /// Attaches a decision-trace ring to the underlying retrying master so bus
+  /// retries/exhaustions show up on the node's timeline (nullptr detaches).
+  void set_trace(obs::TraceRing* trace) { master_.set_trace(trace); }
+
  private:
   DriverStatus read_reg(std::uint8_t reg, std::uint8_t& out);
   DriverStatus write_reg(std::uint8_t reg, std::uint8_t value);

@@ -43,6 +43,54 @@ TEST_F(CsvTest, ThrowsOnUnopenablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), std::runtime_error);
 }
 
+TEST_F(CsvTest, EmptySeriesLeavesHeaderOnly) {
+  {
+    CsvWriter csv{path_, {"t", "temp"}};
+    EXPECT_EQ(csv.rows_written(), 0u);
+  }
+  EXPECT_EQ(read_file(path_), "t,temp\n");
+}
+
+TEST_F(CsvTest, QuotesHeaderFieldsThatNeedIt) {
+  {
+    CsvWriter csv{path_, {"time (s)", "power (W), total", "say \"what\"", "multi\nline"}};
+    csv.row({1.0, 2.0, 3.0, 4.0});
+  }
+  EXPECT_EQ(read_file(path_),
+            "time (s),\"power (W), total\",\"say \"\"what\"\"\",\"multi\nline\"\n"
+            "1,2,3,4\n");
+}
+
+TEST_F(CsvTest, ReopeningAPathTruncatesThePreviousSeries) {
+  {
+    CsvWriter csv{path_, {"a", "b"}};
+    csv.row({1.0, 2.0});
+    csv.row({3.0, 4.0});
+  }
+  {
+    CsvWriter csv{path_, {"x"}};
+    csv.row({9.0});
+    EXPECT_EQ(csv.rows_written(), 1u);  // counts restart with the new file
+  }
+  EXPECT_EQ(read_file(path_), "x\n9\n");
+}
+
+TEST_F(CsvTest, RejectsEmptyColumnSet) {
+  EXPECT_DEATH(CsvWriter(path_, {}), "column");
+}
+
+TEST(CsvEscape, PassesPlainFieldsThrough) {
+  EXPECT_EQ(csv_escape("duty"), "duty");
+  EXPECT_EQ(csv_escape("time (s)"), "time (s)");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesAndDoublesSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("he said \"hi\""), "\"he said \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\r\nbreak"), "\"line\r\nbreak\"");
+}
+
 TEST(FormatNumber, TrimsTrailingZeros) {
   EXPECT_EQ(format_number(42.0), "42");
   EXPECT_EQ(format_number(42.5), "42.5");

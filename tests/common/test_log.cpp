@@ -1,5 +1,8 @@
 #include "common/log.hpp"
 
+#include <atomic>
+#include <cstdint>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -71,6 +74,64 @@ TEST(Logger, SinkResetRestoresDefault) {
   // logging does not crash.
   THERMCTL_LOG_DEBUG("x", "to stderr default sink");
   SUCCEED();
+}
+
+TEST(Logger, ParseLevelAcceptsNamesAndNumbers) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("0"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("3"), LogLevel::kError);
+}
+
+TEST(Logger, ParseLevelRejectsGarbage) {
+  // THERMCTL_LOG_LEVEL uses this parser; unparsable values must come back
+  // nullopt so the logger keeps its current level instead of guessing.
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("4"), std::nullopt);
+  EXPECT_EQ(parse_log_level("-1"), std::nullopt);
+  EXPECT_EQ(parse_log_level("debugx"), std::nullopt);
+}
+
+TEST(Logger, ConcurrentLoggingAndSinkSwapIsSafe) {
+  // Parallel sweeps log from every worker while tests may swap sinks; the
+  // singleton serializes both on one mutex. Hammer the pair under TSan/ASan.
+  Logger::instance().set_level(LogLevel::kDebug);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> captured{0};
+  Logger::instance().set_sink(
+      [&captured](LogLevel, std::string_view, std::string_view) {
+        captured.fetch_add(1, std::memory_order_relaxed);
+      });
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&stop, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        THERMCTL_LOG_INFO("stress", "writer %d", t);
+      }
+    });
+  }
+  for (int swap = 0; swap < 200; ++swap) {
+    Logger::instance().set_sink(
+        [&captured](LogLevel, std::string_view, std::string_view) {
+          captured.fetch_add(1, std::memory_order_relaxed);
+        });
+  }
+  // One emission from this thread, so the capture assertion below does not
+  // depend on the writers winning a scheduling race before stop.
+  THERMCTL_LOG_INFO("stress", "main");
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : writers) {
+    w.join();
+  }
+  Logger::instance().set_sink(nullptr);
+  Logger::instance().set_level(LogLevel::kWarn);
+  EXPECT_GT(captured.load(), 0u);
 }
 
 }  // namespace

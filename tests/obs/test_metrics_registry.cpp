@@ -1,0 +1,136 @@
+#include "obs/metrics_registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace thermctl::obs {
+namespace {
+
+TEST(Metrics, CounterAccumulatesAndHandleIsStable) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("engine.steps");
+  c.inc();
+  c.add(41);
+  // Re-looking-up the same name must return the same object, not a fresh one.
+  EXPECT_EQ(&reg.counter("engine.steps"), &c);
+  EXPECT_EQ(reg.counter("engine.steps").value(), 42u);
+}
+
+TEST(Metrics, GaugeTracksLastWriteAndSetFlag) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("engine.sim_time_s");
+  EXPECT_FALSE(g.is_set());
+  g.set(1.5);
+  g.set(3.0);
+  EXPECT_TRUE(g.is_set());
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(Metrics, UnsetGaugeStaysOutOfSnapshot) {
+  MetricsRegistry reg;
+  reg.gauge("never_written");
+  reg.gauge("written").set(7.0);
+  const MetricsSnapshot snap = reg.merged();
+  EXPECT_EQ(snap.gauges.count("never_written"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("written"), 7.0);
+}
+
+TEST(Metrics, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("duty", {10.0, 20.0, 30.0});
+  h.observe(5.0);    // bucket 0 (≤ 10)
+  h.observe(10.0);   // bucket 0: bounds are inclusive upper edges
+  h.observe(10.01);  // bucket 1
+  h.observe(30.0);   // bucket 2
+  h.observe(99.0);   // overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.total_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0 + 10.0 + 10.01 + 30.0 + 99.0);
+}
+
+TEST(Metrics, HistogramReRegistrationReturnsSameInstance) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("temp", {50.0, 60.0});
+  h.observe(55.0);
+  Histogram& again = reg.histogram("temp", {50.0, 60.0});
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.total_count(), 1u);
+}
+
+TEST(Metrics, ShardsAreIndependentWriters) {
+  MetricsRegistry reg{3};
+  reg.shard(0).counter("hits").add(1);
+  reg.shard(2).counter("hits").add(10);
+  // Same name in different shards must be different objects.
+  EXPECT_NE(&reg.shard(0).counter("hits"), &reg.shard(2).counter("hits"));
+  EXPECT_EQ(reg.shard(1).counter("hits").value(), 0u);
+}
+
+TEST(Metrics, MergedFoldsCountersAndHistogramsBySum) {
+  MetricsRegistry reg{2};
+  reg.shard(0).counter("retries").add(3);
+  reg.shard(1).counter("retries").add(4);
+  reg.shard(0).histogram("t", {1.0, 2.0}).observe(0.5);
+  reg.shard(1).histogram("t", {1.0, 2.0}).observe(1.5);
+  reg.shard(1).histogram("t", {1.0, 2.0}).observe(9.0);
+
+  const MetricsSnapshot snap = reg.merged();
+  EXPECT_EQ(snap.counters.at("retries"), 7u);
+  const auto& h = snap.histograms.at("t");
+  EXPECT_EQ(h.counts, (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(h.total, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 11.0);
+}
+
+TEST(Metrics, MergedGaugeTakesHighestShardThatSetIt) {
+  MetricsRegistry reg{3};
+  reg.shard(0).gauge("rate").set(1.0);
+  reg.shard(1).gauge("rate").set(2.0);
+  // Shard 2 registers but never writes — must not clobber shard 1's value.
+  reg.shard(2).gauge("rate");
+  EXPECT_DOUBLE_EQ(reg.merged().gauges.at("rate"), 2.0);
+}
+
+TEST(Metrics, MergeIsDeterministicAcrossRepeats) {
+  // The sweep determinism contract: merging the same shards twice (or a
+  // snapshot of them, in the same order) yields identical results.
+  MetricsRegistry reg{4};
+  for (std::size_t s = 0; s < 4; ++s) {
+    reg.shard(s).counter("steps").add(100 * (s + 1));
+    reg.shard(s).gauge("last").set(static_cast<double>(s));
+    reg.shard(s).histogram("h", {10.0}).observe(static_cast<double>(s));
+  }
+  const MetricsSnapshot a = reg.merged();
+  const MetricsSnapshot b = reg.merged();
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.gauges, b.gauges);
+  EXPECT_EQ(a.histograms.at("h").counts, b.histograms.at("h").counts);
+  EXPECT_DOUBLE_EQ(a.gauges.at("last"), 3.0);  // ascending fold ⇒ last shard wins
+}
+
+TEST(Metrics, SnapshotMergeFoldsPointwise) {
+  MetricsRegistry r1;
+  r1.counter("c").add(1);
+  r1.gauge("g").set(1.0);
+  r1.histogram("h", {5.0}).observe(2.0);
+  MetricsRegistry r2;
+  r2.counter("c").add(2);
+  r2.counter("only_in_2").add(9);
+  r2.gauge("g").set(2.0);
+  r2.histogram("h", {5.0}).observe(7.0);
+
+  MetricsSnapshot acc = r1.merged();
+  acc.merge(r2.merged());
+  EXPECT_EQ(acc.counters.at("c"), 3u);
+  EXPECT_EQ(acc.counters.at("only_in_2"), 9u);
+  EXPECT_DOUBLE_EQ(acc.gauges.at("g"), 2.0);  // later fold wins
+  EXPECT_EQ(acc.histograms.at("h").counts, (std::vector<std::uint64_t>{1, 1}));
+  EXPECT_FALSE(acc.empty());
+  EXPECT_TRUE(MetricsSnapshot{}.empty());
+}
+
+}  // namespace
+}  // namespace thermctl::obs

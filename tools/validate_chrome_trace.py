@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file exported by obs::write_chrome_trace.
+
+Checks the structural contract Perfetto / chrome://tracing relies on, so CI
+catches exporter regressions without a browser:
+
+  * top level is an object with a "traceEvents" array,
+  * every event has name/ph/pid/tid, a finite numeric "ts" (except "M"
+    metadata records, which carry no timestamp),
+  * phases are limited to the ones the exporter emits (i, C, X, M),
+  * complete events ("X") carry a non-negative "dur",
+  * counter events ("C") carry a numeric args payload,
+  * instants ("i") carry a scope "s",
+  * timestamps are non-decreasing per (pid, tid) lane for non-"X" events
+    (the exporter writes the merged time-ordered stream; spans are stamped
+    at their start edge so they may jump backwards).
+
+Exit code 0 on success; 1 with a diagnostic on the first violation.
+
+Usage: validate_chrome_trace.py trace.json [trace2.json ...]
+"""
+
+import json
+import math
+import sys
+
+ALLOWED_PHASES = {"i", "C", "X", "M"}
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def validate(path):
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            return fail(path, f"not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return fail(path, "top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return fail(path, "traceEvents is not an array")
+    if not events:
+        return fail(path, "traceEvents is empty")
+
+    last_ts = {}  # (pid, tid) -> ts
+    counts = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            return fail(path, f"{where} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                return fail(path, f"{where} missing '{key}'")
+        ph = ev["ph"]
+        if ph not in ALLOWED_PHASES:
+            return fail(path, f"{where} has unexpected phase {ph!r}")
+        counts[ph] = counts.get(ph, 0) + 1
+        if ph == "M":
+            continue
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts):
+            return fail(path, f"{where} has non-finite ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or not math.isfinite(dur) or dur < 0:
+                return fail(path, f"{where} ('X') has bad dur {dur!r}")
+        else:
+            lane = (ev["pid"], ev["tid"])
+            if ts < last_ts.get(lane, -math.inf):
+                return fail(
+                    path,
+                    f"{where} ts {ts} goes backwards on lane pid={lane[0]} tid={lane[1]}",
+                )
+            last_ts[lane] = ts
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                return fail(path, f"{where} ('C') has no args payload")
+            for k, v in args.items():
+                if not isinstance(v, (int, float)) or not math.isfinite(v):
+                    return fail(path, f"{where} ('C') arg {k!r} is non-numeric: {v!r}")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            return fail(path, f"{where} ('i') has bad scope {ev.get('s')!r}")
+
+    summary = ", ".join(f"{counts.get(p, 0)} {p}" for p in sorted(ALLOWED_PHASES))
+    print(f"{path}: OK ({len(events)} events: {summary})")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc |= validate(path)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
