@@ -329,6 +329,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   build_fan_policy(rig, config);
   build_dvfs_policy(rig, config);
 
+  if (config.on_rig_built) {
+    RigView view;
+    view.cluster = rig.cluster.get();
+    view.engine = rig.engine.get();
+    view.config = &config;
+    view.fans.reserve(rig.fans.size());
+    for (const auto& fan : rig.fans) {
+      view.fans.push_back(fan.get());
+    }
+    view.tdvfs.reserve(rig.tdvfs.size());
+    for (const auto& daemon : rig.tdvfs) {
+      view.tdvfs.push_back(daemon.get());
+    }
+    config.on_rig_built(view);
+  }
+
   result.run = rig.engine->run();
 
   result.tdvfs_events.resize(config.nodes);

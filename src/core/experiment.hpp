@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -110,6 +111,20 @@ struct TelemetryConfig {
   bool metrics = false;
 };
 
+/// Read-only view of a fully built rig, handed to `on_rig_built` observers
+/// after the controllers are wired but before the engine runs. Observers may
+/// register additional periodic engine tasks (they fire after the node
+/// sampling and after every controller registered before them), but must not
+/// actuate anything: the contract is that an observed run is bit-identical
+/// to an unobserved one.
+struct RigView {
+  cluster::Cluster* cluster = nullptr;
+  cluster::Engine* engine = nullptr;
+  std::vector<DynamicFanController*> fans;    // empty unless fan == kDynamic
+  std::vector<TdvfsDaemon*> tdvfs;            // empty unless dvfs == kTdvfs
+  const struct ExperimentConfig* config = nullptr;
+};
+
 struct ExperimentConfig {
   std::string name = "experiment";
   std::size_t nodes = 4;
@@ -145,6 +160,11 @@ struct ExperimentConfig {
   FaultCampaignConfig faults{};
 
   TelemetryConfig telemetry{};
+
+  /// Observer called once per run with the built rig (see RigView). Null by
+  /// default; the verification layer uses this to arm invariant checking on
+  /// any experiment without core depending on it.
+  std::function<void(const RigView&)> on_rig_built;
 };
 
 struct ExperimentResult {

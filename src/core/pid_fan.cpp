@@ -18,6 +18,13 @@ void PidFanController::reset() {
   integral_ = 0.0;
   prev_error_ = 0.0;
   primed_ = false;
+  // After a reset the hardware state is unknown: re-assert manual mode on
+  // the next tick and force the next PWM write even if the computed target
+  // matches the duty cached from before the reset.
+  initialized_ = false;
+  duty_known_ = false;
+  duty_ = DutyCycle{0.0};
+  actuations_ = 0;
 }
 
 void PidFanController::on_sample(SimTime now) {
@@ -47,9 +54,10 @@ void PidFanController::on_sample(SimTime now) {
   }
 
   const DutyCycle target{clamped};
-  if (std::abs(target.percent() - duty_.percent()) > 1e-9) {
+  if (!duty_known_ || std::abs(target.percent() - duty_.percent()) > 1e-9) {
     if (hwmon_.write_pwm(target)) {
       duty_ = target;
+      duty_known_ = true;
       ++actuations_;
     }
   }

@@ -46,6 +46,9 @@ class PidFanController {
   [[nodiscard]] double integrator() const { return integral_; }
   [[nodiscard]] std::uint64_t actuations() const { return actuations_; }
 
+  /// Clears all controller state (integrator, derivative history, cached
+  /// duty, actuation count). The hardware is treated as unknown afterwards:
+  /// the next on_sample() re-asserts manual mode and always writes PWM.
   void reset();
 
  private:
@@ -55,6 +58,9 @@ class PidFanController {
   double prev_error_ = 0.0;
   bool primed_ = false;
   bool initialized_ = false;
+  /// False until a write has confirmed the chip's duty (and again after
+  /// reset()): while unknown, the write-suppression shortcut is disabled.
+  bool duty_known_ = false;
   DutyCycle duty_{0.0};
   std::uint64_t actuations_ = 0;
 };

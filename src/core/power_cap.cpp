@@ -28,7 +28,12 @@ void PowerCapper::on_interval(SimTime now) {
   if (span <= 0.0) {
     return;
   }
-  last_power_w_ = static_cast<double>(energy - last_energy_uj_) * 1e-6 / span;
+  // Wrap-correct delta: the RAPL counter rolls over at max_energy_range_uj,
+  // and a raw subtraction across the wrap would read as a colossal power
+  // spike and throttle the CPU for nothing.
+  const std::uint64_t delta_uj =
+      sysfs::RaplDomain::energy_delta_uj(last_energy_uj_, energy, rapl_.max_energy_range_uj());
+  last_power_w_ = static_cast<double>(delta_uj) * 1e-6 / span;
   last_energy_uj_ = energy;
   last_time_ = now;
 

@@ -49,23 +49,35 @@ void PredictiveFanController::on_sample(SimTime now) {
   }
 
   // Average package power over the just-completed round, from RAPL deltas.
+  // The energy counter wraps (kernel max_energy_range_uj semantics): a raw
+  // `energy - last` subtraction across the wrap would read as an enormous
+  // power spike and the feed-forward term would slam the fan to its most
+  // effective mode on pure fiction.
   const std::uint64_t energy = rapl_.energy_uj();
   const double span_s = (now - last_round_time_).value();
-  const double power_w =
-      span_s > 0.0 ? static_cast<double>(energy - last_energy_uj_) * 1e-6 / span_s : 0.0;
+  const std::uint64_t delta_uj =
+      sysfs::RaplDomain::energy_delta_uj(last_energy_uj_, energy, rapl_.max_energy_range_uj());
+  const double power_w = span_s > 0.0 ? static_cast<double>(delta_uj) * 1e-6 / span_s : 0.0;
   last_energy_uj_ = energy;
   last_round_time_ = now;
+
+  // Clamp: even wrap-corrected, a counter glitch (domain reset, torn read)
+  // can yield an implausible delta. Discard the sample instead of steering
+  // on it — the power history simply skips a round.
+  const bool power_valid = span_s > 0.0 && power_w <= config_.max_power_w;
 
   // Feed-forward: the round-over-round power change, converted to the
   // degrees it will eventually produce.
   double feedforward_dt = 0.0;
-  if (last_round_power_w_ >= 0.0) {
-    const double dp = power_w - last_round_power_w_;
-    if (std::abs(dp) > config_.power_deadband_w) {
-      feedforward_dt = config_.power_gain * dp * config_.r_thermal;
+  if (power_valid) {
+    if (last_round_power_w_ >= 0.0) {
+      const double dp = power_w - last_round_power_w_;
+      if (std::abs(dp) > config_.power_deadband_w) {
+        feedforward_dt = config_.power_gain * dp * config_.r_thermal;
+      }
     }
+    last_round_power_w_ = power_w;
   }
-  last_round_power_w_ = power_w;
 
   WindowRound augmented = *round;
   augmented.level1_delta = augmented.level1_delta + CelsiusDelta{feedforward_dt};

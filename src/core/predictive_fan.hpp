@@ -40,6 +40,10 @@ struct PredictiveFanConfig {
   double r_thermal = 0.45;
   /// Ignore power deltas below this (meter noise floor, W).
   double power_deadband_w = 3.0;
+  /// Reject a round's power sample entirely above this (W): wrap-corrected
+  /// RAPL deltas can still be garbage after a counter reset or torn read,
+  /// and a bogus spike must not reach the feed-forward term.
+  double max_power_w = 400.0;
 };
 
 class PredictiveFanController {

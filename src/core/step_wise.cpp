@@ -12,8 +12,13 @@ StepWiseGovernor::StepWiseGovernor(sysfs::ThermalZone& zone, StepWiseConfig conf
 void StepWiseGovernor::on_sample(SimTime now) {
   (void)now;
   const double temp = zone_.temperature().value();
-  const double trend = last_temp_ <= -1e8 ? 0.0 : temp - last_temp_;
+  // The first sample has no predecessor, so its trend is defined as flat —
+  // an explicit flag rather than a magic sentinel, so absurd-but-real
+  // readings (a sensor fault reporting a huge negative value) cannot be
+  // mistaken for "not yet primed".
+  const double trend = primed_ ? temp - last_temp_ : 0.0;
   last_temp_ = temp;
+  primed_ = true;
 
   bool above_passive = false;
   for (const sysfs::TripPoint& trip : zone_.trips()) {
@@ -36,6 +41,15 @@ void StepWiseGovernor::on_sample(SimTime now) {
 
   const bool rising = trend > config_.trend_deadband_c;
   const bool falling = trend < -config_.trend_deadband_c;
+  falling_streak_ = falling ? falling_streak_ + 1 : 0;
+
+  const auto step_down_all = [this] {
+    for (sysfs::CoolingDevice* dev : zone_.bound_devices()) {
+      if (dev->cooling_state() > 0 && dev->set_cooling_state(dev->cooling_state() - 1)) {
+        ++steps_down_;
+      }
+    }
+  };
 
   if (above_passive && rising) {
     for (sysfs::CoolingDevice* dev : zone_.bound_devices()) {
@@ -44,12 +58,16 @@ void StepWiseGovernor::on_sample(SimTime now) {
         ++steps_up_;
       }
     }
+    falling_streak_ = 0;
   } else if (!above_passive && falling) {
-    for (sysfs::CoolingDevice* dev : zone_.bound_devices()) {
-      if (dev->cooling_state() > 0 && dev->set_cooling_state(dev->cooling_state() - 1)) {
-        ++steps_down_;
-      }
-    }
+    step_down_all();
+  } else if (above_passive && falling_streak_ >= config_.cooling_consistency) {
+    // Still past the trip but consistently cooling: relax one step rather
+    // than pinning every device at its peak state until the temperature
+    // finally drops below the trip. The consistency requirement is the
+    // hysteresis — one cool-looking sample must not unwind the response.
+    step_down_all();
+    falling_streak_ = 0;
   }
 }
 

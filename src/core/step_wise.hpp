@@ -6,6 +6,9 @@
 //
 //   temp >= trip and rising   → step every bound cooling device up by one
 //   temp >= trip and stable   → hold
+//   temp >= trip and cooling  → step down by one, but only after
+//                               `cooling_consistency` consecutive falling
+//                               samples (step-down hysteresis)
 //   temp <  trip and falling  → step down by one (not below 0)
 //
 // Critical trips are reported (a real kernel shuts down; we leave the
@@ -29,6 +32,10 @@ namespace thermctl::core {
 struct StepWiseConfig {
   /// Trend deadband: |ΔT| below this counts as stable (°C per sample).
   double trend_deadband_c = 0.05;
+  /// Step-down hysteresis while still above the passive trip: the zone must
+  /// have been falling for this many consecutive samples before one cooling
+  /// step is released (a single cool sample never unwinds the response).
+  int cooling_consistency = 3;
 };
 
 class StepWiseGovernor {
@@ -45,7 +52,9 @@ class StepWiseGovernor {
  private:
   sysfs::ThermalZone& zone_;
   StepWiseConfig config_;
-  double last_temp_ = -1e9;
+  double last_temp_ = 0.0;
+  bool primed_ = false;  // last_temp_ holds a real sample
+  int falling_streak_ = 0;
   bool critical_latched_ = false;
   std::uint64_t steps_up_ = 0;
   std::uint64_t steps_down_ = 0;

@@ -132,6 +132,7 @@ void TdvfsDaemon::on_sample(SimTime now) {
                        .c = round->level2_delta.value()}));
 
   const double avg = round->level1_average.value();
+  last_round_average_ = round->level1_average;
   if (avg > config_.threshold.value()) {
     ++rounds_above_;
     rounds_below_ = 0;

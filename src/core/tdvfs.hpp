@@ -80,6 +80,15 @@ class TdvfsDaemon {
   [[nodiscard]] GigaHertz current_target() const;
   [[nodiscard]] const std::vector<TdvfsEvent>& events() const { return events_; }
   [[nodiscard]] const ThermalControlArray& array() const { return array_; }
+  [[nodiscard]] const TdvfsConfig& config() const { return config_; }
+
+  /// Round-average temperature of the most recently completed window round
+  /// (nullopt until one completes). Read-only observability for the
+  /// verification layer's coordination invariant: a trigger without a
+  /// threshold-crossing average is a bug.
+  [[nodiscard]] std::optional<Celsius> last_round_average() const {
+    return last_round_average_;
+  }
 
   /// Frequency-hold state (only ever true when `fault_aware` is set).
   [[nodiscard]] bool holding() const { return holding_; }
@@ -112,6 +121,7 @@ class TdvfsDaemon {
   std::size_t index_ = 0;  // 0 = least effective = original (fastest) mode
   int rounds_above_ = 0;
   int rounds_below_ = 0;
+  std::optional<Celsius> last_round_average_;
   std::vector<TdvfsEvent> events_;
   std::optional<SensorHealthMonitor> health_;
   bool holding_ = false;

@@ -162,6 +162,18 @@ class CpuDevice {
   /// RAPL-style accumulated package energy in microjoules.
   [[nodiscard]] std::uint64_t energy_uj() const { return energy_uj_; }
 
+  /// Overwrites the counter block (test / fault-injection hook) — e.g. to
+  /// place the energy counter just below a RAPL wrap boundary so wraparound
+  /// handling can be exercised without simulating hours of runtime.
+  void preset_counters(std::uint64_t aperf, std::uint64_t mperf, std::uint64_t energy_uj) {
+    aperf_ = aperf;
+    mperf_ = mperf;
+    energy_uj_ = energy_uj;
+    aperf_frac_ = 0.0;
+    mperf_frac_ = 0.0;
+    energy_frac_ = 0.0;
+  }
+
   [[nodiscard]] const CpuParams& params() const { return params_; }
 
  private:

@@ -5,14 +5,18 @@ namespace thermctl::sysfs {
 RaplDomain::RaplDomain(VirtualFs& fs, std::string root, int index, hw::CpuDevice& cpu)
     : fs_(fs), dir_(root + "/intel-rapl:" + std::to_string(index)), cpu_(cpu) {
   fs_.add_attribute(dir_ + "/name", [] { return std::string{"package-0"}; });
-  fs_.add_attribute(dir_ + "/energy_uj",
-                    [this] { return std::to_string(cpu_.energy_uj()); });
+  fs_.add_attribute(dir_ + "/energy_uj", [this] {
+    return std::to_string(cpu_.energy_uj() % (kMaxEnergyRangeUj + 1));
+  });
+  fs_.add_attribute(dir_ + "/max_energy_range_uj",
+                    [] { return std::to_string(kMaxEnergyRangeUj); });
   fs_.add_attribute(dir_ + "/aperf", [this] { return std::to_string(cpu_.aperf()); });
   fs_.add_attribute(dir_ + "/mperf", [this] { return std::to_string(cpu_.mperf()); });
 }
 
 RaplDomain::~RaplDomain() {
-  for (const auto& name : {"/name", "/energy_uj", "/aperf", "/mperf"}) {
+  for (const auto& name :
+       {"/name", "/energy_uj", "/max_energy_range_uj", "/aperf", "/mperf"}) {
     fs_.remove_attribute(dir_ + name);
   }
 }

@@ -17,6 +17,12 @@ namespace thermctl::sysfs {
 
 class RaplDomain {
  public:
+  /// The counter's wrap range, mirroring the kernel's max_energy_range_uj
+  /// attribute: energy_uj counts up to this value and then wraps to zero
+  /// (~65.5 kJ, a real Intel package domain range — minutes of runtime at
+  /// server power, so consumers MUST handle wrap; see energy_delta_uj).
+  static constexpr std::uint64_t kMaxEnergyRangeUj = 65'532'610'987ULL;
+
   /// Registers `<root>/intel-rapl:<index>/...` backed by `cpu`'s counters.
   RaplDomain(VirtualFs& fs, std::string root, int index, hw::CpuDevice& cpu);
   ~RaplDomain();
@@ -27,7 +33,20 @@ class RaplDomain {
   [[nodiscard]] const std::string& directory() const { return dir_; }
 
   /// Current accumulated energy in microjoules (the energy_uj attribute).
+  /// Wraps to zero past max_energy_range_uj(), as the real counter does.
   [[nodiscard]] std::uint64_t energy_uj() const;
+
+  /// Maximum value energy_uj() reaches before wrapping to zero.
+  [[nodiscard]] std::uint64_t max_energy_range_uj() const { return kMaxEnergyRangeUj; }
+
+  /// Wrap-correct delta between two energy_uj() readings taken `prev` then
+  /// `cur`: assumes at most one wrap of a counter whose maximum value is
+  /// `range` (the kernel convention: the counter holds values in
+  /// [0, range] and wraps max → 0).
+  [[nodiscard]] static std::uint64_t energy_delta_uj(std::uint64_t prev, std::uint64_t cur,
+                                                     std::uint64_t range = kMaxEnergyRangeUj) {
+    return cur >= prev ? cur - prev : cur + (range - prev) + 1;
+  }
 
   /// APERF/MPERF exposed alongside (a simulation convenience; real systems
   /// read these via MSRs, but the semantic content is identical).

@@ -1,0 +1,87 @@
+// Differential oracle — determinism as a testable property.
+//
+// The runtime promises that several configuration axes are *behaviourally
+// inert*: a parallel sweep is bit-identical to a serial one, telemetry
+// (tracing + metrics) never perturbs control decisions, and fault-aware
+// gating is a no-op on a zero-fault run. Each promise is load-bearing —
+// paper figures are produced by parallel sweeps, telemetry is meant to be
+// always-safe to turn on, and fault-aware mode must not change the paper's
+// baseline behaviour — and each is exactly the kind of promise that rots
+// silently (a stray shared RNG, an order-dependent reduction, a telemetry
+// branch with a side effect).
+//
+// The oracle runs the same seeded config corpus under each paired
+// configuration and diffs every recorded series, summary and event log
+// bit-exactly (doubles compared by bit pattern, so a NaN == NaN and a
+// -0.0 != +0.0). Any diff is a bug in the runtime, not noise.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace thermctl::verify {
+
+enum class OraclePairKind : std::uint8_t {
+  kSerialVsParallel,    // run_sweep(threads=1) vs run_sweep(threads=N)
+  kTelemetryOnVsOff,    // trace+metrics armed vs dark
+  kFaultAwareZeroFault, // fault_aware gating on vs off, no faults scheduled
+};
+
+[[nodiscard]] const char* to_string(OraclePairKind kind);
+
+/// Bit-exact comparison outcome for one result pair.
+struct ResultDiff {
+  std::uint64_t fields_compared = 0;
+  std::uint64_t difference_count = 0;
+  /// First few mismatches, as "field[index]: bits_a != bits_b" strings.
+  std::vector<std::string> differences;
+
+  [[nodiscard]] bool identical() const { return difference_count == 0; }
+};
+
+/// Diffs everything behavioural: times, all per-node series, summaries,
+/// app completion, event logs, fault stats. Telemetry payloads (trace,
+/// metrics snapshot) are deliberately excluded — the telemetry pair differs
+/// there by construction.
+[[nodiscard]] ResultDiff diff_results(const core::ExperimentResult& a,
+                                      const core::ExperimentResult& b,
+                                      std::size_t max_differences = 8);
+
+struct OracleFailure {
+  std::size_t config_index = 0;
+  std::string config_name;
+  OraclePairKind kind{};
+  ResultDiff diff;
+};
+
+struct OracleReport {
+  std::size_t configs = 0;
+  std::size_t pairs_checked = 0;
+  std::vector<OracleFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct OracleOptions {
+  /// Worker threads for the parallel pass (0 = hardware concurrency).
+  std::size_t threads = 0;
+  /// Mismatch strings retained per failing pair.
+  std::size_t max_differences = 8;
+};
+
+/// Seeded fuzz corpus of small, fast experiment configs spanning workload
+/// kinds, cluster sizes, policies, fan ceilings and tDVFS thresholds. The
+/// same (seed, count) always yields the same corpus.
+[[nodiscard]] std::vector<core::ExperimentConfig> make_oracle_corpus(std::uint64_t seed,
+                                                                     std::size_t count);
+
+/// Runs every config under all three pairings and reports any diff.
+[[nodiscard]] OracleReport run_oracle(const std::vector<core::ExperimentConfig>& corpus,
+                                      OracleOptions options = {});
+
+}  // namespace thermctl::verify

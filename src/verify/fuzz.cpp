@@ -1,0 +1,446 @@
+#include "verify/fuzz.hpp"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/pid_fan.hpp"
+#include "core/predictive_fan.hpp"
+#include "core/step_wise.hpp"
+#include "core/unified_controller.hpp"
+#include "hw/adt7467.hpp"
+#include "hw/cpu_device.hpp"
+#include "hw/i2c.hpp"
+#include "hw/thermal_sensor.hpp"
+#include "sysfs/adt7467_driver.hpp"
+#include "sysfs/cpufreq.hpp"
+#include "sysfs/hwmon.hpp"
+#include "sysfs/powercap.hpp"
+#include "sysfs/thermal_zone.hpp"
+#include "sysfs/vfs.hpp"
+
+namespace thermctl::verify {
+
+AdversarialStream::AdversarialStream(std::uint64_t seed, bool allow_nan)
+    : rng_(seed), allow_nan_(allow_nan) {
+  start_segment();
+}
+
+void AdversarialStream::start_segment() {
+  kind_ = static_cast<int>(rng_.below(6));
+  remaining_ = 5 + static_cast<int>(rng_.below(56));
+  switch (kind_) {
+    case 0:  // flat
+      base_ = rng_.uniform(20.0, 90.0);
+      break;
+    case 1:  // ramp
+      slope_ = rng_.uniform(0.2, 3.0) * (rng_.uniform() < 0.5 ? -1.0 : 1.0);
+      break;
+    case 2:  // spike train around the current base
+      spike_ = rng_.uniform(10.0, 40.0);
+      spike_phase_ = false;
+      break;
+    case 3:  // stuck-at: hold whatever the stream last produced
+      break;
+    case 4:  // NaN burst (or extreme spikes on integer-converting paths)
+      spike_ = rng_.uniform(1.0e4, 5.0e5);
+      break;
+    case 5:  // step discontinuity, then flat
+      base_ += rng_.uniform(5.0, 30.0) * (rng_.uniform() < 0.5 ? -1.0 : 1.0);
+      break;
+    default:
+      break;
+  }
+}
+
+double AdversarialStream::next() {
+  if (remaining_ <= 0) {
+    start_segment();
+  }
+  --remaining_;
+  switch (kind_) {
+    case 0:
+    case 5:
+      value_ = base_;
+      break;
+    case 1:
+      base_ += slope_;
+      // Keep the ramp bounded so long runs can't walk to infinity.
+      if (base_ < -200.0 || base_ > 300.0) {
+        slope_ = -slope_;
+      }
+      value_ = base_;
+      break;
+    case 2:
+      spike_phase_ = !spike_phase_;
+      value_ = spike_phase_ ? base_ + spike_ : base_ - spike_;
+      break;
+    case 3:
+      break;  // stuck: value_ unchanged
+    case 4:
+      if (allow_nan_) {
+        value_ = std::numeric_limits<double>::quiet_NaN();
+      } else {
+        spike_phase_ = !spike_phase_;
+        value_ = spike_phase_ ? spike_ : -spike_;
+      }
+      break;
+    default:
+      break;
+  }
+  return value_;
+}
+
+std::string FuzzReport::to_string() const {
+  std::ostringstream out;
+  out << "fuzz " << target << " seed=" << seed << " ticks=" << ticks << ": "
+      << invariants.to_string();
+  return out.str();
+}
+
+void FuzzReport::merge(const FuzzReport& other) {
+  target = target.empty() ? other.target : target + "+" + other.target;
+  ticks += other.ticks;
+  invariants.merge(other.invariants);
+}
+
+namespace {
+
+/// Self-contained controller rig: the full sysfs plane (hwmon + cpufreq +
+/// powercap) over simulated devices with a scripted, noise-free "truth"
+/// temperature, mirroring the unit tests' fixture.
+struct FuzzRig {
+  sysfs::VirtualFs fs;
+  hw::I2cBus bus;
+  hw::Adt7467 chip;
+  hw::CpuDevice cpu;
+  sysfs::Adt7467Driver driver{bus};
+  double truth = 45.0;
+  hw::ThermalSensor sensor{[this] { return Celsius{truth}; },
+                           [] {
+                             hw::SensorParams p;
+                             p.noise_sigma_degc = 0.0;  // stream IS the scenario
+                             return p;
+                           }(),
+                           Rng{1}};
+  std::unique_ptr<sysfs::HwmonDevice> hwmon;
+  std::unique_ptr<sysfs::CpufreqPolicy> cpufreq;
+  std::unique_ptr<sysfs::RaplDomain> rapl;
+
+  FuzzRig() {
+    bus.attach(sysfs::Adt7467Driver::kDefaultAddress, &chip);
+    if (driver.probe() != sysfs::DriverStatus::kOk) {
+      abort();
+    }
+    hwmon = std::make_unique<sysfs::HwmonDevice>(fs, "/sys/class/hwmon", 0, sensor, driver);
+    cpufreq = std::make_unique<sysfs::CpufreqPolicy>(fs, "/sys/devices/system/cpu", 0, cpu);
+    rapl = std::make_unique<sysfs::RaplDomain>(fs, "/sys/class/powercap", 0, cpu);
+  }
+
+  /// One 250 ms sample of `temp`, then tick `controller`.
+  template <typename Controller>
+  void tick(Controller& controller, double temp, SimTime now) {
+    truth = temp;
+    sensor.sample();
+    controller.on_sample(now);
+  }
+};
+
+core::PolicyParam random_pp(Rng& rng) {
+  return core::PolicyParam{static_cast<int>(1 + rng.below(100))};
+}
+
+void check_duty_bounds(const char* who, double duty_pct, double min_pct, double max_pct,
+                       double t, InvariantReport& report) {
+  ++report.checks;
+  if (duty_pct < min_pct - 1e-9 || duty_pct > max_pct + 1e-9) {
+    std::ostringstream msg;
+    msg << who << " duty " << duty_pct << "% outside [" << min_pct << ", " << max_pct << "]";
+    report.add(InvariantKind::kActuationRange, t, 0, msg.str(), 64);
+  }
+}
+
+}  // namespace
+
+FuzzReport fuzz_unified(std::uint64_t seed, int ticks) {
+  FuzzReport report;
+  report.target = "unified";
+  report.seed = seed;
+
+  FuzzRig rig;
+  core::UnifiedConfig cfg;
+  Rng rng{seed ^ 0xa5a5a5a5a5a5a5a5ULL};
+  cfg.pp = random_pp(rng);
+  cfg.fan.array_size = 2 + rng.below(99);
+  cfg.tdvfs.array_size = 2 + rng.below(31);
+  cfg.tdvfs.threshold = Celsius{rng.uniform(44.0, 60.0)};
+  core::UnifiedController controller{*rig.hwmon, *rig.cpufreq, cfg};
+
+  AdversarialStream stream{seed, /*allow_nan=*/false};
+  SimTime now;
+  std::size_t seen_events = 0;
+  for (int i = 0; i < ticks; ++i) {
+    now.advance_us(250000);
+    rig.tick(controller, stream.next(), now);
+    ++report.ticks;
+    const double t = now.seconds();
+
+    const core::DynamicFanController& fan = controller.fan();
+    const core::TdvfsDaemon& dvfs = controller.dvfs();
+    ++report.invariants.checks;
+    if (fan.current_index() >= fan.array().size()) {
+      report.invariants.add(InvariantKind::kSelectorRange, t, 0, "fan index out of range", 64);
+    }
+    ++report.invariants.checks;
+    if (dvfs.current_index() >= dvfs.array().size()) {
+      report.invariants.add(InvariantKind::kSelectorRange, t, 0, "dvfs index out of range", 64);
+    }
+    check_duty_bounds("unified-fan", fan.current_duty().percent(),
+                      cfg.fan.min_duty.percent(), cfg.fan.max_duty.percent(), t,
+                      report.invariants);
+
+    // Fan-preferred coordination on every new DVFS down-trigger.
+    const std::vector<core::TdvfsEvent>& events = dvfs.events();
+    for (std::size_t k = seen_events; k < events.size(); ++k) {
+      if (events[k].to_ghz >= events[k].from_ghz) {
+        continue;
+      }
+      ++report.invariants.checks;
+      const std::optional<Celsius> avg = dvfs.last_round_average();
+      if (!avg.has_value() || avg->value() <= dvfs.config().threshold.value()) {
+        report.invariants.add(InvariantKind::kCoordination, t, 0,
+                              "dvfs down-trigger without a hot round average", 64);
+      }
+    }
+    seen_events = events.size();
+
+    // Occasional runtime re-tune: both arrays must survive any Pp.
+    if (rng.below(200) == 0) {
+      controller.set_policy(random_pp(rng));
+      check_control_array(fan.array(), report.invariants, t, 0);
+      check_control_array(dvfs.array(), report.invariants, t, 0);
+    }
+  }
+  return report;
+}
+
+FuzzReport fuzz_predictive(std::uint64_t seed, int ticks) {
+  FuzzReport report;
+  report.target = "predictive";
+  report.seed = seed;
+
+  FuzzRig rig;
+  Rng rng{seed ^ 0x5c5c5c5c5c5c5c5cULL};
+  core::PredictiveFanConfig cfg;
+  cfg.base.pp = random_pp(rng);
+  core::PredictiveFanController controller{*rig.hwmon, *rig.rapl, cfg};
+
+  // Phase 1: flat temperature, constant load, RAPL counter parked just below
+  // the wrap boundary. The counter wraps mid-phase; a correct controller
+  // computes a ~constant power and never retargets (the window sees a flat
+  // line and the feed-forward delta is ~zero).
+  rig.cpu.set_utilization(Utilization{0.6});
+  rig.cpu.preset_counters(0, 0, sysfs::RaplDomain::kMaxEnergyRangeUj - 2'000'000ULL);
+  SimTime now;
+  const int wrap_ticks = std::min(ticks / 2, 400);
+  for (int i = 0; i < wrap_ticks; ++i) {
+    now.advance_us(250000);
+    rig.cpu.advance_counters(Seconds{0.25});
+    rig.tick(controller, 48.0, now);
+    ++report.ticks;
+  }
+  ++report.invariants.checks;
+  if (!controller.events().empty()) {
+    std::ostringstream msg;
+    msg << controller.events().size()
+        << " retargets under flat temperature across a RAPL counter wrap";
+    report.invariants.add(InvariantKind::kStateMachine, now.seconds(), 0, msg.str(), 64);
+  }
+
+  // Phase 2: adversarial stream with load changes; structural bounds only.
+  AdversarialStream stream{seed, /*allow_nan=*/false};
+  for (int i = wrap_ticks; i < ticks; ++i) {
+    now.advance_us(250000);
+    if (rng.below(40) == 0) {
+      rig.cpu.set_utilization(Utilization{rng.uniform(0.0, 1.0)});
+    }
+    rig.cpu.advance_counters(Seconds{0.25});
+    rig.tick(controller, stream.next(), now);
+    ++report.ticks;
+    const double t = now.seconds();
+    ++report.invariants.checks;
+    if (controller.current_index() >= cfg.base.array_size) {
+      report.invariants.add(InvariantKind::kSelectorRange, t, 0,
+                            "predictive index out of range", 64);
+    }
+    check_duty_bounds("predictive", controller.current_duty().percent(),
+                      cfg.base.min_duty.percent(), cfg.base.max_duty.percent(), t,
+                      report.invariants);
+  }
+  return report;
+}
+
+FuzzReport fuzz_pid(std::uint64_t seed, int ticks) {
+  FuzzReport report;
+  report.target = "pid";
+  report.seed = seed;
+
+  FuzzRig rig;
+  Rng rng{seed ^ 0x3737373737373737ULL};
+  core::PidFanConfig cfg;
+  core::PidFanController controller{*rig.hwmon, cfg};
+
+  AdversarialStream stream{seed, /*allow_nan=*/false};
+  SimTime now;
+  bool just_reset = false;
+  for (int i = 0; i < ticks; ++i) {
+    now.advance_us(250000);
+    const std::uint64_t actuations_before = controller.actuations();
+    rig.tick(controller, stream.next(), now);
+    ++report.ticks;
+    const double t = now.seconds();
+
+    check_duty_bounds("pid", controller.current_duty().percent(), cfg.min_duty.percent(),
+                      cfg.max_duty.percent(), t, report.invariants);
+    ++report.invariants.checks;
+    if (!std::isfinite(controller.integrator())) {
+      report.invariants.add(InvariantKind::kRcFinite, t, 0, "pid integrator not finite", 64);
+    }
+    if (just_reset) {
+      // Hardware-state-unknown contract: the tick after a reset must write
+      // PWM even if the computed duty matches the pre-reset cache.
+      ++report.invariants.checks;
+      if (controller.actuations() <= actuations_before) {
+        report.invariants.add(InvariantKind::kStateMachine, t, 0,
+                              "no PWM write on the tick after reset()", 64);
+      }
+      just_reset = false;
+    }
+    if (rng.below(100) == 0) {
+      controller.reset();
+      just_reset = true;
+    }
+  }
+  return report;
+}
+
+FuzzReport fuzz_step_wise(std::uint64_t seed, int ticks) {
+  FuzzReport report;
+  report.target = "step-wise";
+  report.seed = seed;
+
+  // The zone's read_temp bypasses integer sysfs conversion, so this is the
+  // one hwmon-free path where genuine NaN readings can reach a controller.
+  sysfs::VirtualFs fs;
+  double truth = 45.0;
+  sysfs::ThermalZone zone{fs, "/sys/class/thermal", 0, "fuzz",
+                          [&truth] { return Celsius{truth}; }};
+  double fan_duty = 10.0;
+  sysfs::FanCoolingAdapter fan{[&fan_duty](DutyCycle d) {
+                                 fan_duty = d.percent();
+                                 return true;
+                               },
+                               DutyCycle{10.0}, DutyCycle{100.0}, 9};
+  long freq_khz = 2400000;
+  sysfs::DvfsCoolingAdapter dvfs{[&freq_khz](long khz) {
+                                   freq_khz = khz;
+                                   return true;
+                                 },
+                                 {2400000, 2200000, 2000000, 1800000}};
+  zone.add_trip({Celsius{51.0}, sysfs::TripType::kPassive});
+  zone.add_trip({Celsius{90.0}, sysfs::TripType::kCritical});
+  zone.bind(&fan);
+  zone.bind(&dvfs);
+  core::StepWiseGovernor governor{zone};
+
+  AdversarialStream stream{seed, /*allow_nan=*/true};
+  SimTime now;
+  for (int i = 0; i < ticks; ++i) {
+    now.advance_us(250000);
+    truth = stream.next();
+    governor.on_sample(now);
+    ++report.ticks;
+    const double t = now.seconds();
+    for (const sysfs::CoolingDevice* device : zone.bound_devices()) {
+      ++report.invariants.checks;
+      if (device->cooling_state() < 0 || device->cooling_state() > device->max_cooling_state()) {
+        std::ostringstream msg;
+        msg << device->cooling_type() << " cooling state " << device->cooling_state()
+            << " outside [0, " << device->max_cooling_state() << "]";
+        report.invariants.add(InvariantKind::kActuationRange, t, 0, msg.str(), 64);
+      }
+    }
+    ++report.invariants.checks;
+    if (fan_duty < 10.0 - 1e-9 || fan_duty > 100.0 + 1e-9) {
+      report.invariants.add(InvariantKind::kActuationRange, t, 0,
+                            "step-wise fan duty outside its adapter bounds", 64);
+    }
+  }
+  return report;
+}
+
+FuzzReport fuzz_selector(std::uint64_t seed, int rounds) {
+  FuzzReport report;
+  report.target = "selector";
+  report.seed = seed;
+
+  Rng rng{seed ^ 0xc9c9c9c9c9c9c9c9ULL};
+  auto random_delta = [&rng]() {
+    switch (rng.below(5)) {
+      case 0:
+        return std::numeric_limits<double>::quiet_NaN();
+      case 1:
+        return std::numeric_limits<double>::infinity() * (rng.uniform() < 0.5 ? -1.0 : 1.0);
+      case 2:
+        return rng.uniform(-1.0e6, 1.0e6);  // far beyond any array span
+      default:
+        return rng.uniform(-10.0, 10.0);
+    }
+  };
+
+  for (int i = 0; i < rounds; ++i) {
+    const std::size_t n = 2 + rng.below(120);
+    core::ModeSelectorConfig scfg;
+    core::ModeSelector selector{scfg, n};
+    core::WindowRound round;
+    round.level1_delta = CelsiusDelta{random_delta()};
+    round.level2_delta = CelsiusDelta{random_delta()};
+    round.level1_average = Celsius{rng.uniform(-100.0, 200.0)};
+    round.level2_valid = rng.uniform() < 0.7;
+    const std::size_t current = rng.below(n);
+    const core::ModeDecision decision = selector.decide(current, round);
+    check_selector_decision(selector, decision, current, round, n, report.invariants, 0.0, 0);
+    ++report.ticks;
+
+    // Array fills: random physical mode counts and bounds, random Pp, plus
+    // a runtime re-tune — every fill must keep Eq. (1)'s structure.
+    if (i % 4 == 0) {
+      const std::size_t m = 1 + rng.below(80);
+      std::vector<double> modes;
+      modes.reserve(m);
+      double v = rng.uniform(0.0, 5.0);
+      for (std::size_t k = 0; k < m; ++k) {
+        v += rng.uniform(0.1, 2.0);  // strictly ascending effectiveness
+        modes.push_back(v);
+      }
+      core::ThermalControlArray array{modes, 2 + rng.below(120), random_pp(rng)};
+      check_control_array(array, report.invariants);
+      array.set_policy(random_pp(rng));
+      check_control_array(array, report.invariants);
+    }
+  }
+  return report;
+}
+
+FuzzReport fuzz_all(std::uint64_t seed, int ticks) {
+  FuzzReport report = fuzz_unified(seed, ticks);
+  report.merge(fuzz_predictive(seed, ticks));
+  report.merge(fuzz_pid(seed, ticks));
+  report.merge(fuzz_step_wise(seed, ticks));
+  report.merge(fuzz_selector(seed, ticks * 2));
+  report.seed = seed;
+  return report;
+}
+
+}  // namespace thermctl::verify

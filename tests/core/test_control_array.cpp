@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "verify/invariants.hpp"
+
 namespace thermctl::core {
 namespace {
 
@@ -240,6 +242,34 @@ std::vector<FillCase> fill_cases() {
 
 INSTANTIATE_TEST_SUITE_P(PolicyGeometryGrid, ControlArrayFillSweep,
                          ::testing::ValuesIn(fill_cases()));
+
+// ---- Exhaustive sweep: every Pp against awkward geometries ----
+//
+// The parameterized grid above samples Pp; this covers the complete policy
+// range against array bounds and physical-mode counts chosen to hit the
+// nasty divisions in the ramp extraction (primes, N < M, N > M, M == 1),
+// checked by the verification layer's structural invariants — the same
+// code the runtime invariant checker arms on live experiments.
+TEST(ControlArrayExhaustive, EveryPpAcrossGeometriesAndRetunes) {
+  for (const std::size_t n : {std::size_t{2}, std::size_t{8}, std::size_t{61},
+                              std::size_t{100}}) {
+    for (const int m : {1, 2, 7, 61}) {
+      for (int pp = 1; pp <= 100; ++pp) {
+        ThermalControlArray arr{duty_1_to(m), n, PolicyParam{pp}};
+        verify::InvariantReport report;
+        verify::check_control_array(arr, report);
+        ASSERT_TRUE(report.ok())
+            << "N=" << n << " M=" << m << " Pp=" << pp << "\n" << report.to_string();
+        // Runtime re-tune to the mirrored policy: the refill must satisfy
+        // the same invariants (and Eq. (1) for the *new* Pp).
+        arr.set_policy(PolicyParam{101 - pp});
+        verify::check_control_array(arr, report);
+        ASSERT_TRUE(report.ok()) << "N=" << n << " M=" << m << " Pp=" << pp
+                                 << " retuned to " << 101 - pp << "\n" << report.to_string();
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace thermctl::core

@@ -33,6 +33,7 @@ TEST(OsSurface, FullAttributeInventory) {
       // powercap (RAPL counters)
       "/sys/class/powercap/intel-rapl:0/aperf",
       "/sys/class/powercap/intel-rapl:0/energy_uj",
+      "/sys/class/powercap/intel-rapl:0/max_energy_range_uj",
       "/sys/class/powercap/intel-rapl:0/mperf",
       "/sys/class/powercap/intel-rapl:0/name",
       // thermal cooling device (idle injection)
