@@ -1,31 +1,46 @@
 // Engine throughput micro-bench: steps/sec as a first-class metric.
 //
-// Two measurements, both written to a machine-readable JSON file so the
+// Three measurements, all written to a machine-readable JSON file so the
 // performance trajectory is tracked PR-over-PR:
 //
 //   1. single-thread hot path: one 16-node cluster with per-node unified
 //      controllers and a barrier-coupled BT workload, run for a fixed
 //      simulated horizon; reports engine physics steps per wall second
 //      (and node-steps/sec, since per-node cost is what scales).
-//   2. parallel sweep runtime: an 8-point Pp sweep executed serially
+//   2. fleet scaling ladder: the same rig construction (fleet-backed SoA
+//      cluster, per-node unified controllers, synthetic loads) at 16 to
+//      100k nodes under a fixed node-step budget; reports steps/sec,
+//      node-steps/sec and bytes/node (exact SoA footprint from FleetState
+//      plus the process-RSS delta across rig construction) per point.
+//   3. parallel sweep runtime: an 8-point Pp sweep executed serially
 //      (1 worker) and in parallel (hardware workers) through
 //      runtime::run_sweep; reports the wall-clock speedup and verifies the
 //      two result sets are bit-identical (the runtime's determinism
-//      contract).
+//      contract). On a single-hardware-thread machine the speedup is
+//      reported as not meaningful rather than pretending 1.0x is a result.
 //
-// Usage: micro_engine_throughput [--horizon S] [--nodes N] [--sweep-points K]
-//                                [--threads T] [--out PATH]
+// Usage: micro_engine_throughput [--horizon S] [--nodes N] [--hot-reps R]
+//                                [--sweep-points K]
+//                                [--threads T] [--workers W] [--max-scale M]
+//                                [--out PATH]
 // Defaults: 120 s horizon, 16 nodes, 8 sweep points, hardware threads,
+// engine workers auto (0), scaling ladder up to 100000 nodes,
 // BENCH_engine.json in the current directory (the ctest smoke target runs a
-// short horizon in the build tree; the tracked repo-root file comes from a
-// full run).
+// short horizon and a capped ladder in the build tree; the tracked repo-root
+// file comes from a full run).
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "bench_util.hpp"
 #include "cluster/cluster.hpp"
@@ -46,18 +61,58 @@ double wall_seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
+/// Current resident set size in bytes (Linux /proc; 0 where unavailable).
+std::size_t current_rss_bytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  unsigned long total_pages = 0;
+  unsigned long resident_pages = 0;
+  const int got = std::fscanf(f, "%lu %lu", &total_pages, &resident_pages);
+  std::fclose(f);
+  if (got != 2) {
+    return 0;
+  }
+  return static_cast<std::size_t>(resident_pages) * 4096u;
+#else
+  return 0;
+#endif
+}
+
+/// Peak resident set size in kilobytes over the process lifetime (0 where
+/// unavailable).
+std::size_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0;
+  }
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss) / 1024u;  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss);  // kilobytes on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
 struct HotPathResult {
   std::size_t nodes = 0;
   double horizon_s = 0.0;
   double physics_dt = 0.0;
+  std::size_t engine_workers = 0;
   long long steps = 0;
   double wall_s = 0.0;
   double steps_per_sec = 0.0;
   double node_steps_per_sec = 0.0;
   double sim_per_wall = 0.0;
+  int reps = 1;  // best-of-N repetitions (noise on a shared box is additive)
 };
 
-HotPathResult measure_hot_path(std::size_t nodes, double horizon_s) {
+HotPathResult measure_hot_path_once(std::size_t nodes, double horizon_s, int workers) {
   cluster::NodeParams params;
   cluster::Cluster rack{nodes, params};
   for (std::size_t i = 0; i < nodes; ++i) {
@@ -67,13 +122,17 @@ HotPathResult measure_hot_path(std::size_t nodes, double horizon_s) {
 
   cluster::EngineConfig engine_cfg;
   engine_cfg.horizon = Seconds{horizon_s};
+  engine_cfg.workers = workers;
   cluster::Engine engine{rack, engine_cfg};
 
   // A long BT job (never completes within the horizon) keeps the barrier
-  // coupling and controller activity in the measured loop.
+  // coupling and controller activity in the measured loop. Iterations are
+  // sized to the horizon with a wide margin (one BT timestep is well over a
+  // millisecond of simulated wall) — the run only ever walks a prefix of the
+  // program, so the trajectory is identical to an arbitrarily longer job.
   Rng rng{nodes * 131 + 7};
   workload::NpbParams npb = workload::bt_class_b();
-  npb.iterations = 1000000;
+  npb.iterations = std::max(2000, static_cast<int>(horizon_s * 100.0));
   workload::ParallelApp app{"BT",
                             workload::make_npb_programs(npb, static_cast<int>(nodes), rng)};
   std::vector<std::size_t> mapping(nodes);
@@ -101,12 +160,106 @@ HotPathResult measure_hot_path(std::size_t nodes, double horizon_s) {
   r.nodes = nodes;
   r.horizon_s = horizon_s;
   r.physics_dt = engine_cfg.physics_dt.value();
+  r.engine_workers = engine.resolved_workers();
   r.steps = static_cast<long long>(run.times.back() / engine_cfg.physics_dt.value() + 0.5);
   r.wall_s = wall;
   r.steps_per_sec = static_cast<double>(r.steps) / wall;
   r.node_steps_per_sec = r.steps_per_sec * static_cast<double>(nodes);
   r.sim_per_wall = run.times.back() / wall;
   return r;
+}
+
+/// Best of `reps` identical hot-path runs. A short measurement window (a few
+/// ms at the default horizon) is easily torn by scheduler preemption on a
+/// busy machine; interference only ever *slows* a run, so the fastest
+/// repetition is the closest estimate of the engine's actual throughput.
+HotPathResult measure_hot_path(std::size_t nodes, double horizon_s, int workers, int reps) {
+  HotPathResult best{};
+  for (int i = 0; i < reps; ++i) {
+    HotPathResult r = measure_hot_path_once(nodes, horizon_s, workers);
+    if (i == 0 || r.steps_per_sec > best.steps_per_sec) {
+      best = r;
+    }
+  }
+  best.reps = reps;
+  return best;
+}
+
+struct ScalePoint {
+  std::size_t nodes = 0;
+  std::size_t engine_workers = 0;
+  long long steps = 0;
+  double build_wall_s = 0.0;
+  double wall_s = 0.0;
+  double steps_per_sec = 0.0;
+  double node_steps_per_sec = 0.0;
+  double fleet_bytes_per_node = 0.0;
+  double rss_bytes_per_node = 0.0;
+};
+
+/// One ladder point: fleet-backed cluster + per-node unified controllers +
+/// out-of-phase synthetic loads, run under a fixed node-step budget so every
+/// scale costs roughly the same wall time. No barrier-coupled app here — the
+/// paper's scaling story is decentralized per-node control, and a 100k-rank
+/// expanded NPB program would dominate memory, not the fleet under test.
+ScalePoint measure_scale(std::size_t nodes, int workers) {
+  constexpr double kNodeStepBudget = 4e6;
+  constexpr long long kMinSteps = 40;
+  constexpr long long kMaxSteps = 20000;
+
+  const std::size_t rss_before = current_rss_bytes();
+  const auto build_start = std::chrono::steady_clock::now();
+
+  cluster::NodeParams params;
+  cluster::Cluster rack{nodes, params};
+
+  cluster::EngineConfig engine_cfg;
+  engine_cfg.workers = workers;
+  const long long steps = std::clamp(
+      static_cast<long long>(kNodeStepBudget / static_cast<double>(nodes)), kMinSteps,
+      kMaxSteps);
+  engine_cfg.horizon = Seconds{static_cast<double>(steps) * engine_cfg.physics_dt.value()};
+  cluster::Engine engine{rack, engine_cfg};
+
+  std::vector<std::unique_ptr<UnifiedController>> controllers;
+  controllers.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    engine.set_node_load_fn(i, [i](SimTime t) {
+      const double x = t.seconds() * 0.7 + static_cast<double>(i) * 0.13;
+      return Utilization{0.55 + 0.35 * std::sin(x)};
+    });
+    UnifiedConfig cfg;
+    cfg.pp = PolicyParam{50};
+    controllers.push_back(std::make_unique<UnifiedController>(
+        rack.node(i).hwmon(), rack.node(i).cpufreq(), cfg));
+    UnifiedController* raw = controllers.back().get();
+    engine.add_periodic(params.sample_period, [raw](SimTime now) { raw->on_sample(now); });
+  }
+
+  const double build_wall = wall_seconds_since(build_start);
+  const std::size_t rss_after = current_rss_bytes();
+
+  const auto start = std::chrono::steady_clock::now();
+  const cluster::RunResult run = engine.run();
+  const double wall = wall_seconds_since(start);
+
+  ScalePoint p;
+  p.nodes = nodes;
+  p.engine_workers = engine.resolved_workers();
+  p.steps = static_cast<long long>(run.times.back() / engine_cfg.physics_dt.value() + 0.5);
+  p.build_wall_s = build_wall;
+  p.wall_s = wall;
+  p.steps_per_sec = static_cast<double>(p.steps) / wall;
+  p.node_steps_per_sec = p.steps_per_sec * static_cast<double>(nodes);
+  if (rack.fleet() != nullptr) {
+    p.fleet_bytes_per_node =
+        static_cast<double>(rack.fleet()->memory_bytes()) / static_cast<double>(nodes);
+  }
+  if (rss_after > rss_before) {
+    p.rss_bytes_per_node =
+        static_cast<double>(rss_after - rss_before) / static_cast<double>(nodes);
+  }
+  return p;
 }
 
 std::vector<ExperimentConfig> build_sweep(std::size_t points) {
@@ -161,7 +314,10 @@ int main(int argc, char** argv) {
   double horizon_s = 120.0;
   std::size_t nodes = 16;
   std::size_t sweep_points = 8;
-  std::size_t threads = 0;  // 0 = hardware
+  std::size_t threads = 0;    // 0 = hardware
+  int engine_workers = 0;     // 0 = auto (one shard per hardware thread)
+  std::size_t max_scale = 100000;
+  int hot_reps = 3;  // best-of; see measure_hot_path
   std::string out_path = "BENCH_engine.json";
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--horizon") == 0) {
@@ -172,23 +328,51 @@ int main(int argc, char** argv) {
       sweep_points = static_cast<std::size_t>(std::atoi(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      engine_workers = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--max-scale") == 0) {
+      max_scale = static_cast<std::size_t>(std::atol(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--hot-reps") == 0) {
+      hot_reps = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = argv[i + 1];
     }
   }
 
   tb::banner("Engine throughput",
-             "hot-path steps/sec + parallel sweep speedup (BENCH_engine.json)");
+             "hot-path steps/sec + fleet scaling ladder + sweep speedup "
+             "(BENCH_engine.json)");
 
-  const HotPathResult hot = measure_hot_path(nodes, horizon_s);
-  std::printf("  hot path: %zu nodes, %.0f sim-s, %lld steps in %.3f wall-s\n", hot.nodes,
-              hot.horizon_s, hot.steps, hot.wall_s);
+  const HotPathResult hot = measure_hot_path(nodes, horizon_s, engine_workers, hot_reps);
+  std::printf("  hot path: %zu nodes, %.0f sim-s, %lld steps in %.3f wall-s"
+              " (%zu engine workers, best of %d)\n",
+              hot.nodes, hot.horizon_s, hot.steps, hot.wall_s, hot.engine_workers, hot.reps);
   std::printf("  steps/sec:       %.0f\n", hot.steps_per_sec);
   std::printf("  node-steps/sec:  %.0f\n", hot.node_steps_per_sec);
   std::printf("  sim-s per wall-s: %.1f\n", hot.sim_per_wall);
 
+  // Fleet scaling ladder: each point is built, measured, printed and torn
+  // down before the next — one rig in memory at a time, so the 100k point
+  // reflects steady-state footprint rather than accumulated rigs.
+  std::vector<ScalePoint> ladder;
+  std::printf("  scaling ladder (node-step budget per point):\n");
+  for (std::size_t n : {std::size_t{16}, std::size_t{256}, std::size_t{2048},
+                        std::size_t{16384}, std::size_t{100000}}) {
+    if (n > max_scale) {
+      continue;
+    }
+    const ScalePoint p = measure_scale(n, engine_workers);
+    std::printf("    %7zu nodes: %8.0f steps/s, %11.0f node-steps/s, "
+                "%4.0f B/node SoA, %6.0f B/node RSS, build %.2fs, run %.2fs"
+                " (%zu workers)\n",
+                p.nodes, p.steps_per_sec, p.node_steps_per_sec, p.fleet_bytes_per_node,
+                p.rss_bytes_per_node, p.build_wall_s, p.wall_s, p.engine_workers);
+    ladder.push_back(p);
+  }
+
   const std::size_t hw = runtime::default_thread_count();
   const std::size_t par_threads = threads == 0 ? hw : threads;
+  const bool parallelism_available = hw > 1;
   const std::vector<ExperimentConfig> sweep_cfgs = build_sweep(sweep_points);
 
   auto start = std::chrono::steady_clock::now();
@@ -210,6 +394,9 @@ int main(int argc, char** argv) {
   tb::shape_check("parallel sweep results bit-identical to serial", identical);
   if (hw >= 4) {
     tb::shape_check("parallel sweep speedup >= 3x with >= 4 hardware threads", speedup >= 3.0);
+  } else if (!parallelism_available) {
+    tb::note("  (single hardware thread: sweep speedup and sharded-engine scaling are\n"
+             "   not measurable here; the speedup field records overhead, not parallelism)");
   } else {
     tb::note("  (speedup target applies at >= 4 hardware threads; this machine has " +
              std::to_string(hw) + ")");
@@ -226,21 +413,46 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"nodes\": %zu,\n", hot.nodes);
   std::fprintf(f, "    \"horizon_sim_s\": %.3f,\n", hot.horizon_s);
   std::fprintf(f, "    \"physics_dt_s\": %.3f,\n", hot.physics_dt);
+  std::fprintf(f, "    \"engine_workers\": %zu,\n", hot.engine_workers);
+  std::fprintf(f, "    \"best_of_reps\": %d,\n", hot.reps);
   std::fprintf(f, "    \"engine_steps\": %lld,\n", hot.steps);
   std::fprintf(f, "    \"wall_s\": %.6f,\n", hot.wall_s);
   std::fprintf(f, "    \"steps_per_sec\": %.1f,\n", hot.steps_per_sec);
   std::fprintf(f, "    \"node_steps_per_sec\": %.1f,\n", hot.node_steps_per_sec);
   std::fprintf(f, "    \"sim_seconds_per_wall_second\": %.2f\n", hot.sim_per_wall);
   std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"scaling\": [\n");
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    const ScalePoint& p = ladder[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"nodes\": %zu,\n", p.nodes);
+    std::fprintf(f, "      \"engine_workers\": %zu,\n", p.engine_workers);
+    std::fprintf(f, "      \"engine_steps\": %lld,\n", p.steps);
+    std::fprintf(f, "      \"build_wall_s\": %.6f,\n", p.build_wall_s);
+    std::fprintf(f, "      \"wall_s\": %.6f,\n", p.wall_s);
+    std::fprintf(f, "      \"steps_per_sec\": %.1f,\n", p.steps_per_sec);
+    std::fprintf(f, "      \"node_steps_per_sec\": %.1f,\n", p.node_steps_per_sec);
+    std::fprintf(f, "      \"fleet_bytes_per_node\": %.1f,\n", p.fleet_bytes_per_node);
+    std::fprintf(f, "      \"rss_bytes_per_node\": %.1f\n", p.rss_bytes_per_node);
+    std::fprintf(f, "    }%s\n", i + 1 < ladder.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"sweep\": {\n");
   std::fprintf(f, "    \"points\": %zu,\n", sweep_cfgs.size());
   std::fprintf(f, "    \"workers\": %zu,\n", par_threads);
   std::fprintf(f, "    \"serial_wall_s\": %.6f,\n", serial_wall);
   std::fprintf(f, "    \"parallel_wall_s\": %.6f,\n", parallel_wall);
   std::fprintf(f, "    \"speedup\": %.3f,\n", speedup);
+  std::fprintf(f, "    \"speedup_meaningful\": %s,\n",
+               parallelism_available ? "true" : "false");
   std::fprintf(f, "    \"identical_to_serial\": %s\n", identical ? "true" : "false");
   std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"hardware_threads\": %zu\n", hw);
+  std::fprintf(f, "  \"memory\": {\n");
+  std::fprintf(f, "    \"peak_rss_kb\": %zu\n", peak_rss_kb());
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n", hw);
+  std::fprintf(f, "  \"parallelism_available\": %s\n",
+               parallelism_available ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("  json written: %s\n", out_path.c_str());

@@ -4,13 +4,20 @@
 
 namespace thermctl::cluster {
 
-Cluster::Cluster(std::size_t count, const NodeParams& base) {
+Cluster::Cluster(std::size_t count, const NodeParams& base, bool batched) {
   THERMCTL_ASSERT(count > 0, "cluster needs at least one node");
+  if (batched) {
+    // All nodes are built from one base params, so the fleet is homogeneous
+    // by construction and every node can view the shared batch.
+    fleet_ = std::make_unique<FleetState>(base.package, count);
+  }
   nodes_.reserve(count);
+  raw_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     NodeParams params = base;
     params.seed = base.seed + i * 7919;  // distinct noise streams per node
-    nodes_.push_back(std::make_unique<Node>(static_cast<int>(i), params));
+    nodes_.push_back(std::make_unique<Node>(static_cast<int>(i), params, fleet_.get(), i));
+    raw_.push_back(nodes_.back().get());
     ipmi_.attach(static_cast<int>(i), &nodes_.back()->bmc());
   }
 }

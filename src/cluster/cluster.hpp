@@ -18,8 +18,11 @@ namespace thermctl::cluster {
 
 class Cluster {
  public:
-  /// Builds `count` nodes from `base`, giving each a distinct seed.
-  Cluster(std::size_t count, const NodeParams& base);
+  /// Builds `count` nodes from `base`, giving each a distinct seed. By
+  /// default the nodes share a FleetState (SoA hot state + batched RC
+  /// solver); `batched = false` builds the historical per-node-object layout
+  /// instead — trajectories are bit-identical either way.
+  Cluster(std::size_t count, const NodeParams& base, bool batched = true);
 
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] Node& node(std::size_t i) {
@@ -30,6 +33,12 @@ class Cluster {
     THERMCTL_ASSERT(i < nodes_.size(), "node index out of range");
     return *nodes_[i];
   }
+  /// Unchecked flat node-pointer array for the engine's hot loops.
+  [[nodiscard]] const std::vector<Node*>& raw_nodes() const { return raw_; }
+
+  /// The shared SoA state, or nullptr for a per-node-object cluster.
+  [[nodiscard]] FleetState* fleet() { return fleet_.get(); }
+  [[nodiscard]] const FleetState* fleet() const { return fleet_.get(); }
 
   [[nodiscard]] sysfs::IpmiNetwork& ipmi() { return ipmi_; }
 
@@ -43,7 +52,9 @@ class Cluster {
   void settle_all();
 
  private:
+  std::unique_ptr<FleetState> fleet_;  // must outlive the nodes viewing it
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Node*> raw_;
   sysfs::IpmiNetwork ipmi_;
 };
 

@@ -15,6 +15,14 @@ Engine::Engine(Cluster& cluster, EngineConfig config)
       recorder_(cluster.size()),
       record_schedule_(static_cast<std::int64_t>(config.record_period.value() * 1e6)) {
   THERMCTL_ASSERT(config_.physics_dt.value() > 0.0, "physics step must be positive");
+  THERMCTL_ASSERT(config_.workers >= 0, "workers must be >= 0 (0 = auto)");
+}
+
+std::size_t Engine::resolved_workers() const {
+  const std::size_t requested = config_.workers == 0
+                                    ? runtime::default_thread_count()
+                                    : static_cast<std::size_t>(config_.workers);
+  return std::max<std::size_t>(1, std::min(requested, cluster_.size()));
 }
 
 void Engine::attach_app(workload::ParallelApp& app, std::vector<std::size_t> node_for_rank) {
@@ -158,9 +166,44 @@ void Engine::record_sample() {
     }
     recorder_.sample(now_.seconds(), i, n.die_temperature().value(),
                      n.sensor_reading().value(), n.fan().duty().percent(), n.fan().rpm().value(),
-                     n.cpu().frequency().value(), n.meter().read().value(),
+                     n.cpu().frequency().value(), n.wall_power().value(),
                      n.utilization().fraction(), activity);
   }
+}
+
+std::uint64_t Engine::step_shard(std::size_t begin, std::size_t end, Seconds dt,
+                                 SimTime after) {
+  Node* const* nodes = cluster_.raw_nodes().data();
+  FleetState* fleet = cluster_.fleet();
+
+  // Physics: device/OS work per node, with the RC solve batched over the
+  // shard's contiguous SoA slice when a fleet is present. Interleaving
+  // per-node phases this way is bit-identical to sequential Node::step()
+  // calls because each phase only touches its own node's state.
+  for (std::size_t i = begin; i < end; ++i) {
+    nodes[i]->step_pre_thermal(dt);
+  }
+  if (fleet != nullptr) {
+    fleet->batch().step_range(dt, begin, end);
+  } else {
+    for (std::size_t i = begin; i < end; ++i) {
+      nodes[i]->package().step(dt);
+    }
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    nodes[i]->step_post_thermal(dt);
+  }
+
+  // Sensor sampling (per node, on its own schedule). Counted locally; the
+  // caller reduces shard counts in shard order so metrics stay deterministic.
+  std::uint64_t samples = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    while (nodes[i]->sample_schedule().due(after)) {
+      nodes[i]->sample_sensor();
+      ++samples;
+    }
+  }
+  return samples;
 }
 
 RunResult Engine::run() {
@@ -176,6 +219,15 @@ RunResult Engine::run() {
   }
 
   const Seconds dt = config_.physics_dt;
+  const std::size_t node_count = cluster_.size();
+  Node* const* nodes = cluster_.raw_nodes().data();
+  const std::size_t shards = resolved_workers();
+  if (shards > 1 && pool_ == nullptr) {
+    // Pool threads only run step_shard on disjoint node ranges; the barrier
+    // (wait_idle) sits at the step's coupling point.
+    pool_ = std::make_unique<runtime::ThreadPool>(shards - 1);
+  }
+  shard_samples_.assign(shards, 0);
   std::optional<Seconds> completion;
   // done() scans every rank; track it across the loop instead of re-asking
   // twice per step.
@@ -195,7 +247,7 @@ RunResult Engine::run() {
     if (app_running) {
       freqs_scratch_.clear();
       for (std::size_t n : node_for_rank_) {
-        const Node& node = cluster_.node(n);
+        const Node& node = *nodes[n];
         // A halted node makes no progress; a throttled or idle-injected one
         // runs at its delivered (not nominal) rate; in-band daemon overhead
         // (OS noise) steals a further slice.
@@ -206,50 +258,72 @@ RunResult Engine::run() {
       }
       app_->step(dt, freqs_scratch_, utils_scratch_);
       for (std::size_t r = 0; r < utils_scratch_.size(); ++r) {
-        cluster_.node(node_for_rank_[r]).set_utilization(utils_scratch_[r]);
+        nodes[node_for_rank_[r]]->set_utilization(utils_scratch_[r]);
       }
       if (app_->done()) {
         app_running = false;
         completion = app_->completion_time();
       }
     }
-    for (std::size_t i = 0; i < cluster_.size(); ++i) {
+    for (std::size_t i = 0; i < node_count; ++i) {
       if (node_loads_[i]) {
-        cluster_.node(i).set_utilization(node_loads_[i](now_));
+        nodes[i]->set_utilization(node_loads_[i](now_));
       } else if (app_ != nullptr && !app_running && rank_of_node_[i] != kNoRank) {
-        cluster_.node(i).set_utilization(Utilization{0.02});  // job exited
+        nodes[i]->set_utilization(Utilization{0.02});  // job exited
       }
     }
 
-    // 2. Physics. The room (if attached) mixes under the rack's total
-    // dissipation and sets every node's inlet.
+    // 2. Physics. Coupling first, serially: the room (if attached) mixes
+    // under the rack's total dissipation — summed in node order — and sets
+    // every node's inlet. This is the only way node state crosses node
+    // boundaries within a step, which is what makes the shard phase below
+    // embarrassingly parallel and bit-identical at any shard count.
     if (room_ != nullptr) {
       double rack_dc = 0.0;
-      for (std::size_t i = 0; i < cluster_.size(); ++i) {
-        rack_dc += cluster_.node(i).cpu().power().value() +
-                   cluster_.node(i).fan().power().value();
+      for (std::size_t i = 0; i < node_count; ++i) {
+        rack_dc += nodes[i]->cpu().power().value() + nodes[i]->fan().power().value();
       }
       room_->step(dt, Watts{rack_dc});
-      for (std::size_t i = 0; i < cluster_.size(); ++i) {
-        cluster_.node(i).package().set_ambient(room_->inlet(i));
+      for (std::size_t i = 0; i < node_count; ++i) {
+        nodes[i]->package().set_ambient(room_->inlet(i));
       }
     }
-    for (std::size_t i = 0; i < cluster_.size(); ++i) {
-      cluster_.node(i).step(dt);
+
+    // Per-node physics + sampling, sharded BSP-style: contiguous node ranges
+    // (contiguous SoA slices), one barrier per step at the join.
+    SimTime after = now_;
+    after.advance_us(static_cast<std::int64_t>(dt.value() * 1e6));
+    if (shards == 1) {
+      shard_samples_[0] = step_shard(0, node_count, dt, after);
+    } else {
+      const std::size_t base = node_count / shards;
+      const std::size_t rem = node_count % shards;
+      std::size_t begin = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t len = base + (s < rem ? 1 : 0);
+        const std::size_t end = begin + len;
+        if (s + 1 == shards) {
+          // Last shard runs inline: the main thread works instead of waiting.
+          shard_samples_[s] = step_shard(begin, end, dt, after);
+        } else {
+          pool_->submit([this, s, begin, end, dt, after] {
+            shard_samples_[s] = step_shard(begin, end, dt, after);
+          });
+        }
+        begin = end;
+      }
+      pool_->wait_idle();  // BSP barrier: all shards joined before coupling
     }
-    now_.advance_us(static_cast<std::int64_t>(dt.value() * 1e6));
+    now_ = after;
 
     if (m_steps_ != nullptr) {
       m_steps_->inc();
     }
-
-    // 3. Sensor sampling (per node, on its own schedule).
-    for (std::size_t i = 0; i < cluster_.size(); ++i) {
-      while (cluster_.node(i).sample_schedule().due(now_)) {
-        cluster_.node(i).sample_sensor();
-        if (m_sensor_samples_ != nullptr) {
-          m_sensor_samples_->inc();
-        }
+    if (m_sensor_samples_ != nullptr) {
+      // Reduce per-shard counts in shard order (deterministic, and identical
+      // to the serial engine's per-sample increments).
+      for (std::size_t s = 0; s < shards; ++s) {
+        m_sensor_samples_->add(shard_samples_[s]);
       }
     }
 

@@ -14,6 +14,16 @@
 // (barrier-coupled across nodes) or a time-driven SegmentLoad. The run ends
 // when the app completes (its completion time is the experiment's execution
 // time) or at the horizon.
+//
+// Sharding: with `workers > 1` the per-node physics + sensor-sampling phase
+// of each step is partitioned into contiguous node shards executed on a
+// ThreadPool, BSP style — one barrier per step, placed exactly at the
+// coupling points. Everything that couples nodes (the room/ambient power
+// reduction before the shard phase; app stepping, controllers and metrics
+// after it) runs serially in node/registration order, and per-shard sample
+// counters are reduced in shard order, so a sharded run is bit-identical to
+// the serial engine (asserted by the differential oracle's
+// sharded-vs-serial pairs).
 // Thread-safety: an Engine (and the Cluster/app it drives) belongs to one
 // thread. The first call to run() binds the engine to the calling thread and
 // any later run() from a different thread trips a THERMCTL_ASSERT — catching
@@ -22,7 +32,9 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -32,6 +44,7 @@
 #include "cluster/room.hpp"
 #include "common/sim_time.hpp"
 #include "obs/metrics_registry.hpp"
+#include "runtime/thread_pool.hpp"
 #include "workload/app.hpp"
 #include "workload/synthetic.hpp"
 #include "workload/trace_load.hpp"
@@ -45,6 +58,10 @@ struct EngineConfig {
   /// Keep simulating this long after app completion (lets figures show the
   /// cool-down tail); 0 stops immediately.
   Seconds cooldown{0.0};
+  /// Node shards for the per-step physics/sampling phase: 1 = serial engine
+  /// (no pool), >1 = that many shards on a ThreadPool, 0 = one per hardware
+  /// thread. Results are bit-identical for every value.
+  int workers = 1;
 };
 
 class Engine {
@@ -101,6 +118,10 @@ class Engine {
 
   [[nodiscard]] SimTime now() const { return now_; }
 
+  /// Shard count the physics phase will actually use (config workers
+  /// resolved against hardware threads and clamped to the node count).
+  [[nodiscard]] std::size_t resolved_workers() const;
+
  private:
   struct PeriodicTask {
     PeriodicSchedule schedule;
@@ -109,6 +130,10 @@ class Engine {
 
   void record_sample();
   void finalize(RunResult& result) const;
+  /// Physics + sampling for nodes [begin, end); `after` is the step's end
+  /// time (sampling schedules are checked against it). Returns the number of
+  /// sensor samples taken, for deterministic shard-order reduction.
+  std::uint64_t step_shard(std::size_t begin, std::size_t end, Seconds dt, SimTime after);
 
   static constexpr std::size_t kNoRank = static_cast<std::size_t>(-1);
 
@@ -134,6 +159,9 @@ class Engine {
   // Hot-loop scratch, reused every physics step instead of reallocated.
   std::vector<GigaHertz> freqs_scratch_;
   std::vector<Utilization> utils_scratch_;
+  // Shard machinery (only materialized when resolved_workers() > 1).
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::vector<std::uint64_t> shard_samples_;  // per-shard counts, reduced in shard order
   // Set by the first run(); later runs must come from the same thread.
   std::atomic<std::thread::id> owner_thread_{};
 };

@@ -1,0 +1,70 @@
+// Fleet-wide structure-of-arrays node state.
+//
+// One rack of N simulated machines used to mean N pointer-chasing object
+// graphs: every node owned its own RcNetwork, its fan kept its rotor state,
+// its sensor kept its sample-and-hold register. FleetState hoists the hot
+// per-node state into contiguous arrays owned in one place:
+//
+//   * temperatures, power inputs, edge conductances, capacitances — inside an
+//     RcBatch built from the shared package wiring (capacitances and
+//     adjacency stored once, per-node state in node-major rows);
+//   * fan duty / fan RPM — flat arrays the FanDevices bind onto;
+//   * last sensor readings — a flat array the ThermalSensors bind onto.
+//
+// Node/Cluster keep their exact APIs: each Node's PackageModel becomes a view
+// onto one batch column, and its FanDevice/ThermalSensor rebind their state
+// pointers into the arrays. Controllers, sysfs, and tests are untouched, and
+// trajectories stay bit-identical to the per-node layout (RcBatch contract).
+// The payoff is the engine's hot loop: one vectorized RcBatch::step_range
+// call advances the whole fleet's thermals, and shards get contiguous slices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "thermal/package_model.hpp"
+#include "thermal/rc_batch.hpp"
+
+namespace thermctl::cluster {
+
+class FleetState {
+ public:
+  /// Allocates SoA state for `count` nodes sharing one package design.
+  FleetState(const thermal::PackageParams& package, std::size_t count);
+
+  [[nodiscard]] std::size_t size() const { return batch_.instance_count(); }
+
+  /// The batched RC solver all fleet-backed PackageModels view into.
+  [[nodiscard]] thermal::RcBatch& batch() { return batch_; }
+  [[nodiscard]] const thermal::RcBatch& batch() const { return batch_; }
+  /// Handles into the shared die—heatsink—ambient wiring.
+  [[nodiscard]] const thermal::PackageWiring& wiring() const { return wiring_; }
+
+  // ---- SoA slots device objects bind their state onto ----
+  [[nodiscard]] double* fan_duty_slot(std::size_t i) { return &at(fan_duty_pct_, i); }
+  [[nodiscard]] double* fan_rpm_slot(std::size_t i) { return &at(fan_rpm_, i); }
+  [[nodiscard]] double* sensor_last_slot(std::size_t i) { return &at(sensor_last_, i); }
+
+  /// Heap footprint of the fleet's hot state (bytes): the RC batch plus the
+  /// device-state arrays. The scaling benchmark divides this by node count.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return batch_.memory_bytes() +
+           (fan_duty_pct_.capacity() + fan_rpm_.capacity() + sensor_last_.capacity()) *
+               sizeof(double);
+  }
+
+ private:
+  [[nodiscard]] double& at(std::vector<double>& v, std::size_t i) {
+    THERMCTL_ASSERT(i < v.size(), "fleet slot out of range");
+    return v[i];
+  }
+
+  thermal::PackageWiring wiring_{};
+  thermal::RcBatch batch_;
+  std::vector<double> fan_duty_pct_;
+  std::vector<double> fan_rpm_;
+  std::vector<double> sensor_last_;
+};
+
+}  // namespace thermctl::cluster

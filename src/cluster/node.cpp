@@ -7,18 +7,35 @@
 
 namespace thermctl::cluster {
 
-Node::Node(int id, const NodeParams& params)
+namespace {
+
+thermal::PackageModel make_package(const NodeParams& params, FleetState* fleet,
+                                   std::size_t slot) {
+  if (fleet != nullptr) {
+    return thermal::PackageModel{params.package, fleet->batch(), slot};
+  }
+  return thermal::PackageModel{params.package};
+}
+
+}  // namespace
+
+Node::Node(int id, const NodeParams& params, FleetState* fleet, std::size_t slot)
     : id_(id),
       params_(params),
       cpu_(params.cpu),
       fan_(params.fan),
-      package_(params.package),
+      package_(make_package(params, fleet, slot)),
       sensor_([this] { return package_.die_temperature(); }, params.sensor,
               Rng{params.seed * 0x9e3779b9ULL + static_cast<std::uint64_t>(id) + 1}),
       meter_([this] { return Watts{cpu_.power().value() + fan_.power().value()}; },
              params.meter),
       driver_(i2c_),
       sample_schedule_(static_cast<std::int64_t>(params.sample_period.value() * 1e6)) {
+  if (fleet != nullptr) {
+    // Hot device state moves into the fleet's SoA arrays before first use.
+    fan_.bind_state(fleet->fan_duty_slot(slot), fleet->fan_rpm_slot(slot));
+    sensor_.bind_state(fleet->sensor_last_slot(slot));
+  }
   i2c_.attach(sysfs::Adt7467Driver::kDefaultAddress, &chip_);
 
   // In-band plane: cpufreq + hwmon sysfs trees.
@@ -74,7 +91,7 @@ void Node::apply_protection(Celsius die) {
   }
 }
 
-void Node::step(Seconds dt) {
+void Node::step_pre_thermal(Seconds dt) {
   THERMCTL_ASSERT(dt.value() > 0.0, "step duration must be positive");
   if (halted_) {
     util_ = Utilization{0.0};
@@ -89,14 +106,16 @@ void Node::step(Seconds dt) {
 
   package_.set_cpu_power(halted_ ? Watts{2.0} : cpu_.power());  // halted: trickle
   package_.set_airflow(fan_.airflow());
-  package_.step(dt);
+}
+
+void Node::step_post_thermal(Seconds dt) {
   const Celsius die = package_.die_temperature();
 
   // The chip continuously tracks its remote diode and tach inputs.
   chip_.set_measured_temperature(die);
   chip_.set_measured_rpm(fan_.rpm());
 
-  meter_.integrate(dt);
+  meter_.integrate_with(dt, dc_power());
   cpu_.advance_counters(dt);
 
   if (cpu_.thermal_throttled()) {
@@ -113,6 +132,12 @@ void Node::step(Seconds dt) {
   total_jiffies_ += total_whole;
   jiffy_remainder_busy_ -= static_cast<double>(busy_whole);
   jiffy_remainder_total_ -= static_cast<double>(total_whole);
+}
+
+void Node::step(Seconds dt) {
+  step_pre_thermal(dt);
+  package_.step(dt);
+  step_post_thermal(dt);
 }
 
 void Node::settle() {

@@ -22,6 +22,7 @@
 #include <memory>
 #include <optional>
 
+#include "cluster/fleet_state.hpp"
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "common/units.hpp"
@@ -67,7 +68,10 @@ struct NodeParams {
 
 class Node {
  public:
-  Node(int id, const NodeParams& params);
+  /// Standalone node: owns all of its state, including its own RcNetwork.
+  /// With a `fleet`, the node is a thin view over `fleet`'s SoA arrays at
+  /// `slot` — same API, same trajectories, fleet-resident hot state.
+  Node(int id, const NodeParams& params, FleetState* fleet = nullptr, std::size_t slot = 0);
 
   [[nodiscard]] int id() const { return id_; }
 
@@ -80,6 +84,14 @@ class Node {
   /// Advances devices, thermal model, protection and meters by `dt`.
   void step(Seconds dt);
 
+  /// step() split at the thermal solve, so a fleet engine can run the
+  /// device/OS phases per node and the RC solve batched:
+  ///   step(dt) ≡ step_pre_thermal(dt); package().step(dt); step_post_thermal(dt)
+  /// The phases only touch this node's state, so any interleaving across
+  /// nodes is bit-identical to sequential per-node step() calls.
+  void step_pre_thermal(Seconds dt);
+  void step_post_thermal(Seconds dt);
+
   /// Takes a thermal-sensor reading (called on the 4 Hz schedule).
   Celsius sample_sensor() { return sensor_.sample(); }
   [[nodiscard]] const PeriodicSchedule& sample_schedule() const { return sample_schedule_; }
@@ -89,6 +101,10 @@ class Node {
   [[nodiscard]] Celsius die_temperature() const { return package_.die_temperature(); }
   [[nodiscard]] Celsius sensor_reading() const { return sensor_.last_reading(); }
   [[nodiscard]] GigaHertz effective_frequency() const { return cpu_.effective_frequency(); }
+  /// DC-side component power sum (what the meter's dc_load supplier returns).
+  [[nodiscard]] Watts dc_power() const { return Watts{cpu_.power().value() + fan_.power().value()}; }
+  /// Metered AC wall power — meter().read() minus the supplier indirection.
+  [[nodiscard]] Watts wall_power() const { return meter_.read_with(dc_power()); }
 
   /// /proc/stat-style cumulative counters at USER_HZ (100 jiffies/second);
   /// utilization governors diff these, exactly like the real daemon.

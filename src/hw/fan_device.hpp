@@ -38,30 +38,45 @@ class FanDevice {
  public:
   explicit FanDevice(FanParams params = {});
 
+  // Duty and RPM may be rebound into fleet-owned SoA arrays (bind_state), so
+  // the device must not be duplicated with pointers into the old storage.
+  FanDevice(const FanDevice&) = delete;
+  FanDevice& operator=(const FanDevice&) = delete;
+
+  /// Rebinds the rotor state (duty %, RPM) onto external storage — the
+  /// FleetState SoA arrays. Current values carry over; the device keeps
+  /// behaving identically, it just keeps its hot state in the fleet arrays.
+  void bind_state(double* duty_pct, double* rpm) {
+    *duty_pct = *duty_pct_;
+    *rpm = *rpm_;
+    duty_pct_ = duty_pct;
+    rpm_ = rpm;
+  }
+
   /// Commands a PWM duty cycle; takes effect through the rotor lag.
-  void set_duty(DutyCycle duty) { duty_ = duty; }
-  [[nodiscard]] DutyCycle duty() const { return duty_; }
+  void set_duty(DutyCycle duty) { *duty_pct_ = duty.percent(); }
+  [[nodiscard]] DutyCycle duty() const { return DutyCycle{*duty_pct_}; }
 
   /// Advances rotor dynamics. First-order lag via the exact discrete update;
   /// the exponential smoothing factor only depends on dt, which the engine
   /// holds constant, so it is cached rather than recomputed per step.
   void step(Seconds dt) {
-    const double target = stuck_ ? 0.0 : target_rpm(duty_).value();
+    const double target = stuck_ ? 0.0 : target_rpm(duty()).value();
     if (dt.value() != alpha_dt_) {
       recompute_alpha(dt);
     }
-    rpm_ += (target - rpm_) * alpha_;
-    if (rpm_ < 1.0 && target == 0.0) {
-      rpm_ = 0.0;
+    *rpm_ += (target - *rpm_) * alpha_;
+    if (*rpm_ < 1.0 && target == 0.0) {
+      *rpm_ = 0.0;
     }
   }
 
-  [[nodiscard]] Rpm rpm() const { return Rpm{rpm_}; }
+  [[nodiscard]] Rpm rpm() const { return Rpm{*rpm_}; }
   [[nodiscard]] Cfm airflow() const {
-    return Cfm{params_.max_airflow.value() * rpm_ / params_.max_rpm.value()};
+    return Cfm{params_.max_airflow.value() * *rpm_ / params_.max_rpm.value()};
   }
   [[nodiscard]] Watts power() const {
-    const double frac = rpm_ / params_.max_rpm.value();
+    const double frac = *rpm_ / params_.max_rpm.value();
     return Watts{params_.idle_power.value() + params_.max_power.value() * frac * frac * frac};
   }
 
@@ -81,7 +96,7 @@ class FanDevice {
 
   /// Snaps the rotor to its steady state for the current duty (experiment
   /// priming).
-  void settle() { rpm_ = target_rpm(duty_).value(); }
+  void settle() { *rpm_ = target_rpm(duty()).value(); }
 
   /// Injects a stuck-rotor fault: the fan ignores commands and coasts to a
   /// halt. `clear_fault` restores normal operation.
@@ -95,8 +110,12 @@ class FanDevice {
   void recompute_alpha(Seconds dt);
 
   FanParams params_;
-  DutyCycle duty_{0.0};
-  double rpm_ = 0.0;
+  // Rotor state defaults to inline storage; bind_state() repoints it into a
+  // FleetState SoA slot without changing behaviour.
+  double duty_pct_storage_ = 0.0;
+  double rpm_storage_ = 0.0;
+  double* duty_pct_ = &duty_pct_storage_;
+  double* rpm_ = &rpm_storage_;
   bool stuck_ = false;
   // dt the cached smoothing factor was built for; NaN compares unequal to
   // every dt, forcing (and validating) the first computation.

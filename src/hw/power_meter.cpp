@@ -13,8 +13,10 @@ PowerMeter::PowerMeter(std::function<Watts()> dc_load, PowerMeterParams params)
                   "PSU efficiency must be in (0, 1]");
 }
 
-Watts PowerMeter::read() const {
-  const double dc = params_.base_load.value() + dc_load_().value();
+Watts PowerMeter::read() const { return read_with(dc_load_()); }
+
+Watts PowerMeter::read_with(Watts dc_component) const {
+  const double dc = params_.base_load.value() + dc_component.value();
   const double ac = dc / params_.psu_efficiency;
   const double r = params_.resolution_watts;
   return Watts{std::round(ac / r) * r};

@@ -34,10 +34,18 @@ class PowerMeter {
   /// Instantaneous AC-side power as the meter would display it.
   [[nodiscard]] Watts read() const;
 
+  /// read() for a caller-supplied DC component sum: identical arithmetic,
+  /// minus the indirect dc_load_ call. For callers that already hold the
+  /// component sum (the node does, every physics step).
+  [[nodiscard]] Watts read_with(Watts dc_component) const;
+
   /// Advances the internal energy integral by `dt` at the current load.
-  void integrate(Seconds dt) {
+  void integrate(Seconds dt) { integrate_with(dt, dc_load_()); }
+
+  /// integrate() with the DC component sum supplied directly.
+  void integrate_with(Seconds dt, Watts dc_component) {
     THERMCTL_ASSERT(dt.value() >= 0.0, "negative integration interval");
-    const double dc = params_.base_load.value() + dc_load_().value();
+    const double dc = params_.base_load.value() + dc_component.value();
     energy_joules_ += dc / params_.psu_efficiency * dt.value();
     elapsed_seconds_ += dt.value();
   }

@@ -15,7 +15,7 @@ ThermalSensor::ThermalSensor(std::function<Celsius()> source, SensorParams param
 
 Celsius ThermalSensor::sample() {
   if (stuck_ && has_reading_) {
-    return last_;
+    return Celsius{*last_};
   }
   double v = source_().value() + params_.offset_degc;
   if (params_.noise_sigma_degc > 0.0) {
@@ -23,9 +23,9 @@ Celsius ThermalSensor::sample() {
   }
   const double q = params_.quantization_degc;
   v = std::round(v / q) * q;
-  last_ = Celsius{v};
+  *last_ = v;
   has_reading_ = true;
-  return last_;
+  return Celsius{v};
 }
 
 }  // namespace thermctl::hw

@@ -29,11 +29,25 @@ class ThermalSensor {
   /// `source` returns the true temperature being measured.
   ThermalSensor(std::function<Celsius()> source, SensorParams params, Rng rng);
 
+  // The held reading may be rebound into a fleet-owned SoA array
+  // (bind_state), so the sensor must not be duplicated with a pointer into
+  // the old storage.
+  ThermalSensor(const ThermalSensor&) = delete;
+  ThermalSensor& operator=(const ThermalSensor&) = delete;
+
+  /// Rebinds the sample-and-hold register onto external storage — the
+  /// FleetState SoA array of last sensor readings. The current value carries
+  /// over.
+  void bind_state(double* last_degc) {
+    *last_degc = *last_;
+    last_ = last_degc;
+  }
+
   /// Takes a new reading (called on the sampling schedule) and returns it.
   Celsius sample();
 
   /// Most recent reading without resampling (sample-and-hold).
-  [[nodiscard]] Celsius last_reading() const { return last_; }
+  [[nodiscard]] Celsius last_reading() const { return Celsius{*last_}; }
 
   /// True once at least one real reading exists. Before that,
   /// `last_reading()` is the constructed 0.0 °C placeholder — callers that
@@ -54,7 +68,10 @@ class ThermalSensor {
   std::function<Celsius()> source_;
   SensorParams params_;
   Rng rng_;
-  Celsius last_{0.0};
+  // Sample-and-hold register: inline storage by default; bind_state()
+  // repoints it into a FleetState SoA slot.
+  double last_storage_ = 0.0;
+  double* last_ = &last_storage_;
   bool stuck_ = false;
   bool has_reading_ = false;
 };

@@ -17,19 +17,17 @@ CpufreqPolicy::CpufreqPolicy(VirtualFs& fs, std::string root, int index, hw::Cpu
     }
     return out.str();
   });
-  fs_.add_attribute(dir_ + "/scaling_cur_freq",
-                    [this] { return std::to_string(to_khz(cpu_.frequency())); });
-  fs_.add_attribute(dir_ + "/cpuinfo_max_freq",
-                    [this] { return std::to_string(to_khz(cpu_.max_frequency())); });
-  fs_.add_attribute(dir_ + "/cpuinfo_min_freq",
-                    [this] { return std::to_string(to_khz(cpu_.min_frequency())); });
+  fs_.add_attribute_long(dir_ + "/scaling_cur_freq",
+                         [this] { return to_khz(cpu_.frequency()); });
+  fs_.add_attribute_long(dir_ + "/cpuinfo_max_freq",
+                         [this] { return to_khz(cpu_.max_frequency()); });
+  fs_.add_attribute_long(dir_ + "/cpuinfo_min_freq",
+                         [this] { return to_khz(cpu_.min_frequency()); });
   fs_.add_attribute(dir_ + "/scaling_governor", [] { return std::string{"userspace"}; });
-  fs_.add_attribute(
-      dir_ + "/scaling_setspeed", [this] { return std::to_string(to_khz(cpu_.frequency())); },
-      [this](const std::string& value) {
-        char* end = nullptr;
-        const long khz = std::strtol(value.c_str(), &end, 10);
-        if (end == value.c_str() || khz <= 0) {
+  fs_.add_attribute_long(
+      dir_ + "/scaling_setspeed", [this] { return to_khz(cpu_.frequency()); },
+      [this](long khz) {
+        if (khz <= 0) {
           return false;
         }
         cpu_.set_frequency(from_khz(khz));
@@ -37,6 +35,12 @@ CpufreqPolicy::CpufreqPolicy(VirtualFs& fs, std::string root, int index, hw::Cpu
       });
   fs_.add_attribute(dir_ + "/stats/total_trans",
                     [this] { return std::to_string(cpu_.transition_count()); });
+  // Governors hit these every sampling tick; cached handles skip the path
+  // lookup. Handles are to our own attributes, dropped in the destructor.
+  cur_freq_attr_ = fs_.open(dir_ + "/scaling_cur_freq");
+  max_freq_attr_ = fs_.open(dir_ + "/cpuinfo_max_freq");
+  min_freq_attr_ = fs_.open(dir_ + "/cpuinfo_min_freq");
+  setspeed_attr_ = fs_.open(dir_ + "/scaling_setspeed");
 }
 
 CpufreqPolicy::~CpufreqPolicy() {
@@ -47,13 +51,13 @@ CpufreqPolicy::~CpufreqPolicy() {
   }
 }
 
-long CpufreqPolicy::cur_khz() const { return fs_.read_long(dir_ + "/scaling_cur_freq").value_or(0); }
+long CpufreqPolicy::cur_khz() const { return fs_.read_long(cur_freq_attr_).value_or(0); }
 
-long CpufreqPolicy::max_khz() const { return fs_.read_long(dir_ + "/cpuinfo_max_freq").value_or(0); }
+long CpufreqPolicy::max_khz() const { return fs_.read_long(max_freq_attr_).value_or(0); }
 
-long CpufreqPolicy::min_khz() const { return fs_.read_long(dir_ + "/cpuinfo_min_freq").value_or(0); }
+long CpufreqPolicy::min_khz() const { return fs_.read_long(min_freq_attr_).value_or(0); }
 
-bool CpufreqPolicy::set_khz(long khz) { return fs_.write_long(dir_ + "/scaling_setspeed", khz); }
+bool CpufreqPolicy::set_khz(long khz) { return fs_.write_long(setspeed_attr_, khz); }
 
 std::vector<double> CpufreqPolicy::available_ghz() const {
   std::vector<double> out;

@@ -49,6 +49,11 @@ class CpufreqPolicy {
   VirtualFs& fs_;
   std::string dir_;
   hw::CpuDevice& cpu_;
+  // Cached handles to our own attributes (hot sampling path).
+  VirtualFs::Handle cur_freq_attr_;
+  VirtualFs::Handle max_freq_attr_;
+  VirtualFs::Handle min_freq_attr_;
+  VirtualFs::Handle setspeed_attr_;
 };
 
 }  // namespace thermctl::sysfs

@@ -11,9 +11,9 @@ HwmonDevice::HwmonDevice(VirtualFs& fs, std::string root, int index, hw::Thermal
                          Adt7467Driver& driver)
     : fs_(fs), dir_(root + "/hwmon" + std::to_string(index)), sensor_(sensor), driver_(driver) {
   fs_.add_attribute(dir_ + "/name", [] { return std::string{"adt7467"}; });
-  fs_.add_attribute(dir_ + "/temp1_input", [this] {
+  fs_.add_attribute_long(dir_ + "/temp1_input", [this] {
     // Kernel convention: millidegrees Celsius.
-    return std::to_string(static_cast<long>(std::lround(sensor_.last_reading().value() * 1000.0)));
+    return static_cast<long>(std::lround(sensor_.last_reading().value() * 1000.0));
   });
   fs_.add_attribute(dir_ + "/fan1_input", [this] {
     std::optional<Rpm> rpm;
@@ -22,19 +22,17 @@ HwmonDevice::HwmonDevice(VirtualFs& fs, std::string root, int index, hw::Thermal
     }
     return std::to_string(static_cast<long>(std::lround(rpm->value())));
   });
-  fs_.add_attribute(
+  fs_.add_attribute_long(
       dir_ + "/pwm1",
-      [this] {
+      [this]() -> long {
         DutyCycle d;
         if (driver_.read_duty(d) != DriverStatus::kOk) {
-          return std::string{"0"};
+          return 0;
         }
-        return std::to_string(static_cast<int>(hw::Adt7467::duty_to_reg(d)));
+        return static_cast<long>(hw::Adt7467::duty_to_reg(d));
       },
-      [this](const std::string& value) {
-        char* end = nullptr;
-        const long raw = std::strtol(value.c_str(), &end, 10);
-        if (end == value.c_str() || raw < 0 || raw > 255) {
+      [this](long raw) {
+        if (raw < 0 || raw > 255) {
           return false;
         }
         return driver_.set_duty(hw::Adt7467::reg_to_duty(static_cast<std::uint8_t>(raw))) ==
@@ -51,6 +49,12 @@ HwmonDevice::HwmonDevice(VirtualFs& fs, std::string root, int index, hw::Thermal
         }
         return false;
       });
+  // Controllers poll temp1_input and pwm1 every sampling tick on every node;
+  // cached handles keep that off the path-lookup slow path. The handles are
+  // to our own attributes, dropped with them in the destructor.
+  temp_attr_ = fs_.open(dir_ + "/temp1_input");
+  pwm_attr_ = fs_.open(dir_ + "/pwm1");
+  pwm_enable_attr_ = fs_.open(dir_ + "/pwm1_enable");
 }
 
 HwmonDevice::~HwmonDevice() {
@@ -60,16 +64,16 @@ HwmonDevice::~HwmonDevice() {
 }
 
 Celsius HwmonDevice::read_temperature() const {
-  const long milli = fs_.read_long(dir_ + "/temp1_input").value_or(0);
+  const long milli = fs_.read_long(temp_attr_).value_or(0);
   return Celsius{static_cast<double>(milli) / 1000.0};
 }
 
 bool HwmonDevice::write_pwm(DutyCycle duty) {
-  return fs_.write_long(dir_ + "/pwm1", hw::Adt7467::duty_to_reg(duty));
+  return fs_.write_long(pwm_attr_, hw::Adt7467::duty_to_reg(duty));
 }
 
-bool HwmonDevice::set_manual_mode() { return fs_.write(dir_ + "/pwm1_enable", "1"); }
+bool HwmonDevice::set_manual_mode() { return fs_.write(pwm_enable_attr_, "1"); }
 
-bool HwmonDevice::set_automatic_mode() { return fs_.write(dir_ + "/pwm1_enable", "2"); }
+bool HwmonDevice::set_automatic_mode() { return fs_.write(pwm_enable_attr_, "2"); }
 
 }  // namespace thermctl::sysfs

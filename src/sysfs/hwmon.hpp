@@ -45,6 +45,10 @@ class HwmonDevice {
   std::string dir_;
   hw::ThermalSensor& sensor_;
   Adt7467Driver& driver_;
+  // Cached handles to our own attributes (hot sampling path).
+  VirtualFs::Handle temp_attr_;
+  VirtualFs::Handle pwm_attr_;
+  VirtualFs::Handle pwm_enable_attr_;
 };
 
 }  // namespace thermctl::sysfs

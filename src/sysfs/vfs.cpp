@@ -10,7 +10,30 @@ void VirtualFs::add_attribute(const std::string& path, ReadFn read, WriteFn writ
   THERMCTL_ASSERT(!path.empty() && path.front() == '/', "attribute path must be absolute");
   THERMCTL_ASSERT(read || write, "attribute needs at least one handler");
   THERMCTL_ASSERT(!attrs_.contains(path), "attribute already registered");
-  attrs_[path] = Attribute{std::move(read), std::move(write)};
+  attrs_[path] = Attribute{std::move(read), std::move(write), nullptr, nullptr};
+}
+
+void VirtualFs::add_attribute_long(const std::string& path, LongReadFn read, LongWriteFn write) {
+  THERMCTL_ASSERT(!path.empty() && path.front() == '/', "attribute path must be absolute");
+  THERMCTL_ASSERT(read || write, "attribute needs at least one handler");
+  THERMCTL_ASSERT(!attrs_.contains(path), "attribute already registered");
+  Attribute attr;
+  if (read) {
+    attr.read = [read] { return std::to_string(read()); };
+  }
+  if (write) {
+    attr.write = [write](const std::string& value) {
+      char* end = nullptr;
+      const long v = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str()) {
+        return false;
+      }
+      return write(v);
+    };
+  }
+  attr.read_long = std::move(read);
+  attr.write_long = std::move(write);
+  attrs_[path] = std::move(attr);
 }
 
 void VirtualFs::remove_attribute(const std::string& path) { attrs_.erase(path); }
@@ -25,8 +48,9 @@ std::optional<std::string> VirtualFs::read(const std::string& path) const {
   return it->second.read();
 }
 
-std::optional<long> VirtualFs::read_long(const std::string& path) const {
-  auto contents = read(path);
+namespace {
+
+std::optional<long> parse_long(const std::optional<std::string>& contents) {
   if (!contents.has_value()) {
     return std::nullopt;
   }
@@ -36,6 +60,12 @@ std::optional<long> VirtualFs::read_long(const std::string& path) const {
     return std::nullopt;
   }
   return v;
+}
+
+}  // namespace
+
+std::optional<long> VirtualFs::read_long(const std::string& path) const {
+  return parse_long(read(path));
 }
 
 bool VirtualFs::write(const std::string& path, const std::string& value) {
@@ -48,6 +78,42 @@ bool VirtualFs::write(const std::string& path, const std::string& value) {
 
 bool VirtualFs::write_long(const std::string& path, long value) {
   return write(path, std::to_string(value));
+}
+
+VirtualFs::Handle VirtualFs::open(const std::string& path) const {
+  auto it = attrs_.find(path);
+  if (it == attrs_.end()) {
+    return Handle{};
+  }
+  return Handle{&it->second};
+}
+
+std::optional<std::string> VirtualFs::read(Handle h) const {
+  if (h.attr_ == nullptr || !h.attr_->read) {
+    return std::nullopt;
+  }
+  return h.attr_->read();
+}
+
+std::optional<long> VirtualFs::read_long(Handle h) const {
+  if (h.attr_ != nullptr && h.attr_->read_long) {
+    return h.attr_->read_long();
+  }
+  return parse_long(read(h));
+}
+
+bool VirtualFs::write(Handle h, const std::string& value) {
+  if (h.attr_ == nullptr || !h.attr_->write) {
+    return false;
+  }
+  return h.attr_->write(value);
+}
+
+bool VirtualFs::write_long(Handle h, long value) {
+  if (h.attr_ != nullptr && h.attr_->write_long) {
+    return h.attr_->write_long(value);
+  }
+  return write(h, std::to_string(value));
 }
 
 std::vector<std::string> VirtualFs::list(const std::string& dir_prefix) const {

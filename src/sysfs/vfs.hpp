@@ -21,12 +21,53 @@ namespace thermctl::sysfs {
 using ReadFn = std::function<std::string()>;
 /// Write handler: consumes a value; returns false on rejection (-EINVAL).
 using WriteFn = std::function<bool(const std::string&)>;
+/// Typed handlers for numeric attributes (kernel-style integer files):
+/// the text surface is synthesized from these, and handle-based
+/// read_long/write_long bypass the string round-trip entirely.
+using LongReadFn = std::function<long()>;
+using LongWriteFn = std::function<bool(long)>;
 
 class VirtualFs {
+ private:
+  struct Attribute {
+    ReadFn read;
+    WriteFn write;
+    // Set only for attributes registered via add_attribute_long; the fast
+    // path for numeric handle access on the sampling hot path.
+    LongReadFn read_long;
+    LongWriteFn write_long;
+  };
+
  public:
+  /// Opaque cached handle to one attribute, resolved once with open().
+  /// Skips the per-access path lookup on the sampling hot path (controllers
+  /// read temperatures every tick on up to 100k nodes). A handle stays valid
+  /// until its attribute is removed — devices cache handles only to
+  /// attributes they themselves publish and drop them when they unpublish.
+  class Handle {
+   public:
+    Handle() = default;
+    [[nodiscard]] explicit operator bool() const { return attr_ != nullptr; }
+
+   private:
+    friend class VirtualFs;
+    explicit Handle(const Attribute* attr) : attr_(attr) {}
+    const Attribute* attr_ = nullptr;
+  };
+
   /// Registers an attribute at `path` (e.g. "/sys/class/hwmon/hwmon0/temp1_input").
   /// Either handler may be null for write-only / read-only attributes.
   void add_attribute(const std::string& path, ReadFn read, WriteFn write = nullptr);
+
+  /// Registers a numeric attribute from typed handlers. The string surface
+  /// (read()/write(), path or handle) is synthesized — reads render with
+  /// std::to_string, writes parse with strtol and reject non-numeric input
+  /// — so the sysfs text grammar is unchanged; but read_long()/write_long()
+  /// through a handle call the typed handlers directly, skipping the
+  /// format/parse round-trip. Use for integer files polled every tick
+  /// (temp1_input, scaling_cur_freq, pwm1).
+  void add_attribute_long(const std::string& path, LongReadFn read,
+                          LongWriteFn write = nullptr);
 
   void remove_attribute(const std::string& path);
 
@@ -42,14 +83,20 @@ class VirtualFs {
   bool write(const std::string& path, const std::string& value);
   bool write_long(const std::string& path, long value);
 
+  /// Resolves `path` once; a null handle if the attribute is missing.
+  [[nodiscard]] Handle open(const std::string& path) const;
+
+  /// Handle-based accessors: identical semantics to the path forms (same
+  /// handlers, same text grammar), minus the lookup.
+  [[nodiscard]] std::optional<std::string> read(Handle h) const;
+  [[nodiscard]] std::optional<long> read_long(Handle h) const;
+  bool write(Handle h, const std::string& value);
+  bool write_long(Handle h, long value);
+
   /// All attribute paths under a directory prefix, sorted.
   [[nodiscard]] std::vector<std::string> list(const std::string& dir_prefix) const;
 
  private:
-  struct Attribute {
-    ReadFn read;
-    WriteFn write;
-  };
   std::map<std::string, Attribute> attrs_;
 };
 

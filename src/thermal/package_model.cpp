@@ -2,23 +2,48 @@
 
 namespace thermctl::thermal {
 
-PackageModel::PackageModel(const PackageParams& params)
-    : params_(params), convection_(params.convection) {
+PackageWiring PackageModel::wire_network(const PackageParams& params, RcNetwork& net) {
   // Build the three-node chain. Initial temperatures start at ambient; callers
   // that want a hot start use settle() after setting power/airflow.
-  die_ = net_.add_node("die", params_.c_die, params_.ambient);
-  heatsink_ = net_.add_node("heatsink", params_.c_heatsink, params_.ambient);
-  ambient_ = net_.add_fixed_node("ambient", params_.ambient);
-  die_hs_edge_ = net_.add_edge(die_, heatsink_, params_.r_die_heatsink);
-  hs_amb_edge_ = net_.add_edge(heatsink_, ambient_, convection_.still_air_resistance());
+  const ConvectionModel convection{params.convection};
+  PackageWiring w;
+  w.die = net.add_node("die", params.c_die, params.ambient);
+  w.heatsink = net.add_node("heatsink", params.c_heatsink, params.ambient);
+  w.ambient = net.add_fixed_node("ambient", params.ambient);
+  w.die_hs = net.add_edge(w.die, w.heatsink, params.r_die_heatsink);
+  w.hs_amb = net.add_edge(w.heatsink, w.ambient, convection.still_air_resistance());
+  return w;
+}
+
+PackageModel::PackageModel(const PackageParams& params)
+    : params_(params), convection_(params.convection), net_(std::make_unique<RcNetwork>()) {
+  wiring_ = wire_network(params_, *net_);
+}
+
+PackageModel::PackageModel(const PackageParams& params, RcBatch& batch, std::size_t slot)
+    : params_(params), convection_(params.convection), batch_(&batch), slot_(slot) {
+  // Wiring ids are deterministic (same build order as wire_network); recover
+  // them structurally rather than hard-coding indices.
+  RcNetwork probe;
+  wiring_ = wire_network(params_, probe);
+  THERMCTL_ASSERT(batch.matches(probe), "batch was not built from this package wiring");
+  THERMCTL_ASSERT(slot < batch.instance_count(), "batch slot out of range");
+  die_power_cell_ = batch.power_cell(slot, wiring_.die);
+  die_temp_cell_ = batch.temperature_cell(slot, wiring_.die);
 }
 
 void PackageModel::set_ambient(Celsius t) {
   params_.ambient = t;
-  net_.set_fixed_temperature(ambient_, t);
+  if (batch_ != nullptr) {
+    batch_->set_fixed_temperature(slot_, wiring_.ambient, t);
+  } else {
+    net_->set_fixed_temperature(wiring_.ambient, t);
+  }
 }
 
-Watts PackageModel::cpu_power() const { return net_.power(die_); }
+Watts PackageModel::cpu_power() const {
+  return batch_ != nullptr ? batch_->power(slot_, wiring_.die) : net_->power(wiring_.die);
+}
 
 Celsius PackageModel::steady_state_die(Watts p, Cfm v) const {
   // In steady state all die power flows through both resistances in series.

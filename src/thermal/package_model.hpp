@@ -8,8 +8,11 @@
 // tens of seconds (the "gradual" behaviour).
 #pragma once
 
+#include <memory>
+
 #include "common/units.hpp"
 #include "thermal/convection.hpp"
+#include "thermal/rc_batch.hpp"
 #include "thermal/rc_network.hpp"
 
 namespace thermctl::thermal {
@@ -29,14 +32,46 @@ struct PackageParams {
   ConvectionParams convection{};
 };
 
-/// Owns an RcNetwork wired as die—heatsink—ambient with fan-speed-dependent
-/// convection on the heatsink-ambient edge.
+/// Handles into the die—heatsink—ambient wiring shared by the standalone
+/// network and the fleet batch (identical build order ⇒ identical ids).
+struct PackageWiring {
+  NodeId die{};
+  NodeId heatsink{};
+  NodeId ambient{};
+  EdgeId die_hs{};
+  EdgeId hs_amb{};
+};
+
+/// The die—heatsink—ambient RC model with fan-speed-dependent convection on
+/// the heatsink-ambient edge.
+///
+/// Two backends share one API: a standalone PackageModel owns its own
+/// RcNetwork (the historical layout — tests and one-off rigs use it), while a
+/// fleet-backed PackageModel is a *view* onto one instance column of an
+/// RcBatch built from the same wiring. Trajectories are bit-identical either
+/// way (RcBatch's contract), so callers never need to know which backend
+/// they're on.
 class PackageModel {
  public:
   explicit PackageModel(const PackageParams& params);
+  /// Fleet-backed view onto instance `slot` of `batch`. The batch must have
+  /// been built from `wire_network(params, ...)` so the wiring ids line up.
+  PackageModel(const PackageParams& params, RcBatch& batch, std::size_t slot);
+
+  /// Builds the three-node chain into `net` (initial temperatures at
+  /// ambient, still-air convection) and returns the handles. Both the
+  /// standalone backend and FleetState's batch template go through here, so
+  /// the two layouts start from bitwise-identical state.
+  static PackageWiring wire_network(const PackageParams& params, RcNetwork& net);
 
   /// Power dissipated in the die for subsequent steps.
-  void set_cpu_power(Watts p) { net_.set_power(die_, p); }
+  void set_cpu_power(Watts p) {
+    if (die_power_cell_ != nullptr) {
+      *die_power_cell_ = p.value();  // == batch set_power: a plain cell write
+    } else {
+      net_->set_power(wiring_.die, p);
+    }
+  }
   /// Airflow delivered by the fan across the heatsink. The convection power
   /// law is only re-evaluated when the airflow actually moved — the fan's
   /// rotor settles between duty changes, making steady steps free.
@@ -46,19 +81,43 @@ class PackageModel {
     }
     airflow_ = v;
     airflow_set_ = true;
-    net_.set_resistance(hs_amb_edge_, convection_.resistance(v));
+    const KelvinPerWatt r = convection_.resistance(v);
+    if (batch_ != nullptr) {
+      batch_->set_resistance(slot_, wiring_.hs_amb, r);
+    } else {
+      net_->set_resistance(wiring_.hs_amb, r);
+    }
   }
   /// Chassis inlet temperature (hot-spot / HVAC scenarios).
   void set_ambient(Celsius t);
 
-  void step(Seconds dt) { net_.step(dt); }
+  /// Advances this package only. Fleet-backed packages are normally advanced
+  /// en masse via RcBatch::step_range by the engine; stepping one instance
+  /// here is the same arithmetic on one column.
+  void step(Seconds dt) {
+    if (batch_ != nullptr) {
+      batch_->step_one(slot_, dt);
+    } else {
+      net_->step(dt);
+    }
+  }
 
   /// Primes the model at equilibrium for the current power/airflow.
-  void settle() { net_.settle(); }
+  void settle() {
+    if (batch_ != nullptr) {
+      batch_->settle(slot_);
+    } else {
+      net_->settle();
+    }
+  }
 
-  [[nodiscard]] Celsius die_temperature() const { return net_.temperature(die_); }
-  [[nodiscard]] Celsius heatsink_temperature() const { return net_.temperature(heatsink_); }
-  [[nodiscard]] Celsius ambient_temperature() const { return net_.temperature(ambient_); }
+  [[nodiscard]] Celsius die_temperature() const {
+    // Hottest read in the simulator (several per node per step); the fleet
+    // backend resolves to a cached cell pointer bound at construction.
+    return die_temp_cell_ != nullptr ? Celsius{*die_temp_cell_} : net_->temperature(wiring_.die);
+  }
+  [[nodiscard]] Celsius heatsink_temperature() const { return temperature(wiring_.heatsink); }
+  [[nodiscard]] Celsius ambient_temperature() const { return temperature(wiring_.ambient); }
   [[nodiscard]] Cfm airflow() const { return airflow_; }
   [[nodiscard]] Watts cpu_power() const;
 
@@ -68,16 +127,24 @@ class PackageModel {
   [[nodiscard]] Celsius steady_state_die(Watts p, Cfm v) const;
 
   [[nodiscard]] const PackageParams& params() const { return params_; }
+  /// True when this package is a view onto a FleetState batch column.
+  [[nodiscard]] bool fleet_backed() const { return batch_ != nullptr; }
 
  private:
+  [[nodiscard]] Celsius temperature(NodeId n) const {
+    return batch_ != nullptr ? batch_->temperature(slot_, n) : net_->temperature(n);
+  }
+
   PackageParams params_;
   ConvectionModel convection_;
-  RcNetwork net_;
-  NodeId die_{};
-  NodeId heatsink_{};
-  NodeId ambient_{};
-  EdgeId die_hs_edge_{};
-  EdgeId hs_amb_edge_{};
+  std::unique_ptr<RcNetwork> net_;  // standalone backend; null when batched
+  RcBatch* batch_ = nullptr;        // fleet backend; null when standalone
+  // Fleet-backend fast path: cells for this view's fixed (slot, node)
+  // coordinates, validated once in the constructor (see RcBatch::power_cell).
+  double* die_power_cell_ = nullptr;
+  const double* die_temp_cell_ = nullptr;
+  std::size_t slot_ = 0;
+  PackageWiring wiring_{};
   Cfm airflow_{0.0};
   bool airflow_set_ = false;
 };

@@ -84,7 +84,31 @@ class RcNetwork {
     return Celsius{nodes_[n.index].temperature};
   }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
   [[nodiscard]] const std::string& node_name(NodeId n) const;
+
+  // ---- structure introspection (used by RcBatch to lift homogeneous
+  // networks into a shared-topology SoA batch) ----
+  [[nodiscard]] bool is_fixed(NodeId n) const {
+    THERMCTL_ASSERT(n.index < nodes_.size(), "node out of range");
+    return nodes_[n.index].fixed;
+  }
+  [[nodiscard]] JoulesPerKelvin capacitance(NodeId n) const {
+    THERMCTL_ASSERT(n.index < nodes_.size(), "node out of range");
+    return JoulesPerKelvin{nodes_[n.index].capacitance};
+  }
+  /// The two endpoints of edge `e`, in insertion (a, b) order.
+  [[nodiscard]] std::pair<NodeId, NodeId> edge_nodes(EdgeId e) const {
+    THERMCTL_ASSERT(e.index < edges_.size(), "edge out of range");
+    return {NodeId{edges_[e.index].a}, NodeId{edges_[e.index].b}};
+  }
+  /// Raw stored conductance (1/R, W/K) of edge `e`. RcBatch replicates state
+  /// through this instead of resistance() because the double reciprocal
+  /// round-trip 1/(1/g) is not bitwise lossless for every g.
+  [[nodiscard]] double edge_conductance(EdgeId e) const {
+    THERMCTL_ASSERT(e.index < edges_.size(), "edge out of range");
+    return edges_[e.index].conductance;
+  }
 
   /// Advances the network by `dt`, sub-stepping internally for stability.
   void step(Seconds dt);

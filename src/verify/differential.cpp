@@ -16,6 +16,8 @@ const char* to_string(OraclePairKind kind) {
       return "telemetry-on-vs-off";
     case OraclePairKind::kFaultAwareZeroFault:
       return "fault-aware-zero-fault";
+    case OraclePairKind::kShardedVsSerial:
+      return "sharded-vs-serial";
   }
   return "unknown";
 }
@@ -177,7 +179,10 @@ std::vector<core::ExperimentConfig> make_oracle_corpus(std::uint64_t seed, std::
   for (std::size_t i = 0; i < count; ++i) {
     core::ExperimentConfig cfg = core::paper_platform();
     cfg.name = "oracle-" + std::to_string(i);
-    cfg.nodes = 1 + rng.below(3);
+    // Mostly small racks for speed; every fourth config is wide enough that
+    // the sharded-vs-serial pair exercises multi-node shards and partitions
+    // the shard count does not divide evenly.
+    cfg.nodes = (i % 4 == 3) ? 4 + rng.below(5) : 1 + rng.below(3);
     cfg.seed = rng.next_u64();
     cfg.pp = core::PolicyParam{static_cast<int>(1 + rng.below(100))};
     cfg.max_duty = DutyCycle{static_cast<double>(60 + rng.below(41))};
@@ -267,6 +272,24 @@ OracleReport run_oracle(const std::vector<core::ExperimentConfig>& corpus,
     for (std::size_t i = 0; i < corpus.size(); ++i) {
       record(i, OraclePairKind::kFaultAwareZeroFault,
              diff_results(base[i], aware[i], options.max_differences));
+    }
+  }
+
+  // Pair 4: the sharded engine. Same configs, but the per-step physics phase
+  // is split across 2–5 worker shards (varied per config so both divisible
+  // and non-divisible node/shard partitions occur, and shard counts above
+  // the node count get clamped). BSP with one barrier per step must be
+  // bit-identical to the serial engine.
+  {
+    std::vector<core::ExperimentConfig> sharded = corpus;
+    for (std::size_t i = 0; i < sharded.size(); ++i) {
+      sharded[i].engine.workers = static_cast<int>(2 + i % 4);
+    }
+    const std::vector<core::ExperimentResult> shard_res =
+        runtime::run_sweep(sharded, runtime::SweepOptions{.threads = options.threads});
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      record(i, OraclePairKind::kShardedVsSerial,
+             diff_results(base[i], shard_res[i], options.max_differences));
     }
   }
 

@@ -2,13 +2,15 @@
 //
 // The runtime promises that several configuration axes are *behaviourally
 // inert*: a parallel sweep is bit-identical to a serial one, telemetry
-// (tracing + metrics) never perturbs control decisions, and fault-aware
-// gating is a no-op on a zero-fault run. Each promise is load-bearing —
-// paper figures are produced by parallel sweeps, telemetry is meant to be
-// always-safe to turn on, and fault-aware mode must not change the paper's
-// baseline behaviour — and each is exactly the kind of promise that rots
-// silently (a stray shared RNG, an order-dependent reduction, a telemetry
-// branch with a side effect).
+// (tracing + metrics) never perturbs control decisions, fault-aware
+// gating is a no-op on a zero-fault run, and the sharded engine
+// (EngineConfig::workers > 1) reproduces the serial engine bit-for-bit.
+// Each promise is load-bearing — paper figures are produced by parallel
+// sweeps, telemetry is meant to be always-safe to turn on, fault-aware mode
+// must not change the paper's baseline behaviour, and fleet-scale runs lean
+// on sharding — and each is exactly the kind of promise that rots silently
+// (a stray shared RNG, an order-dependent reduction, a telemetry branch
+// with a side effect, a shard boundary that leaks mid-step state).
 //
 // The oracle runs the same seeded config corpus under each paired
 // configuration and diffs every recorded series, summary and event log
@@ -29,6 +31,7 @@ enum class OraclePairKind : std::uint8_t {
   kSerialVsParallel,    // run_sweep(threads=1) vs run_sweep(threads=N)
   kTelemetryOnVsOff,    // trace+metrics armed vs dark
   kFaultAwareZeroFault, // fault_aware gating on vs off, no faults scheduled
+  kShardedVsSerial,     // engine workers > 1 vs the serial engine
 };
 
 [[nodiscard]] const char* to_string(OraclePairKind kind);
@@ -80,7 +83,7 @@ struct OracleOptions {
 [[nodiscard]] std::vector<core::ExperimentConfig> make_oracle_corpus(std::uint64_t seed,
                                                                      std::size_t count);
 
-/// Runs every config under all three pairings and reports any diff.
+/// Runs every config under all four pairings and reports any diff.
 [[nodiscard]] OracleReport run_oracle(const std::vector<core::ExperimentConfig>& corpus,
                                       OracleOptions options = {});
 

@@ -68,6 +68,7 @@ void ParallelApp::load_phase(Rank& r) {
   const Phase& ph = r.program[r.phase];
   r.remaining_work = ph.work_ghz_s;
   r.remaining_wall = ph.wall.value();
+  r.current_kind = ph.kind;
 }
 
 bool ParallelApp::barrier_releasable(std::size_t epoch) const {
@@ -220,7 +221,7 @@ std::optional<PhaseKind> ParallelApp::current_phase_kind(std::size_t r) const {
   if (rank.finished) {
     return std::nullopt;
   }
-  return rank.program[rank.phase].kind;
+  return rank.current_kind;
 }
 
 void ParallelApp::inject_stall(std::size_t r, Seconds duration, Utilization util) {

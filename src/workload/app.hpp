@@ -76,6 +76,10 @@ class ParallelApp {
     double stall_remaining = 0.0;   // injected stall, seconds
     double stall_util = 0.0;        // utilization while stalled
     bool finished = false;
+    // Kind of program[phase], refreshed by load_phase. Programs run to
+    // millions of phases; the recording path polls the current kind every
+    // sample, and this keeps that poll off the (cold, huge) program vector.
+    PhaseKind current_kind = PhaseKind::kCompute;
   };
 
   void load_phase(Rank& r);

@@ -1,0 +1,311 @@
+// RcBatch bit-exactness against per-node RcNetwork stepping.
+//
+// The batch is a pure layout change: B structurally identical networks in
+// structure-of-arrays storage, advanced by one vectorized loop. Its contract
+// is *bitwise* agreement with the same call sequence on standalone
+// RcNetworks — including the substep-plan cache's recompute conditions and
+// the settle()/min_time_constant() interaction that can leave a stale plan.
+// Heterogeneous structures must be rejected by matches() so callers fall
+// back to per-node stepping.
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "thermal/package_model.hpp"
+#include "thermal/rc_batch.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace thermctl::thermal {
+namespace {
+
+std::uint64_t bits(double x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+#define EXPECT_BITS_EQ(a, b) EXPECT_EQ(bits(a), bits(b))
+#define ASSERT_BITS_EQ(a, b) ASSERT_EQ(bits(a), bits(b))
+
+// The die--heatsink--ambient chain every cluster node simulates, built the
+// same way PackageModel wires it.
+struct PackageWiring {
+  RcNetwork net;
+  NodeId die;
+  NodeId hs;
+  NodeId amb;
+  EdgeId die_hs;
+  EdgeId conv;
+};
+
+std::unique_ptr<PackageWiring> make_package_wiring() {
+  const PackageParams p;
+  auto w = std::make_unique<PackageWiring>();
+  w->die = w->net.add_node("die", p.c_die, Celsius{40.0});
+  w->hs = w->net.add_node("heatsink", p.c_heatsink, Celsius{35.0});
+  w->amb = w->net.add_fixed_node("ambient", p.ambient);
+  w->die_hs = w->net.add_edge(w->die, w->hs, p.r_die_heatsink);
+  w->conv = w->net.add_edge(w->hs, w->amb, KelvinPerWatt{0.5});
+  return w;
+}
+
+TEST(RcBatch, MirrorsTemplateStateAtConstruction) {
+  auto tmpl = make_package_wiring();
+  tmpl->net.set_power(tmpl->die, Watts{37.5});
+  tmpl->net.set_resistance(tmpl->conv, KelvinPerWatt{0.31});
+  RcBatch batch{tmpl->net, 4};
+
+  EXPECT_EQ(batch.instance_count(), 4u);
+  EXPECT_EQ(batch.rc_node_count(), 3u);
+  EXPECT_EQ(batch.edge_count(), 2u);
+  EXPECT_EQ(batch.node_name(tmpl->die), "die");
+  for (std::size_t b = 0; b < 4; ++b) {
+    EXPECT_BITS_EQ(batch.temperature(b, tmpl->die).value(),
+                   tmpl->net.temperature(tmpl->die).value());
+    EXPECT_BITS_EQ(batch.power(b, tmpl->die).value(), 37.5);
+    EXPECT_BITS_EQ(batch.resistance(b, tmpl->conv).value(),
+                   tmpl->net.resistance(tmpl->conv).value());
+  }
+  EXPECT_TRUE(batch.matches(tmpl->net));
+}
+
+TEST(RcBatch, TrajectoriesBitExactAgainstStandaloneNetworks) {
+  // Five instances driven with five *different* power/convection schedules,
+  // mirrored onto five standalone networks; every temperature must agree
+  // bitwise at every step. Schedules include repeated resistances (hitting
+  // the set_resistance early-out) and dt changes (plan recompute).
+  constexpr std::size_t kInstances = 5;
+  auto tmpl = make_package_wiring();
+  RcBatch batch{tmpl->net, kInstances};
+  std::vector<std::unique_ptr<PackageWiring>> solo;
+  for (std::size_t b = 0; b < kInstances; ++b) {
+    solo.push_back(make_package_wiring());
+  }
+
+  Rng rng{20260808};
+  const double dts[] = {0.05, 0.05, 0.05, 0.25};  // mostly steady, some jumps
+  for (int step = 0; step < 6000; ++step) {
+    for (std::size_t b = 0; b < kInstances; ++b) {
+      const double power = 5.0 + 90.0 * rng.uniform();
+      // Quantized so the same value repeats across steps and the
+      // early-out/dirty-bit path is exercised, not just the recompute path.
+      const double r_conv = 0.15 + 0.05 * static_cast<double>(rng.below(10));
+      batch.set_power(b, tmpl->die, Watts{power});
+      batch.set_resistance(b, tmpl->conv, KelvinPerWatt{r_conv});
+      solo[b]->net.set_power(solo[b]->die, Watts{power});
+      solo[b]->net.set_resistance(solo[b]->conv, KelvinPerWatt{r_conv});
+    }
+    const Seconds dt{dts[rng.below(4)]};
+    batch.step_all(dt);
+    for (std::size_t b = 0; b < kInstances; ++b) {
+      solo[b]->net.step(dt);
+      ASSERT_BITS_EQ(batch.temperature(b, tmpl->die).value(),
+                     solo[b]->net.temperature(solo[b]->die).value())
+          << "die diverged, instance " << b << " step " << step;
+      ASSERT_BITS_EQ(batch.temperature(b, tmpl->hs).value(),
+                     solo[b]->net.temperature(solo[b]->hs).value())
+          << "heatsink diverged, instance " << b << " step " << step;
+    }
+  }
+}
+
+TEST(RcBatch, HeterogeneousSubstepPlansSplitTheRangeNotTheArithmetic) {
+  // Give instances wildly different convection resistances so their smallest
+  // time constants — hence substep counts at dt = 2 s — differ. step_all must
+  // still match per-instance stepping bitwise: runs split, arithmetic doesn't.
+  constexpr std::size_t kInstances = 7;
+  auto tmpl = make_package_wiring();
+  RcBatch batch{tmpl->net, kInstances};
+  std::vector<std::unique_ptr<PackageWiring>> solo;
+  for (std::size_t b = 0; b < kInstances; ++b) {
+    solo.push_back(make_package_wiring());
+    const double r_conv = 0.02 * static_cast<double>(b + 1);  // 0.02 .. 0.14
+    batch.set_resistance(b, tmpl->conv, KelvinPerWatt{r_conv});
+    solo[b]->net.set_resistance(solo[b]->conv, KelvinPerWatt{r_conv});
+    batch.set_power(b, tmpl->die, Watts{60.0});
+    solo[b]->net.set_power(solo[b]->die, Watts{60.0});
+  }
+  for (int step = 0; step < 50; ++step) {
+    batch.step_all(Seconds{2.0});
+    for (std::size_t b = 0; b < kInstances; ++b) {
+      solo[b]->net.step(Seconds{2.0});
+      ASSERT_BITS_EQ(batch.temperature(b, tmpl->die).value(),
+                     solo[b]->net.temperature(solo[b]->die).value())
+          << "instance " << b << " step " << step;
+    }
+    ASSERT_BITS_EQ(batch.min_time_constant(2).value(),
+                   solo[2]->net.min_time_constant().value());
+  }
+}
+
+TEST(RcBatch, StepRangeAdvancesOnlyTheRange) {
+  auto tmpl = make_package_wiring();
+  RcBatch batch{tmpl->net, 3};
+  for (std::size_t b = 0; b < 3; ++b) {
+    batch.set_power(b, tmpl->die, Watts{80.0});
+  }
+  const double before = batch.temperature(2, tmpl->die).value();
+  batch.step_range(Seconds{0.05}, 0, 2);
+  EXPECT_BITS_EQ(batch.temperature(2, tmpl->die).value(), before);
+  EXPECT_NE(bits(batch.temperature(0, tmpl->die).value()), bits(before));
+}
+
+TEST(RcBatch, SettleAndStalePlanQuirkMatchStandalone) {
+  // RcNetwork has a deliberate-looking wart: set_resistance marks the
+  // stability bound dirty, but settle()/min_time_constant() clears the bit
+  // without refreshing the cached substep plan, so the next step(dt) with an
+  // unchanged dt runs on the stale plan. The batch must reproduce exactly
+  // this, or trajectories fork after the first settle-then-step sequence.
+  auto tmpl = make_package_wiring();
+  RcBatch batch{tmpl->net, 2};
+  auto solo = make_package_wiring();
+
+  auto drive = [&](double power, double r_conv) {
+    batch.set_power(1, tmpl->die, Watts{power});
+    batch.set_resistance(1, tmpl->conv, KelvinPerWatt{r_conv});
+    solo->net.set_power(solo->die, Watts{power});
+    solo->net.set_resistance(solo->conv, KelvinPerWatt{r_conv});
+  };
+  auto check = [&](const char* what) {
+    ASSERT_BITS_EQ(batch.temperature(1, tmpl->die).value(),
+                   solo->net.temperature(solo->die).value())
+        << what;
+    ASSERT_BITS_EQ(batch.temperature(1, tmpl->hs).value(),
+                   solo->net.temperature(solo->hs).value())
+        << what;
+  };
+
+  // Prime a plan at dt = 1.0.
+  drive(40.0, 0.5);
+  batch.step_one(1, Seconds{1.0});
+  solo->net.step(Seconds{1.0});
+  check("after priming step");
+
+  // Shrink the time constant (more substeps would be needed), then clear the
+  // dirty bit via min_time_constant — next step must reuse the stale plan.
+  drive(40.0, 0.05);
+  ASSERT_BITS_EQ(batch.min_time_constant(1).value(),
+                 solo->net.min_time_constant().value());
+  batch.step_one(1, Seconds{1.0});
+  solo->net.step(Seconds{1.0});
+  check("after stale-plan step");
+
+  // And settle() itself must agree bitwise.
+  drive(25.0, 0.3);
+  batch.settle(1);
+  solo->net.settle();
+  check("after settle");
+}
+
+TEST(RcBatch, MatchesRejectsStructuralDifferences) {
+  auto tmpl = make_package_wiring();
+  RcBatch batch{tmpl->net, 1};
+
+  // Same structure, different state: still a match.
+  auto same = make_package_wiring();
+  same->net.set_power(same->die, Watts{99.0});
+  same->net.set_resistance(same->conv, KelvinPerWatt{0.17});
+  same->net.set_temperature(same->die, Celsius{70.0});
+  EXPECT_TRUE(batch.matches(same->net));
+
+  // Different capacitance (a beefier heatsink): structural, no match.
+  {
+    RcNetwork other;
+    const PackageParams p;
+    const NodeId die = other.add_node("die", p.c_die, Celsius{40.0});
+    const NodeId hs = other.add_node("heatsink", JoulesPerKelvin{300.0}, Celsius{35.0});
+    const NodeId amb = other.add_fixed_node("ambient", p.ambient);
+    other.add_edge(die, hs, p.r_die_heatsink);
+    other.add_edge(hs, amb, KelvinPerWatt{0.5});
+    EXPECT_FALSE(batch.matches(other));
+  }
+  // Extra node (e.g. a second die): no match.
+  {
+    auto other = make_package_wiring();
+    other->net.add_node("die2", JoulesPerKelvin{22.0}, Celsius{40.0});
+    EXPECT_FALSE(batch.matches(other->net));
+  }
+  // Same counts, different edge wiring: no match.
+  {
+    RcNetwork other;
+    const PackageParams p;
+    const NodeId die = other.add_node("die", p.c_die, Celsius{40.0});
+    const NodeId hs = other.add_node("heatsink", p.c_heatsink, Celsius{35.0});
+    const NodeId amb = other.add_fixed_node("ambient", p.ambient);
+    other.add_edge(die, amb, p.r_die_heatsink);  // die vented straight out
+    other.add_edge(hs, amb, KelvinPerWatt{0.5});
+    EXPECT_FALSE(batch.matches(other));
+  }
+  // Fixed/dynamic flip: no match.
+  {
+    RcNetwork other;
+    const PackageParams p;
+    const NodeId die = other.add_node("die", p.c_die, Celsius{40.0});
+    const NodeId hs = other.add_node("heatsink", p.c_heatsink, Celsius{35.0});
+    const NodeId amb = other.add_node("ambient", JoulesPerKelvin{1e6}, p.ambient);
+    other.add_edge(die, hs, p.r_die_heatsink);
+    other.add_edge(hs, amb, KelvinPerWatt{0.5});
+    EXPECT_FALSE(batch.matches(other));
+  }
+}
+
+TEST(RcBatch, MixedFleetFallsBackPerNodeForTheOddOneOut) {
+  // A fleet where one machine has different hardware: the batch carries the
+  // homogeneous majority, the odd network steps standalone, and both match
+  // their respective per-node references. This is the fallback contract the
+  // cluster layer relies on.
+  auto tmpl = make_package_wiring();
+  RcBatch batch{tmpl->net, 2};
+  std::vector<std::unique_ptr<PackageWiring>> solo;
+  solo.push_back(make_package_wiring());
+  solo.push_back(make_package_wiring());
+
+  // The odd machine: extra chassis node between heatsink and ambient.
+  RcNetwork odd;
+  const PackageParams p;
+  const NodeId odie = odd.add_node("die", p.c_die, Celsius{40.0});
+  const NodeId ohs = odd.add_node("heatsink", p.c_heatsink, Celsius{35.0});
+  const NodeId ochassis = odd.add_node("chassis", JoulesPerKelvin{400.0}, Celsius{30.0});
+  const NodeId oamb = odd.add_fixed_node("ambient", p.ambient);
+  odd.add_edge(odie, ohs, p.r_die_heatsink);
+  odd.add_edge(ohs, ochassis, KelvinPerWatt{0.2});
+  odd.add_edge(ochassis, oamb, KelvinPerWatt{0.4});
+  ASSERT_FALSE(batch.matches(odd));
+
+  odd.set_power(odie, Watts{55.0});
+  for (std::size_t b = 0; b < 2; ++b) {
+    batch.set_power(b, tmpl->die, Watts{55.0});
+    solo[b]->net.set_power(solo[b]->die, Watts{55.0});
+  }
+  const double odd_start = odd.temperature(odie).value();
+  for (int step = 0; step < 200; ++step) {
+    batch.step_all(Seconds{0.05});
+    odd.step(Seconds{0.05});
+    for (std::size_t b = 0; b < 2; ++b) {
+      solo[b]->net.step(Seconds{0.05});
+      ASSERT_BITS_EQ(batch.temperature(b, tmpl->die).value(),
+                     solo[b]->net.temperature(solo[b]->die).value());
+    }
+  }
+  EXPECT_GT(odd.temperature(odie).value(), odd_start);  // odd one still simulated
+}
+
+TEST(RcBatch, MemoryFootprintScalesWithInstances) {
+  auto tmpl = make_package_wiring();
+  RcBatch small{tmpl->net, 16};
+  RcBatch large{tmpl->net, 1024};
+  EXPECT_GT(small.memory_bytes(), 0u);
+  EXPECT_GT(large.memory_bytes(), small.memory_bytes());
+  // The hot per-instance state is (K temps + K powers + K flux + 2E conds)
+  // doubles = (3*3 + 2*2)*8 = 104 bytes/instance for the package wiring;
+  // shared structure amortizes away at scale.
+  const std::size_t delta = large.memory_bytes() - small.memory_bytes();
+  EXPECT_NEAR(static_cast<double>(delta) / (1024 - 16), 104.0 + 8.0 * 2 + 1.0 + 4.0, 40.0);
+}
+
+}  // namespace
+}  // namespace thermctl::thermal

@@ -110,7 +110,19 @@ TEST(Oracle, SmallCorpusPassesAllPairs) {
   const OracleReport report = run_oracle(corpus);
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_EQ(report.configs, 4u);
-  EXPECT_EQ(report.pairs_checked, 12u);  // 3 pairings per config
+  EXPECT_EQ(report.pairs_checked, 16u);  // 4 pairings per config
+}
+
+TEST(OracleCorpus, IncludesWideRacksForShardedPairs) {
+  // The sharded-vs-serial pairing needs node counts the 2-5 shard rotation
+  // does not divide evenly; the corpus must provide racks wider than 3.
+  const std::vector<core::ExperimentConfig> corpus = make_oracle_corpus(7, 24);
+  int wide = 0;
+  for (const core::ExperimentConfig& cfg : corpus) {
+    wide += cfg.nodes > 3 ? 1 : 0;
+  }
+  EXPECT_GE(wide, 4);
+  EXPECT_LT(wide, 24);
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Throughput regression gate for the engine hot path.
+
+Runs `micro_engine_throughput` (best of N short runs), reads its JSON
+report, and fails when `hot_path.steps_per_sec` lands below the checked-in
+floor in tools/bench_floor.json.
+
+The floor is deliberately far below the recorded baseline in
+BENCH_engine.json: CI runners, sanitizer overhead, and shared developer
+machines differ from the benchmarking host by integer factors, and this
+gate exists to catch *structural* regressions — a de-vectorized RC batch,
+an accidentally quadratic engine loop, per-step allocation — not 20 %%
+scheduling noise. Raise the floor only after the recorded baseline itself
+moves up by more than the gap.
+
+Usage:
+    tools/bench_guard.py <path-to-micro_engine_throughput> [options]
+
+Exit status: 0 when the best run clears the floor, 1 otherwise.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def run_once(bench, horizon, max_scale, timeout_s):
+    """One bench invocation; returns the parsed JSON report."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = pathlib.Path(tmp) / "bench.json"
+        cmd = [
+            str(bench),
+            "--horizon", str(horizon),
+            # Keep the guard run small: the scaling ladder is for the
+            # tracked report, not the regression gate.
+            "--max-scale", str(max_scale),
+            "--sweep-points", "2",
+            "--out", str(out),
+        ]
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL, timeout=timeout_s)
+        return json.loads(out.read_text())
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench", help="path to the micro_engine_throughput binary")
+    parser.add_argument("--floor-file",
+                        default=str(pathlib.Path(__file__).with_name("bench_floor.json")),
+                        help="JSON file holding hot_path_steps_per_sec_floor")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="override the floor (steps/sec) instead of reading the file")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="bench invocations; the best one is judged (default 3)")
+    parser.add_argument("--horizon", type=float, default=60.0,
+                        help="simulated seconds per run (default 60)")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-run wall clock limit in seconds")
+    args = parser.parse_args()
+
+    bench = pathlib.Path(args.bench)
+    if not bench.exists():
+        print(f"bench_guard: bench binary not found: {bench}", file=sys.stderr)
+        return 1
+
+    if args.floor is not None:
+        floor = args.floor
+    else:
+        floor_doc = json.loads(pathlib.Path(args.floor_file).read_text())
+        floor = float(floor_doc["hot_path_steps_per_sec_floor"])
+
+    best = 0.0
+    best_node_steps = 0.0
+    for i in range(max(1, args.runs)):
+        report = run_once(bench, args.horizon, max_scale=16, timeout_s=args.timeout)
+        sps = float(report["hot_path"]["steps_per_sec"])
+        nsps = float(report["hot_path"].get("node_steps_per_sec", 0.0))
+        print(f"bench_guard: run {i + 1}: {sps:,.0f} steps/s "
+              f"({nsps:,.0f} node-steps/s)")
+        if sps > best:
+            best, best_node_steps = sps, nsps
+
+    verdict = "PASS" if best >= floor else "FAIL"
+    print(f"bench_guard: best {best:,.0f} steps/s vs floor {floor:,.0f} -> {verdict}")
+    if best < floor:
+        print("bench_guard: hot-path throughput regressed below the checked-in "
+              "floor; see tools/bench_guard.py for what this gate is meant to "
+              "catch before adjusting the floor.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
