@@ -1,0 +1,144 @@
+// Rack power budgeting through the hierarchical control plane.
+//
+// The paper's out-of-band story stops at one node's fan; the control plane
+// extends it up a tier: a rack coordinator aggregates member telemetry once
+// a second and deals a shared wall-power budget down as per-node p-state
+// caps (ISSUE 7 / ControlPULP's supervisor-worker shape). This bench runs
+// the same 8-node cpu-burn rack twice — plane detached, then plane active
+// under a budget set well below the uncapped draw — and shows the aggregate
+// wall-power series before/after plus the budget line. Mid-run the budget
+// is released (watts <= 0) to show the rack climbing back to full draw.
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+
+namespace {
+
+using namespace thermctl;
+using namespace thermctl::core;
+
+constexpr std::size_t kNodes = 8;
+constexpr double kHorizonS = 120.0;
+constexpr double kReleaseAtS = 80.0;
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg = paper_platform();
+  cfg.name = "rack-budget";
+  cfg.nodes = kNodes;
+  cfg.workload = WorkloadKind::kCpuBurn;
+  cfg.cpu_burn_duration = Seconds{kHorizonS};
+  cfg.engine.horizon = Seconds{kHorizonS};
+  cfg.fan = FanPolicyKind::kDynamic;
+  return cfg;
+}
+
+/// Sum of the per-node wall-power series at each recorded sample.
+std::vector<double> aggregate_power(const cluster::RunResult& run) {
+  std::vector<double> total(run.times.size(), 0.0);
+  for (const cluster::NodeSeries& series : run.nodes) {
+    for (std::size_t i = 0; i < total.size() && i < series.power_w.size(); ++i) {
+      total[i] += series.power_w[i];
+    }
+  }
+  return total;
+}
+
+/// Mean of `series` over [t0, t1).
+double window_mean(const std::vector<double>& times, const std::vector<double>& series,
+                   double t0, double t1) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < times.size() && i < series.size(); ++i) {
+    if (times[i] >= t0 && times[i] < t1) {
+      sum += series[i];
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  namespace tb = thermctl::bench;
+  tb::banner("Control plane", "rack coordinator enforcing a shared power budget (8-node burn)");
+
+  // Before: no plane. The burn settles the rack at its natural draw.
+  const ExperimentResult uncapped = run_experiment(base_config());
+  const std::vector<double> before = aggregate_power(uncapped.run);
+  // Budget against the steady window (past the thermal/fan ramp, before any
+  // release): 70% of the uncapped draw, guaranteed binding.
+  const double steady_w =
+      window_mean(uncapped.run.times, before, 30.0, kReleaseAtS);
+  const double budget_w = 0.7 * steady_w;
+
+  // After: plane active with the shared budget; one rack holds all 8 nodes.
+  // An engine periodic releases the budget late in the run (a PowerBudget of
+  // 0 from the room coordinator's endpoint means "uncapped") so the series
+  // also shows the rack recovering its full draw.
+  ExperimentConfig capped_cfg = base_config();
+  capped_cfg.control_plane.enabled = true;
+  capped_cfg.control_plane.plane.rack_budget_w = budget_w;
+  capped_cfg.on_rig_built = [](const RigView& view) {
+    cluster::ctrl::ControlPlane* plane = view.plane;
+    view.engine->add_periodic(Seconds{1.0}, [plane](SimTime now) {
+      if (now.seconds() >= kReleaseAtS && now.seconds() < kReleaseAtS + 1.0) {
+        cluster::ctrl::Message release = cluster::ctrl::make_power_budget(0.0);
+        release.from = kNodes + 1;  // room endpoint (one rack: nodes + 1)
+        release.to = kNodes;        // the rack coordinator
+        plane->transport().send(release);
+      }
+    });
+  };
+  const ExperimentResult capped = run_experiment(capped_cfg);
+  const std::vector<double> after = aggregate_power(capped.run);
+
+  const double capped_steady_w =
+      window_mean(capped.run.times, after, 30.0, kReleaseAtS);
+  const double released_w =
+      window_mean(capped.run.times, after, kReleaseAtS + 20.0, kHorizonS);
+
+  TextTable table{{"window", "uncapped (W)", "plane-capped (W)", "budget (W)"}};
+  table.add_row("steady [30s, 80s)", {steady_w, capped_steady_w, budget_w}, 1);
+  table.add_row("post-release [100s, 120s)",
+                {window_mean(uncapped.run.times, before, kReleaseAtS + 20.0, kHorizonS),
+                 released_w, 0.0},
+                1);
+  std::printf("%s", table.render().c_str());
+
+  const cluster::ctrl::PlaneStats& stats = capped.plane_stats;
+  std::printf("  plane: %llu rounds, %llu caps lowered / %llu raised / %llu released, "
+              "%llu over-budget rounds\n",
+              static_cast<unsigned long long>(stats.rounds),
+              static_cast<unsigned long long>(stats.caps_lowered),
+              static_cast<unsigned long long>(stats.caps_raised),
+              static_cast<unsigned long long>(stats.caps_released),
+              static_cast<unsigned long long>(stats.rack_over_budget_rounds));
+
+  // Full-resolution before/after series for replotting.
+  CsvWriter csv{tb::out_dir() + "/rack_budget.csv",
+                {"t_s", "uncapped_rack_w", "capped_rack_w", "budget_w"}};
+  for (std::size_t i = 0; i < capped.run.times.size(); ++i) {
+    const double t = capped.run.times[i];
+    csv.row({t, i < before.size() ? before[i] : 0.0, after[i],
+             t < kReleaseAtS ? budget_w : 0.0});
+  }
+  std::printf("  series written: %s (%zu rows)\n", csv.path().c_str(), csv.rows_written());
+
+  // Unlike the figure benches, these checks are the acceptance criterion for
+  // the plane ("a rack under a shared budget demonstrably caps aggregate
+  // power"), so failing any of them fails the binary — ctest runs this as
+  // bench_rack_budget_smoke.
+  bool ok = true;
+  ok &= tb::shape_check("budget is binding (uncapped steady draw exceeds it by >= 20%)",
+                        steady_w > budget_w * 1.2);
+  ok &= tb::shape_check("plane holds the rack at or under budget (steady window, 5% slack)",
+                        capped_steady_w <= budget_w * 1.05);
+  ok &= tb::shape_check("caps were actually stepped down", stats.caps_lowered > 0);
+  ok &= tb::shape_check("budget release restores the rack toward full draw",
+                        released_w > capped_steady_w * 1.1);
+  return ok ? 0 : 1;
+}

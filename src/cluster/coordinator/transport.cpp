@@ -1,0 +1,52 @@
+#include "cluster/coordinator/transport.hpp"
+
+#include "common/assert.hpp"
+
+namespace thermctl::cluster::ctrl {
+
+QueueTransport::QueueTransport(std::size_t endpoints, QueueTransportConfig config)
+    : config_(config), inboxes_(endpoints), rng_(config.seed) {
+  THERMCTL_ASSERT(endpoints > 0, "transport needs at least one endpoint");
+  THERMCTL_ASSERT(config.drop_rate >= 0.0 && config.drop_rate < 1.0,
+                  "drop_rate must be in [0, 1)");
+  THERMCTL_ASSERT(config.reorder_rate >= 0.0 && config.reorder_rate < 1.0,
+                  "reorder_rate must be in [0, 1)");
+}
+
+bool QueueTransport::send(Message m) {
+  THERMCTL_ASSERT(m.to < inboxes_.size(), "send to unknown endpoint");
+  THERMCTL_ASSERT(m.type != MsgType::kNone, "send of untyped message");
+  m.seq = next_seq_++;
+  // Faults draw from the RNG only when enabled, so a fault-free transport
+  // consumes no randomness and the passive-plane oracle pairing stays exact.
+  if (faults_enabled() && rng_.uniform() < config_.drop_rate) {
+    ++dropped_;
+    return false;
+  }
+  auto& inbox = inboxes_[m.to];
+  inbox.push_back(m);
+  if (faults_enabled() && inbox.size() >= 2 &&
+      rng_.uniform() < config_.reorder_rate) {
+    std::swap(inbox[inbox.size() - 1], inbox[inbox.size() - 2]);
+    ++reordered_;
+  }
+  return true;
+}
+
+bool QueueTransport::poll(Endpoint inbox, Message& out) {
+  THERMCTL_ASSERT(inbox < inboxes_.size(), "poll of unknown endpoint");
+  auto& queue = inboxes_[inbox];
+  if (queue.empty()) {
+    return false;
+  }
+  out = queue.front();
+  queue.pop_front();
+  return true;
+}
+
+std::size_t QueueTransport::pending(Endpoint inbox) const {
+  THERMCTL_ASSERT(inbox < inboxes_.size(), "pending of unknown endpoint");
+  return inboxes_[inbox].size();
+}
+
+}  // namespace thermctl::cluster::ctrl

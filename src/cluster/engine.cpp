@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cluster/coordinator/coordinator.hpp"
 #include "common/assert.hpp"
 
 namespace thermctl::cluster {
@@ -68,6 +69,8 @@ void Engine::attach_room(RoomModel& room) {
   THERMCTL_ASSERT(room.node_count() == cluster_.size(), "room sized for a different rack");
   room_ = &room;
 }
+
+void Engine::attach_plane(ctrl::ControlPlane& plane) { plane_ = &plane; }
 
 void Engine::set_inband_overhead(std::size_t i, Seconds per_tick, Seconds period) {
   THERMCTL_ASSERT(i < cluster_.size(), "node index out of range");
@@ -233,6 +236,15 @@ RunResult Engine::run() {
   // twice per step.
   bool app_running = app_ != nullptr && !app_->done();
 
+  // Nodes breathe the room's air from the very first step: prime every inlet
+  // from the room's current state (benches settle() it pre-run) so step one
+  // of the physics already runs under the attached ambient.
+  if (room_ != nullptr) {
+    for (std::size_t i = 0; i < node_count; ++i) {
+      nodes[i]->package().set_ambient(room_->inlet(i));
+    }
+  }
+
   // Record the initial state so series start at t=0.
   record_schedule_.due(now_);  // consume the t=0 firing
   // Pre-size the series for the horizon (capped so absurd horizons don't
@@ -273,23 +285,7 @@ RunResult Engine::run() {
       }
     }
 
-    // 2. Physics. Coupling first, serially: the room (if attached) mixes
-    // under the rack's total dissipation — summed in node order — and sets
-    // every node's inlet. This is the only way node state crosses node
-    // boundaries within a step, which is what makes the shard phase below
-    // embarrassingly parallel and bit-identical at any shard count.
-    if (room_ != nullptr) {
-      double rack_dc = 0.0;
-      for (std::size_t i = 0; i < node_count; ++i) {
-        rack_dc += nodes[i]->cpu().power().value() + nodes[i]->fan().power().value();
-      }
-      room_->step(dt, Watts{rack_dc});
-      for (std::size_t i = 0; i < node_count; ++i) {
-        nodes[i]->package().set_ambient(room_->inlet(i));
-      }
-    }
-
-    // Per-node physics + sampling, sharded BSP-style: contiguous node ranges
+    // 2. Physics, per-node and sharded BSP-style: contiguous node ranges
     // (contiguous SoA slices), one barrier per step at the join.
     SimTime after = now_;
     after.advance_us(static_cast<std::int64_t>(dt.value() * 1e6));
@@ -316,6 +312,28 @@ RunResult Engine::run() {
     }
     now_ = after;
 
+    // 3. Room coupling, serially at the barrier: the room mixes under the
+    // rack's dissipation *from the step that just ran* — summed in node order
+    // as metered wall power, the same quantity RoomModel::settle is primed
+    // with — and sets every node's inlet for the next step. This is the only
+    // way node state crosses node boundaries, which is what keeps the shard
+    // phase above embarrassingly parallel and bit-identical at any shard
+    // count. (It used to run before the physics phase on the *previous*
+    // step's DC-only cpu+fan power: one round stale, and ~40% low against
+    // settle()'s wall watts — the rack's PSU losses and platform base load
+    // heat the room too, so a settled room drifted away from its own
+    // steady state the moment the engine started stepping it.)
+    if (room_ != nullptr) {
+      double rack_watts = 0.0;
+      for (std::size_t i = 0; i < node_count; ++i) {
+        rack_watts += nodes[i]->wall_power().value();
+      }
+      room_->step(dt, Watts{rack_watts});
+      for (std::size_t i = 0; i < node_count; ++i) {
+        nodes[i]->package().set_ambient(room_->inlet(i));
+      }
+    }
+
     if (m_steps_ != nullptr) {
       m_steps_->inc();
     }
@@ -327,7 +345,15 @@ RunResult Engine::run() {
       }
     }
 
-    // 4. Controller ticks.
+    // 4. Control plane, serially at the barrier: agents report, racks deal
+    // budgets, the room re-budgets racks — paced internally to the plane
+    // period. A passive plane exchanges the same messages but never
+    // actuates, which the differential oracle holds to bit-identity.
+    if (plane_ != nullptr) {
+      plane_->on_round(now_);
+    }
+
+    // 5. Controller ticks.
     for (PeriodicTask& task : tasks_) {
       while (task.schedule.due(now_)) {
         task.fn(now_);
@@ -337,7 +363,7 @@ RunResult Engine::run() {
       }
     }
 
-    // 5. Metrics.
+    // 6. Metrics.
     while (record_schedule_.due(now_)) {
       record_sample();
       if (m_record_samples_ != nullptr) {
@@ -345,7 +371,7 @@ RunResult Engine::run() {
       }
     }
 
-    // 6. Termination.
+    // 7. Termination.
     if (completion.has_value() &&
         now_.seconds() >= completion->value() + config_.cooldown.value()) {
       break;

@@ -18,9 +18,10 @@
 // Sharding: with `workers > 1` the per-node physics + sensor-sampling phase
 // of each step is partitioned into contiguous node shards executed on a
 // ThreadPool, BSP style — one barrier per step, placed exactly at the
-// coupling points. Everything that couples nodes (the room/ambient power
-// reduction before the shard phase; app stepping, controllers and metrics
-// after it) runs serially in node/registration order, and per-shard sample
+// coupling points. Everything that couples nodes (app stepping before the
+// shard phase; the room/ambient power reduction, control plane, controllers
+// and metrics after the barrier) runs serially in node/registration order,
+// and per-shard sample
 // counters are reduced in shard order, so a sharded run is bit-identical to
 // the serial engine (asserted by the differential oracle's
 // sharded-vs-serial pairs).
@@ -50,6 +51,10 @@
 #include "workload/trace_load.hpp"
 
 namespace thermctl::cluster {
+
+namespace ctrl {
+class ControlPlane;
+}
 
 struct EngineConfig {
   Seconds physics_dt{0.05};
@@ -82,6 +87,12 @@ class Engine {
   /// room mixes under the rack's dissipation and every node's inlet
   /// temperature is driven from it — closing the datacenter-level loop.
   void attach_room(RoomModel& room);
+
+  /// Attaches a hierarchical control plane (not owned): its on_round fires
+  /// serially at the BSP barrier every step, after room coupling and before
+  /// controller ticks, so plane decisions land with one-step-fresh state and
+  /// the local controllers see any cap/policy the plane just applied.
+  void attach_plane(ctrl::ControlPlane& plane);
 
   /// Registers a periodic task (controller tick). Tasks fire after sensor
   /// sampling at the same instant, in registration order.
@@ -141,6 +152,7 @@ class Engine {
   EngineConfig config_;
   workload::ParallelApp* app_ = nullptr;
   RoomModel* room_ = nullptr;
+  ctrl::ControlPlane* plane_ = nullptr;
   std::vector<std::size_t> node_for_rank_;
   std::vector<std::size_t> rank_of_node_;  // reverse map; kNoRank = vacant
   std::vector<std::function<Utilization(SimTime)>> node_loads_;

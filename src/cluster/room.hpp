@@ -48,6 +48,10 @@ class RoomModel {
   /// Equilibrium inlet for node `i` at `rack_power` (analytic target).
   [[nodiscard]] Celsius steady_state_inlet(std::size_t i, Watts rack_power) const;
 
+  /// Current common recirculation rise above CRAC supply (excludes per-node
+  /// offsets) — the room-health signal coordinators budget against.
+  [[nodiscard]] CelsiusDelta mixed_rise() const { return CelsiusDelta{mixed_rise_}; }
+
   [[nodiscard]] const RoomParams& params() const { return params_; }
 
  private:

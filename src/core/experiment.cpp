@@ -115,6 +115,8 @@ struct Rig {
   std::vector<std::unique_ptr<TdvfsDaemon>> tdvfs;
   std::vector<std::unique_ptr<CpuspeedGovernor>> cpuspeed;
   std::vector<std::unique_ptr<FaultApplier>> fault_appliers;
+  std::unique_ptr<cluster::RoomModel> room;
+  std::unique_ptr<cluster::ctrl::ControlPlane> plane;
   std::shared_ptr<obs::RunTrace> trace;
   std::unique_ptr<obs::MetricsRegistry> registry;
 
@@ -282,6 +284,51 @@ void build_dvfs_policy(Rig& rig, const ExperimentConfig& config) {
   }
 }
 
+/// Builds the room model and hierarchical control plane when enabled. Runs
+/// after the fan/DVFS controllers so the Pp re-tune sinks can point at them;
+/// node `i`'s controllers sit at index `i` of rig.fans / rig.tdvfs because
+/// the builders above fill one entry per node for the dynamic kinds.
+void build_control_plane(Rig& rig, const ExperimentConfig& config) {
+  if (!config.control_plane.enabled) {
+    return;
+  }
+  if (config.control_plane.room_enabled) {
+    rig.room = std::make_unique<cluster::RoomModel>(config.nodes, config.control_plane.room);
+    double idle_wall_w = 0.0;
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      idle_wall_w += rig.cluster->node(i).wall_power().value();
+    }
+    rig.room->settle(Watts{idle_wall_w});
+    rig.engine->attach_room(*rig.room);
+  }
+  rig.plane = std::make_unique<cluster::ctrl::ControlPlane>(
+      *rig.cluster, config.control_plane.plane, rig.room.get());
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    DynamicFanController* fan =
+        config.fan == FanPolicyKind::kDynamic ? rig.fans[i].get() : nullptr;
+    TdvfsDaemon* daemon = config.dvfs == DvfsPolicyKind::kTdvfs ? rig.tdvfs[i].get() : nullptr;
+    if (fan == nullptr && daemon == nullptr) {
+      continue;
+    }
+    rig.plane->set_policy_sink(i, [fan, daemon](int pp) {
+      const PolicyParam p{std::clamp(pp, PolicyParam::kMin, PolicyParam::kMax)};
+      if (fan != nullptr) {
+        fan->set_policy(p);
+      }
+      if (daemon != nullptr) {
+        daemon->set_policy(p);
+      }
+    });
+  }
+  if (rig.trace != nullptr) {
+    rig.plane->set_trace(rig.trace.get());
+  }
+  if (rig.registry != nullptr) {
+    rig.plane->set_metrics(&rig.registry->shard(0));
+  }
+  rig.engine->attach_plane(*rig.plane);
+}
+
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
@@ -328,11 +375,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   build_fault_campaign(rig, config, engine_cfg.horizon, result);
   build_fan_policy(rig, config);
   build_dvfs_policy(rig, config);
+  build_control_plane(rig, config);
 
   if (config.on_rig_built) {
     RigView view;
     view.cluster = rig.cluster.get();
     view.engine = rig.engine.get();
+    view.plane = rig.plane.get();
     view.config = &config;
     view.fans.reserve(rig.fans.size());
     for (const auto& fan : rig.fans) {
@@ -346,6 +395,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   result.run = rig.engine->run();
+
+  if (rig.plane != nullptr) {
+    result.plane_stats = rig.plane->stats();
+  }
 
   result.tdvfs_events.resize(config.nodes);
   result.fan_events.resize(config.nodes);

@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "cluster/coordinator/coordinator.hpp"
 #include "cluster/engine.hpp"
 #include "cluster/metrics.hpp"
+#include "cluster/room.hpp"
 #include "core/cpuspeed.hpp"
 #include "core/fan_policy.hpp"
 #include "core/policy.hpp"
@@ -97,6 +99,19 @@ struct ControllerFaultStats {
   std::uint64_t sensor_recoveries = 0;
 };
 
+/// Hierarchical rack/room control plane riding above the per-node
+/// controllers (node agent → rack coordinator → room coordinator). Off by
+/// default — the paper's flat per-node loops run exactly as before. With
+/// `room_enabled` a RoomModel is built, settled at the cluster's idle wall
+/// draw and attached to the engine, closing the datacenter ambient loop the
+/// room coordinator budgets against.
+struct PlaneHarnessConfig {
+  bool enabled = false;
+  cluster::ctrl::PlaneConfig plane{};
+  bool room_enabled = false;
+  cluster::RoomParams room{};
+};
+
 /// Run telemetry switches. Both default off; a disabled run pays one untaken
 /// branch per decision site and is bit-identical to a build without any of
 /// this wired in.
@@ -114,14 +129,17 @@ struct TelemetryConfig {
 /// Read-only view of a fully built rig, handed to `on_rig_built` observers
 /// after the controllers are wired but before the engine runs. Observers may
 /// register additional periodic engine tasks (they fire after the node
-/// sampling and after every controller registered before them), but must not
-/// actuate anything: the contract is that an observed run is bit-identical
-/// to an unobserved one.
+/// sampling and after every controller registered before them).
+/// *Verification* observers must not actuate anything — their contract is
+/// that an observed run is bit-identical to an unobserved one. Scenario
+/// drivers (benches scripting mid-run plane events through `plane`) actuate
+/// on purpose and give up that guarantee.
 struct RigView {
   cluster::Cluster* cluster = nullptr;
   cluster::Engine* engine = nullptr;
   std::vector<DynamicFanController*> fans;    // empty unless fan == kDynamic
   std::vector<TdvfsDaemon*> tdvfs;            // empty unless dvfs == kTdvfs
+  cluster::ctrl::ControlPlane* plane = nullptr;  // null unless plane enabled
   const struct ExperimentConfig* config = nullptr;
 };
 
@@ -159,6 +177,8 @@ struct ExperimentConfig {
   SensorHealthConfig health{};
   FaultCampaignConfig faults{};
 
+  PlaneHarnessConfig control_plane{};
+
   TelemetryConfig telemetry{};
 
   /// Observer called once per run with the built rig (see RigView). Null by
@@ -179,6 +199,10 @@ struct ExperimentResult {
   ControllerFaultStats fault_stats;
   /// The fault schedule each node actually ran (empty when no campaign).
   std::vector<std::vector<FaultEpisode>> fault_schedules;
+  /// Control-plane counters (all zero unless the plane was enabled). Like
+  /// telemetry payloads, these are plane bookkeeping, not node behaviour —
+  /// the differential oracle does not diff them.
+  cluster::ctrl::PlaneStats plane_stats;
   /// Decision trace (null unless telemetry.trace). Shared so results can be
   /// copied around by sweeps without duplicating event buffers.
   std::shared_ptr<obs::RunTrace> trace;

@@ -90,7 +90,11 @@ std::string render_analysis(const TraceAnalysis& analysis) {
   TextTable table{{"segment", "behaviour", "start (s)", "duration (s)", "temp (degC)"}};
   for (std::size_t i = 0; i < analysis.segments.size(); ++i) {
     const BehaviourSegment& seg = analysis.segments[i];
-    table.add_row({"#" + std::to_string(i + 1), std::string{to_string(seg.behaviour)},
+    // Append instead of `"#" + to_string(...)`: the rvalue operator+ hits
+    // GCC 12's -Wrestrict false positive (PR 105329) under -Werror.
+    std::string label{"#"};
+    label += std::to_string(i + 1);
+    table.add_row({std::move(label), std::string{to_string(seg.behaviour)},
                    format_number(seg.start_s, 1), format_number(seg.duration_s, 1),
                    format_number(seg.temp_begin, 1) + " -> " +
                        format_number(seg.temp_end, 1)});

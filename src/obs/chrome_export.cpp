@@ -144,15 +144,19 @@ void write_chrome_trace(const std::string& path, const std::vector<TraceEvent>& 
         break;
       case TraceEventType::kFailsafeEnter:
       case TraceEventType::kDvfsHoldEnter:
+      case TraceEventType::kPlaneFailsafeEnter:
         open_spans[{ev.node, ev.type}] = ev;
         break;
       case TraceEventType::kFailsafeExit:
-      case TraceEventType::kDvfsHoldExit: {
-        const TraceEventType enter_type = ev.type == TraceEventType::kFailsafeExit
-                                              ? TraceEventType::kFailsafeEnter
-                                              : TraceEventType::kDvfsHoldEnter;
-        const char* name =
-            ev.type == TraceEventType::kFailsafeExit ? "failsafe_cooling" : "dvfs_hold";
+      case TraceEventType::kDvfsHoldExit:
+      case TraceEventType::kPlaneFailsafeExit: {
+        const TraceEventType enter_type =
+            ev.type == TraceEventType::kFailsafeExit     ? TraceEventType::kFailsafeEnter
+            : ev.type == TraceEventType::kDvfsHoldExit   ? TraceEventType::kDvfsHoldEnter
+                                                         : TraceEventType::kPlaneFailsafeEnter;
+        const char* name = ev.type == TraceEventType::kFailsafeExit ? "failsafe_cooling"
+                           : ev.type == TraceEventType::kDvfsHoldExit ? "dvfs_hold"
+                                                                      : "plane_autonomous";
         auto it = open_spans.find({ev.node, enter_type});
         const double start_s = it != open_spans.end() ? it->second.t_s : ev.t_s;
         // The span starts at the enter edge, so stamp ts from it — not from
@@ -177,6 +181,19 @@ void write_chrome_trace(const std::string& path, const std::vector<TraceEvent>& 
       case TraceEventType::kI2cExhausted:
         instant(json, ev, "i2c_exhausted", {{"status", static_cast<double>(ev.i1)}});
         break;
+      case TraceEventType::kPlaneBudget:
+        instant(json, ev, "plane_budget",
+                {{"budget_w", ev.a},
+                 {"wall_w", ev.b},
+                 {"cap_khz", static_cast<double>(ev.i0)},
+                 {"changed", (ev.flags & kTraceFlagChanged) ? 1.0 : 0.0}});
+        if (ev.flags & kTraceFlagChanged) {
+          counter(json, ev, "plane_cap", "khz", static_cast<double>(ev.i0));
+        }
+        break;
+      case TraceEventType::kPlanePolicyUpdate:
+        instant(json, ev, "plane_policy_update", {{"pp", static_cast<double>(ev.i0)}});
+        break;
       case TraceEventType::kNone:
         break;
     }
@@ -185,8 +202,9 @@ void write_chrome_trace(const std::string& path, const std::vector<TraceEvent>& 
   // A fault active at end-of-run leaves its span open; close it at the last
   // event's timestamp so the trace stays well-formed.
   for (const auto& [key, enter] : open_spans) {
-    const char* name =
-        key.second == TraceEventType::kFailsafeEnter ? "failsafe_cooling" : "dvfs_hold";
+    const char* name = key.second == TraceEventType::kFailsafeEnter ? "failsafe_cooling"
+                       : key.second == TraceEventType::kDvfsHoldEnter ? "dvfs_hold"
+                                                                      : "plane_autonomous";
     TraceEvent synthetic = enter;
     event_header(json, synthetic, name, "X");
     json.field("dur", (last_ts - enter.t_s) * kUsPerS);

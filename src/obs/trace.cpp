@@ -34,6 +34,14 @@ std::string_view to_string(TraceEventType type) {
       return "i2c_retry";
     case TraceEventType::kI2cExhausted:
       return "i2c_exhausted";
+    case TraceEventType::kPlaneBudget:
+      return "plane_budget";
+    case TraceEventType::kPlaneFailsafeEnter:
+      return "plane_failsafe_enter";
+    case TraceEventType::kPlaneFailsafeExit:
+      return "plane_failsafe_exit";
+    case TraceEventType::kPlanePolicyUpdate:
+      return "plane_policy_update";
   }
   return "?";
 }
@@ -52,6 +60,8 @@ std::string_view to_string(TraceSubsystem subsystem) {
       return "engine";
     case TraceSubsystem::kI2c:
       return "i2c";
+    case TraceSubsystem::kPlane:
+      return "plane";
   }
   return "?";
 }

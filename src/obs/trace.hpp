@@ -62,6 +62,18 @@ enum class TraceEventType : std::uint8_t {
   kI2cRetry = 11,
   /// An i2c transfer failed after exhausting its retry budget. i1=I2cStatus.
   kI2cExhausted = 12,
+  /// Control-plane power budget applied to this node. a=budget watts
+  /// (<= 0 = uncapped), b=wall watts at application, i0=resulting cap kHz.
+  /// Flag kChanged when the cap moved a p-state.
+  kPlaneBudget = 13,
+  /// Node reverted to autonomous control (coordinator stall or resignation).
+  /// a=seconds since the coordinator was last heard.
+  kPlaneFailsafeEnter = 14,
+  /// Node rejoined its rack coordinator after a fail-safe. i0=coordinator
+  /// epoch from the JoinAck.
+  kPlaneFailsafeExit = 15,
+  /// Policy parameter re-tune pushed down by the plane. i0=applied Pp.
+  kPlanePolicyUpdate = 16,
 };
 
 /// Which controller/plane emitted the event.
@@ -72,6 +84,8 @@ enum class TraceSubsystem : std::uint8_t {
   kIdle = 3,
   kEngine = 4,
   kI2c = 5,
+  /// Hierarchical rack/room control plane (node agents).
+  kPlane = 6,
 };
 
 /// Flag bits (per-type meaning documented on the type).

@@ -10,7 +10,8 @@ void VirtualFs::add_attribute(const std::string& path, ReadFn read, WriteFn writ
   THERMCTL_ASSERT(!path.empty() && path.front() == '/', "attribute path must be absolute");
   THERMCTL_ASSERT(read || write, "attribute needs at least one handler");
   THERMCTL_ASSERT(!attrs_.contains(path), "attribute already registered");
-  attrs_[path] = Attribute{std::move(read), std::move(write), nullptr, nullptr};
+  attrs_[path] =
+      std::make_unique<Attribute>(Attribute{std::move(read), std::move(write), nullptr, nullptr});
 }
 
 void VirtualFs::add_attribute_long(const std::string& path, LongReadFn read, LongWriteFn write) {
@@ -33,19 +34,32 @@ void VirtualFs::add_attribute_long(const std::string& path, LongReadFn read, Lon
   }
   attr.read_long = std::move(read);
   attr.write_long = std::move(write);
-  attrs_[path] = std::move(attr);
+  attrs_[path] = std::make_unique<Attribute>(std::move(attr));
 }
 
-void VirtualFs::remove_attribute(const std::string& path) { attrs_.erase(path); }
+void VirtualFs::remove_attribute(const std::string& path) {
+  auto it = attrs_.find(path);
+  if (it == attrs_.end()) {
+    return;
+  }
+  // Retire rather than free: live handles keep a raw pointer to the
+  // attribute. Clearing the handlers makes every stale access fail closed
+  // (nullopt / false), and keeping the allocation in the graveyard means a
+  // re-registration at the same path can never alias the old address with
+  // new state — mixed string-path and typed-handle access stays coherent.
+  *it->second = Attribute{};
+  retired_.push_back(std::move(it->second));
+  attrs_.erase(it);
+}
 
 bool VirtualFs::exists(const std::string& path) const { return attrs_.contains(path); }
 
 std::optional<std::string> VirtualFs::read(const std::string& path) const {
   auto it = attrs_.find(path);
-  if (it == attrs_.end() || !it->second.read) {
+  if (it == attrs_.end() || !it->second->read) {
     return std::nullopt;
   }
-  return it->second.read();
+  return it->second->read();
 }
 
 namespace {
@@ -70,10 +84,10 @@ std::optional<long> VirtualFs::read_long(const std::string& path) const {
 
 bool VirtualFs::write(const std::string& path, const std::string& value) {
   auto it = attrs_.find(path);
-  if (it == attrs_.end() || !it->second.write) {
+  if (it == attrs_.end() || !it->second->write) {
     return false;
   }
-  return it->second.write(value);
+  return it->second->write(value);
 }
 
 bool VirtualFs::write_long(const std::string& path, long value) {
@@ -85,7 +99,7 @@ VirtualFs::Handle VirtualFs::open(const std::string& path) const {
   if (it == attrs_.end()) {
     return Handle{};
   }
-  return Handle{&it->second};
+  return Handle{it->second.get()};
 }
 
 std::optional<std::string> VirtualFs::read(Handle h) const {

@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,9 +42,12 @@ class VirtualFs {
  public:
   /// Opaque cached handle to one attribute, resolved once with open().
   /// Skips the per-access path lookup on the sampling hot path (controllers
-  /// read temperatures every tick on up to 100k nodes). A handle stays valid
-  /// until its attribute is removed — devices cache handles only to
-  /// attributes they themselves publish and drop them when they unpublish.
+  /// read temperatures every tick on up to 100k nodes). Removing the
+  /// attribute *invalidates* the handle safely: the attribute is retired in
+  /// place (handlers cleared, storage kept alive), so a stale handle reads
+  /// nullopt / writes false rather than dangling — and if the path is later
+  /// re-registered with new handlers, old handles can never observe the old
+  /// (stale) values; callers re-open() to see the new attribute.
   class Handle {
    public:
     Handle() = default;
@@ -69,6 +73,8 @@ class VirtualFs {
   void add_attribute_long(const std::string& path, LongReadFn read,
                           LongWriteFn write = nullptr);
 
+  /// Unregisters `path`. Outstanding handles to it are invalidated (reads
+  /// return nullopt, writes return false) but never dangle.
   void remove_attribute(const std::string& path);
 
   [[nodiscard]] bool exists(const std::string& path) const;
@@ -97,7 +103,15 @@ class VirtualFs {
   [[nodiscard]] std::vector<std::string> list(const std::string& dir_prefix) const;
 
  private:
-  std::map<std::string, Attribute> attrs_;
+  // unique_ptr storage: attribute addresses outlive map surgery, and
+  // remove_attribute() can retire the allocation into the graveyard below
+  // instead of freeing memory live handles may still point at.
+  std::map<std::string, std::unique_ptr<Attribute>> attrs_;
+  // Removed attributes, kept alive (with handlers cleared) so stale cached
+  // handles fail closed instead of reading freed — or re-registered-and-
+  // different — state. Bounded by the number of removals, which is tiny
+  // (device unpublish events), not per-access.
+  std::vector<std::unique_ptr<Attribute>> retired_;
 };
 
 }  // namespace thermctl::sysfs

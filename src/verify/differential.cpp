@@ -18,6 +18,8 @@ const char* to_string(OraclePairKind kind) {
       return "fault-aware-zero-fault";
     case OraclePairKind::kShardedVsSerial:
       return "sharded-vs-serial";
+    case OraclePairKind::kPlanePassiveVsDetached:
+      return "plane-passive-vs-detached";
   }
   return "unknown";
 }
@@ -290,6 +292,37 @@ OracleReport run_oracle(const std::vector<core::ExperimentConfig>& corpus,
     for (std::size_t i = 0; i < corpus.size(); ++i) {
       record(i, OraclePairKind::kShardedVsSerial,
              diff_results(base[i], shard_res[i], options.max_differences));
+    }
+  }
+
+  // Pair 5: a passive hierarchical control plane attached (joins, telemetry,
+  // budget heartbeats all flow every plane round — over a lossy transport,
+  // even) vs no plane at all. Passive agents never touch cpufreq or the
+  // policy sinks, so the node behaviour must be bit-identical; plane_stats
+  // is the only thing allowed to differ and is not diffed.
+  {
+    std::vector<core::ExperimentConfig> planed = corpus;
+    for (std::size_t i = 0; i < planed.size(); ++i) {
+      core::ExperimentConfig& cfg = planed[i];
+      cfg.control_plane.enabled = true;
+      cfg.control_plane.plane.passive = true;
+      // Exercise the budget/tightening paths too: they must compute but not
+      // actuate. Vary rack width so single- and multi-rack layouts occur.
+      cfg.control_plane.plane.nodes_per_rack = 1 + i % 3;
+      cfg.control_plane.plane.rack_budget_w = 150.0;
+      cfg.control_plane.plane.room_budget_w = 400.0;
+      // Faulty transport on half the corpus: drops and reorders consume the
+      // plane's own RNG, which must stay isolated from the run's streams.
+      if (i % 2 == 1) {
+        cfg.control_plane.plane.transport.drop_rate = 0.2;
+        cfg.control_plane.plane.transport.reorder_rate = 0.2;
+      }
+    }
+    const std::vector<core::ExperimentResult> attached =
+        runtime::run_sweep(planed, runtime::SweepOptions{.threads = options.threads});
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      record(i, OraclePairKind::kPlanePassiveVsDetached,
+             diff_results(base[i], attached[i], options.max_differences));
     }
   }
 

@@ -3,8 +3,10 @@
 // The runtime promises that several configuration axes are *behaviourally
 // inert*: a parallel sweep is bit-identical to a serial one, telemetry
 // (tracing + metrics) never perturbs control decisions, fault-aware
-// gating is a no-op on a zero-fault run, and the sharded engine
-// (EngineConfig::workers > 1) reproduces the serial engine bit-for-bit.
+// gating is a no-op on a zero-fault run, the sharded engine
+// (EngineConfig::workers > 1) reproduces the serial engine bit-for-bit,
+// and a *passive* control plane (full message flow, zero actuation)
+// leaves a run bit-identical to one with no plane attached at all.
 // Each promise is load-bearing — paper figures are produced by parallel
 // sweeps, telemetry is meant to be always-safe to turn on, fault-aware mode
 // must not change the paper's baseline behaviour, and fleet-scale runs lean
@@ -32,6 +34,7 @@ enum class OraclePairKind : std::uint8_t {
   kTelemetryOnVsOff,    // trace+metrics armed vs dark
   kFaultAwareZeroFault, // fault_aware gating on vs off, no faults scheduled
   kShardedVsSerial,     // engine workers > 1 vs the serial engine
+  kPlanePassiveVsDetached,  // passive control plane attached vs no plane
 };
 
 [[nodiscard]] const char* to_string(OraclePairKind kind);
@@ -83,7 +86,7 @@ struct OracleOptions {
 [[nodiscard]] std::vector<core::ExperimentConfig> make_oracle_corpus(std::uint64_t seed,
                                                                      std::size_t count);
 
-/// Runs every config under all four pairings and reports any diff.
+/// Runs every config under all five pairings and reports any diff.
 [[nodiscard]] OracleReport run_oracle(const std::vector<core::ExperimentConfig>& corpus,
                                       OracleOptions options = {});
 

@@ -1,14 +1,19 @@
 #include "verify/fuzz.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <sstream>
 #include <vector>
 
+#include "cluster/cluster.hpp"
+#include "cluster/coordinator/coordinator.hpp"
+#include "cluster/engine.hpp"
 #include "core/pid_fan.hpp"
 #include "core/predictive_fan.hpp"
 #include "core/step_wise.hpp"
 #include "core/unified_controller.hpp"
+#include "workload/synthetic.hpp"
 #include "hw/adt7467.hpp"
 #include "hw/cpu_device.hpp"
 #include "hw/i2c.hpp"
@@ -433,12 +438,146 @@ FuzzReport fuzz_selector(std::uint64_t seed, int rounds) {
   return report;
 }
 
+FuzzReport fuzz_plane(std::uint64_t seed, int ticks) {
+  FuzzReport report;
+  report.target = "plane";
+  report.seed = seed;
+
+  Rng rng{seed ^ 0x3b3b3b3b3b3b3b3bULL};
+  const std::size_t nodes = 2 + rng.below(5);
+  cluster::NodeParams params;
+  params.seed = seed;
+  cluster::Cluster rack{nodes, params};
+  for (std::size_t i = 0; i < nodes; ++i) {
+    rack.node(i).set_utilization(Utilization{0.02});
+  }
+  rack.settle_all();
+
+  cluster::EngineConfig engine_cfg;
+  // A plane round per 0.25 s: `ticks` rounds total, capped so one fuzz seed
+  // stays a sub-second run even at the CI tick count.
+  engine_cfg.horizon = Seconds{0.25 * static_cast<double>(std::min(ticks, 600))};
+  cluster::Engine engine{rack, engine_cfg};
+
+  cluster::ctrl::PlaneConfig plane_cfg;
+  plane_cfg.period = Seconds{0.25};
+  plane_cfg.stall_timeout = Seconds{1.0 + rng.uniform(0.0, 2.0)};
+  plane_cfg.nodes_per_rack = 1 + rng.below(3);
+  // Sometimes binding, sometimes generous, sometimes uncapped.
+  plane_cfg.rack_budget_w = rng.uniform() < 0.75 ? rng.uniform(30.0, 200.0) : 0.0;
+  plane_cfg.transport.drop_rate = rng.uniform(0.05, 0.4);
+  plane_cfg.transport.reorder_rate = rng.uniform(0.05, 0.4);
+  plane_cfg.transport.seed = seed;
+  cluster::ctrl::ControlPlane plane{rack, plane_cfg};
+  engine.attach_plane(plane);
+
+  // Busy nodes so budgets actually bite.
+  std::vector<workload::SegmentLoad> loads;
+  loads.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    loads.push_back(workload::sudden_profile(Seconds{0.0}, Seconds{1.0e6}, 0.9));
+  }
+  for (std::size_t i = 0; i < nodes; ++i) {
+    engine.set_node_load(i, &loads[i]);
+  }
+
+  // Chaos driver: every second, maybe stall or resume a random rack, churn
+  // the broadcast Pp, or push a random budget through the real message path.
+  engine.add_periodic(Seconds{1.0}, [&](SimTime) {
+    const auto racks = plane.rack_count();
+    switch (rng.below(5)) {
+      case 0:
+        plane.stall_rack(rng.below(racks));
+        break;
+      case 1:
+        plane.resume_rack(rng.below(racks));
+        break;
+      case 2:
+        plane.broadcast_policy(static_cast<int>(1 + rng.below(100)));
+        break;
+      case 3: {
+        // Room -> random rack: a budget anywhere in [-50, 250] W (negative
+        // and zero both mean "uncapped" and must be handled).
+        cluster::ctrl::Message m =
+            cluster::ctrl::make_power_budget(rng.uniform(-50.0, 250.0));
+        m.from = static_cast<cluster::ctrl::Endpoint>(nodes + racks);
+        m.to = static_cast<cluster::ctrl::Endpoint>(nodes + rng.below(racks));
+        plane.transport().send(m);
+        break;
+      }
+      default:
+        break;  // quiet second
+    }
+  });
+
+  // Invariant probe, every plane round.
+  engine.add_periodic(Seconds{0.25}, [&](SimTime now) {
+    const double t = now.seconds();
+    ++report.ticks;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const cluster::ctrl::NodeAgent& agent = plane.agent(i);
+      const std::vector<double> table = rack.node(i).cpufreq().available_ghz();
+
+      ++report.invariants.checks;
+      if (!table.empty() && agent.cap_index() >= table.size()) {
+        std::ostringstream msg;
+        msg << "agent cap index " << agent.cap_index() << " off the " << table.size()
+            << "-entry p-state ladder";
+        report.invariants.add(InvariantKind::kActuationRange, t, i, msg.str(), 64);
+      }
+
+      ++report.invariants.checks;
+      if (agent.joined() && agent.autonomous()) {
+        report.invariants.add(InvariantKind::kStateMachine, t, i,
+                              "agent joined but still autonomous", 64);
+      }
+
+      ++report.invariants.checks;
+      const double ghz = rack.node(i).cpu().frequency().value();
+      bool on_table = table.empty();
+      for (double f : table) {
+        on_table = on_table || std::abs(f - ghz) < 1e-9;
+      }
+      if (!on_table) {
+        std::ostringstream msg;
+        msg << "cpu frequency " << ghz << " GHz not on the advertised table";
+        report.invariants.add(InvariantKind::kActuationRange, t, i, msg.str(), 64);
+      }
+
+      ++report.invariants.checks;
+      if (!std::isfinite(rack.node(i).die_temperature().value())) {
+        report.invariants.add(InvariantKind::kRcFinite, t, i, "non-finite die temperature",
+                              64);
+      }
+    }
+  });
+
+  engine.run();
+
+  // Counter coherence after the storm: every failsafe exit pairs with an
+  // entry, and acks never exceed requests (the transport drops, it does not
+  // duplicate).
+  const cluster::ctrl::PlaneStats& stats = plane.stats();
+  ++report.invariants.checks;
+  if (stats.failsafe_exits > stats.failsafe_entries) {
+    report.invariants.add(InvariantKind::kStateMachine, engine_cfg.horizon.value(), 0,
+                          "more failsafe exits than entries", 64);
+  }
+  ++report.invariants.checks;
+  if (stats.join_acks > stats.join_requests) {
+    report.invariants.add(InvariantKind::kStateMachine, engine_cfg.horizon.value(), 0,
+                          "more join acks than join requests", 64);
+  }
+  return report;
+}
+
 FuzzReport fuzz_all(std::uint64_t seed, int ticks) {
   FuzzReport report = fuzz_unified(seed, ticks);
   report.merge(fuzz_predictive(seed, ticks));
   report.merge(fuzz_pid(seed, ticks));
   report.merge(fuzz_step_wise(seed, ticks));
   report.merge(fuzz_selector(seed, ticks * 2));
+  report.merge(fuzz_plane(seed, ticks));
   report.seed = seed;
   return report;
 }

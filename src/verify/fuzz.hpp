@@ -77,6 +77,13 @@ struct FuzzReport {
 [[nodiscard]] FuzzReport fuzz_pid(std::uint64_t seed, int ticks = 2000);
 [[nodiscard]] FuzzReport fuzz_step_wise(std::uint64_t seed, int ticks = 2000);
 [[nodiscard]] FuzzReport fuzz_selector(std::uint64_t seed, int rounds = 4000);
+/// Hierarchical control plane under a hostile transport: seeded message
+/// drop/reorder rates, rack coordinators stalling and resuming mid-run, and
+/// random budget/Pp churn injected through the real message path. Checks
+/// per plane round that caps stay on the p-state ladder, CPU frequency
+/// stays on the advertised table, the join/failsafe state machine stays
+/// coherent, and die temperatures stay finite.
+[[nodiscard]] FuzzReport fuzz_plane(std::uint64_t seed, int ticks = 2000);
 
 /// All of the above under one seed; reports merge into one.
 [[nodiscard]] FuzzReport fuzz_all(std::uint64_t seed, int ticks = 2000);

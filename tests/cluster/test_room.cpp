@@ -43,6 +43,87 @@ TEST(Room, MixingFollowsFirstOrderDynamics) {
   EXPECT_NEAR(rise, 3.0 * (1.0 - std::exp(-1.0)), 0.03);
 }
 
+TEST(Room, StepConvergesExponentiallyToSteadyState) {
+  RoomParams params;
+  params.tau = Seconds{60.0};
+  RoomModel room{2, params};
+  room.set_node_offset(1, CelsiusDelta{2.5});
+  const Watts load{800.0};
+  // k equal steps compose to the analytic first-order response exactly:
+  // rise(k·dt) = target · (1 − e^(−k·dt/τ)).
+  const double target =
+      room.steady_state_inlet(0, load).value() - params.crac_supply.value();
+  const Seconds dt{0.25};
+  int steps = 0;
+  for (int checkpoint : {4, 240, 2400}) {
+    for (; steps < checkpoint; ++steps) {
+      room.step(dt, load);
+    }
+    const double elapsed = steps * dt.value();
+    const double expected = target * (1.0 - std::exp(-elapsed / params.tau.value()));
+    EXPECT_NEAR(room.inlet(0).value() - params.crac_supply.value(), expected, 1e-9)
+        << "after " << steps << " steps";
+    // Offsets ride on top of the shared mixed rise at every point in time.
+    EXPECT_NEAR(room.inlet(1).value() - room.inlet(0).value(), 2.5, 1e-12);
+  }
+  // 2400 steps = 10 τ: converged to the analytic steady state.
+  EXPECT_NEAR(room.inlet(0).value(), room.steady_state_inlet(0, load).value(), 1e-3);
+}
+
+TEST(Room, SettleMatchesConvergedStepping) {
+  RoomParams params;
+  params.tau = Seconds{30.0};
+  RoomModel stepped{3, params};
+  RoomModel settled{3, params};
+  for (std::size_t i = 0; i < 3; ++i) {
+    stepped.set_node_offset(i, CelsiusDelta{static_cast<double>(i)});
+    settled.set_node_offset(i, CelsiusDelta{static_cast<double>(i)});
+  }
+  const Watts load{650.0};
+  settled.settle(load);
+  for (int i = 0; i < 20000; ++i) {  // ~33 τ of 50 ms steps
+    stepped.step(Seconds{0.05}, load);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(stepped.inlet(i).value(), settled.inlet(i).value(), 1e-6);
+    EXPECT_NEAR(settled.inlet(i).value(), settled.steady_state_inlet(i, load).value(),
+                1e-12);
+  }
+}
+
+// Regression (red under the pre-fix coupling): the engine used to drive the
+// room with the *previous* round's DC-only cpu+fan watts while settle() is
+// primed with metered wall watts (PSU losses + platform base load included),
+// so a settled room decayed toward a target ~40% below its own equilibrium
+// as soon as the engine started stepping. Steady state must be a fixed point
+// of the engine's room coupling.
+TEST(Room, EngineSteadyStateAgreesWithSettle) {
+  NodeParams node_params;
+  node_params.sensor.noise_sigma_degc = 0.0;
+  Cluster rack{2, node_params};
+  for (std::size_t i = 0; i < 2; ++i) {
+    rack.node(i).set_utilization(Utilization{0.02});
+  }
+  rack.settle_all();
+
+  RoomParams room_params;
+  room_params.tau = Seconds{20.0};  // horizon spans several τ
+  RoomModel room{2, room_params};
+  const Watts rack_wall = rack.total_power();
+  room.settle(rack_wall);
+  const double settled_inlet = room.inlet(0).value();
+
+  EngineConfig cfg;
+  cfg.horizon = Seconds{120.0};
+  Engine engine{rack, cfg};
+  engine.attach_room(room);
+  engine.run();  // constant load, no controllers: nothing should move
+
+  EXPECT_NEAR(room.inlet(0).value(), settled_inlet, 0.1);
+  EXPECT_NEAR(room.inlet(0).value(),
+              room.steady_state_inlet(0, rack.total_power()).value(), 0.1);
+}
+
 TEST(Room, EngineFeedbackRaisesInlets) {
   NodeParams node_params;
   node_params.sensor.noise_sigma_degc = 0.0;

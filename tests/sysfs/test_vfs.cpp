@@ -94,6 +94,76 @@ TEST(VirtualFs, RemoveAttribute) {
   EXPECT_FALSE(fs.exists("/sys/x"));
 }
 
+TEST(VirtualFs, TypedHandleSeesStringPathWrites) {
+  // Mixed access to one numeric attribute: the typed handle and the string
+  // path are two views of the same handlers, so a write through either
+  // surface must be visible to the next read through the other.
+  VirtualFs fs;
+  long stored = 1000;
+  fs.add_attribute_long(
+      "/sys/test/freq", [&stored] { return stored; },
+      [&stored](long v) {
+        stored = v;
+        return true;
+      });
+  const VirtualFs::Handle h = fs.open("/sys/test/freq");
+  ASSERT_TRUE(static_cast<bool>(h));
+  EXPECT_EQ(fs.read_long(h).value(), 1000);
+
+  EXPECT_TRUE(fs.write("/sys/test/freq", "2400"));  // string-path write
+  EXPECT_EQ(fs.read_long(h).value(), 2400);         // typed handle is fresh
+
+  EXPECT_TRUE(fs.write_long(h, 1800));              // typed-handle write
+  EXPECT_EQ(fs.read("/sys/test/freq").value(), "1800");  // string path is fresh
+}
+
+TEST(VirtualFs, StaleHandleFailsClosedAfterRemove) {
+  VirtualFs fs;
+  long stored = 7;
+  fs.add_attribute_long(
+      "/sys/test/gone", [&stored] { return stored; },
+      [&stored](long v) {
+        stored = v;
+        return true;
+      });
+  const VirtualFs::Handle h = fs.open("/sys/test/gone");
+  ASSERT_EQ(fs.read_long(h).value(), 7);
+
+  fs.remove_attribute("/sys/test/gone");
+  // The handle must not dangle: every access through it fails closed.
+  EXPECT_FALSE(fs.read_long(h).has_value());
+  EXPECT_FALSE(fs.read(h).has_value());
+  EXPECT_FALSE(fs.write_long(h, 9));
+  EXPECT_FALSE(fs.write(h, "9"));
+  EXPECT_EQ(stored, 7);  // the old handler was never invoked
+}
+
+TEST(VirtualFs, StaleHandleNeverReadsReRegisteredAttribute) {
+  // Remove + re-register at the same path (device unpublish/republish): a
+  // handle cached before the swap must not alias the new attribute — a
+  // string-path write to the new one can then never be shadowed by a stale
+  // cached long from the old one.
+  VirtualFs fs;
+  fs.add_attribute_long("/sys/test/temp", [] { return 41000L; });
+  const VirtualFs::Handle stale = fs.open("/sys/test/temp");
+  ASSERT_EQ(fs.read_long(stale).value(), 41000);
+
+  fs.remove_attribute("/sys/test/temp");
+  long fresh_value = 52000;
+  fs.add_attribute_long(
+      "/sys/test/temp", [&fresh_value] { return fresh_value; },
+      [&fresh_value](long v) {
+        fresh_value = v;
+        return true;
+      });
+
+  EXPECT_FALSE(fs.read_long(stale).has_value());  // not the old value...
+  EXPECT_TRUE(fs.write("/sys/test/temp", "53000"));
+  EXPECT_FALSE(fs.read_long(stale).has_value());  // ...and never the new one
+  const VirtualFs::Handle reopened = fs.open("/sys/test/temp");
+  EXPECT_EQ(fs.read_long(reopened).value(), 53000);
+}
+
 TEST(VirtualFsDeath, RelativePathAborts) {
   VirtualFs fs;
   EXPECT_DEATH(fs.add_attribute("sys/x", [] { return std::string{}; }), "absolute");

@@ -110,7 +110,29 @@ TEST(Oracle, SmallCorpusPassesAllPairs) {
   const OracleReport report = run_oracle(corpus);
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_EQ(report.configs, 4u);
-  EXPECT_EQ(report.pairs_checked, 16u);  // 4 pairings per config
+  EXPECT_EQ(report.pairs_checked, 20u);  // 5 pairings per config
+}
+
+TEST(Oracle, PassivePlanePairingHasTeeth) {
+  // The plane-passive-vs-detached pairing is only meaningful if an *active*
+  // plane would be caught: run the same config detached and with an actively
+  // capping plane, and require a behavioural diff.
+  core::ExperimentConfig cfg = quick_config();
+  cfg.name = "plane-teeth";
+  cfg.nodes = 2;
+  cfg.workload = core::WorkloadKind::kCpuBurn;
+  cfg.cpu_burn_duration = Seconds{10.0};
+  cfg.engine.horizon = Seconds{20.0};
+  const core::ExperimentResult detached = core::run_experiment(cfg);
+
+  cfg.control_plane.enabled = true;
+  cfg.control_plane.plane.passive = false;
+  cfg.control_plane.plane.rack_budget_w = 60.0;  // well under two burning nodes
+  const core::ExperimentResult capped = core::run_experiment(cfg);
+
+  EXPECT_FALSE(diff_results(detached, capped).identical());
+  EXPECT_GT(capped.plane_stats.caps_lowered, 0u);
+  EXPECT_EQ(detached.plane_stats.rounds, 0u);
 }
 
 TEST(OracleCorpus, IncludesWideRacksForShardedPairs) {
