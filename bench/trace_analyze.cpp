@@ -4,12 +4,14 @@
 // fault_campaign, trace_smoke, or user code calling obs::write_trace_file)
 // and renders the three views the paper's evaluation reasons in:
 //
-//   * per-node decision timelines (retargets, triggers, fail-safe episodes),
-//   * mode-residency histograms (time at each duty / frequency),
+//   * per-node decision timelines (retargets, triggers, fail-safe episodes,
+//     plane cap moves / fail-safes / Pp re-tunes, watchdog alerts),
+//   * mode-residency histograms (time at each duty / frequency / plane cap),
 //   * the trigger-causality table (rounds -> decisions -> actuations, with
-//     Δt-source and clamp attribution).
+//     Δt-source and clamp attribution, plus plane and alert columns).
 //
 // Usage: trace_analyze <run.thermtrace> [--max-rows N] [--chrome out.json]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,8 +60,16 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const obs::TraceFile file = obs::read_trace_file(path);
-    const std::vector<obs::TraceEvent>& events = file.events;
+    obs::TraceFile file = obs::read_trace_file(path);
+    std::vector<obs::TraceEvent>& events = file.events;
+    // Spilled traces can interleave equal-timestamp events across batch
+    // boundaries (backpressure deferral); restore the canonical merge order
+    // the summary views assume.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const obs::TraceEvent& x, const obs::TraceEvent& y) {
+                       if (x.t_s != y.t_s) return x.t_s < y.t_s;
+                       return x.node < y.node;
+                     });
     const double end_s = events.empty() ? 0.0 : events.back().t_s;
 
     std::printf("%s: %zu events across %u node(s), t = 0 .. %.2f s\n\n", path.c_str(),
@@ -77,6 +87,11 @@ int main(int argc, char** argv) {
         obs::render_residency(events, obs::TraceSubsystem::kTdvfs, end_s);
     if (!dvfs_res.empty()) {
       std::printf("cpu frequency residency:\n%s\n", dvfs_res.c_str());
+    }
+    const std::string plane_res =
+        obs::render_residency(events, obs::TraceSubsystem::kPlane, end_s);
+    if (!plane_res.empty()) {
+      std::printf("plane p-state cap residency:\n%s\n", plane_res.c_str());
     }
 
     std::printf("trigger causality:\n%s", obs::render_causality(events).c_str());

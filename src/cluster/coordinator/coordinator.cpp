@@ -512,4 +512,27 @@ void ControlPlane::resume_rack(std::size_t rack) {
   rack_stalled_[rack] = false;
 }
 
+std::size_t ControlPlane::rack_of(std::size_t node) const {
+  THERMCTL_ASSERT(node < agents_.size(), "rack_of of unknown node");
+  const std::size_t per_rack =
+      config_.nodes_per_rack == 0 ? agents_.size() : config_.nodes_per_rack;
+  return node / per_rack;
+}
+
+std::size_t ControlPlane::capped_count() const {
+  std::size_t n = 0;
+  for (const NodeAgent& agent : agents_) {
+    n += agent.cap_index() > 0 ? 1 : 0;
+  }
+  return n;
+}
+
+std::size_t ControlPlane::autonomous_count() const {
+  std::size_t n = 0;
+  for (const NodeAgent& agent : agents_) {
+    n += agent.autonomous() ? 1 : 0;
+  }
+  return n;
+}
+
 }  // namespace thermctl::cluster::ctrl

@@ -239,6 +239,12 @@ class ControlPlane {
 
   [[nodiscard]] bool passive() const { return config_.passive; }
   [[nodiscard]] std::size_t rack_count() const { return racks_.size(); }
+  /// Rack index owning node `i` (matches the agents' endpoint layout).
+  [[nodiscard]] std::size_t rack_of(std::size_t node) const;
+  /// Nodes currently under a plane p-state cap / running autonomously —
+  /// the fleet rollup's per-sample plane columns.
+  [[nodiscard]] std::size_t capped_count() const;
+  [[nodiscard]] std::size_t autonomous_count() const;
   [[nodiscard]] const PlaneStats& stats() const { return stats_; }
   [[nodiscard]] const NodeAgent& agent(std::size_t i) const { return agents_[i]; }
   [[nodiscard]] const RackCoordinator& rack(std::size_t r) const { return racks_[r]; }

@@ -119,6 +119,10 @@ struct Rig {
   std::unique_ptr<cluster::ctrl::ControlPlane> plane;
   std::shared_ptr<obs::RunTrace> trace;
   std::unique_ptr<obs::MetricsRegistry> registry;
+  std::unique_ptr<obs::FileSpillSink> spill_file;
+  std::unique_ptr<obs::TraceSpiller> spiller;
+  std::shared_ptr<obs::FleetRollup> rollup;
+  std::unique_ptr<obs::AlertWatchdog> watchdog;
 
   /// The node's trace ring, or nullptr when tracing is off — controllers
   /// treat nullptr as "don't record".
@@ -329,6 +333,104 @@ void build_control_plane(Rig& rig, const ExperimentConfig& config) {
   rig.engine->attach_plane(*rig.plane);
 }
 
+/// Wires the live telemetry pipeline: the streaming trace spiller, the
+/// rollup/watchdog/exposition periodic, or neither — all default off. Runs
+/// after build_control_plane so the rollup can read plane state, and before
+/// on_rig_built so verification observers see the final task order. All
+/// tasks are pure observation on the engine thread's serial phases; the
+/// oracle's kLiveTelemetryOnVsOff pairing asserts an enabled run stays
+/// bit-identical to a dark one.
+void build_live_telemetry(Rig& rig, const ExperimentConfig& config) {
+  const TelemetryConfig& t = config.telemetry;
+
+  if (t.spill) {
+    THERMCTL_ASSERT(rig.trace != nullptr, "telemetry.spill requires telemetry.trace");
+    obs::SpillSink* sink = t.spill_sink;
+    if (sink == nullptr) {
+      THERMCTL_ASSERT(!t.spill_path.empty(), "telemetry.spill needs a sink or a spill_path");
+      rig.spill_file = std::make_unique<obs::FileSpillSink>(t.spill_path);
+      sink = rig.spill_file.get();
+    }
+    rig.spiller = std::make_unique<obs::TraceSpiller>(*rig.trace, *sink, t.spill_cfg);
+    obs::TraceSpiller* spiller = rig.spiller.get();
+    rig.engine->add_periodic(Seconds{t.spill_cfg.period_s},
+                             [spiller](SimTime now) { spiller->drain(now.seconds()); });
+  }
+
+  if (!t.rollup.enabled) {
+    THERMCTL_ASSERT(t.alerts.empty(), "telemetry.alerts require telemetry.rollup.enabled");
+    THERMCTL_ASSERT(t.live_sink == nullptr,
+                    "telemetry.live_sink requires telemetry.rollup.enabled");
+    return;
+  }
+
+  obs::RollupConfig rollup_cfg = t.rollup;
+  if (rollup_cfg.nodes_per_rack == 0 && config.control_plane.enabled) {
+    rollup_cfg.nodes_per_rack = config.control_plane.plane.nodes_per_rack;
+  }
+  rig.rollup = std::make_shared<obs::FleetRollup>(config.nodes, rollup_cfg);
+  if (!t.alerts.empty()) {
+    rig.watchdog = std::make_unique<obs::AlertWatchdog>(t.alerts, rig.rollup->rack_count());
+    rig.watchdog->set_trace(rig.ring(0));
+  }
+
+  // Cumulative sensor-rejection counters live in the controllers' health
+  // monitors; resolve them once instead of per sample.
+  std::vector<const SensorHealthMonitor*> monitors;
+  for (const auto& fan : rig.fans) {
+    if (const SensorHealthMonitor* m = fan->health(); m != nullptr) {
+      monitors.push_back(m);
+    }
+  }
+  for (const auto& daemon : rig.tdvfs) {
+    if (const SensorHealthMonitor* m = daemon->health(); m != nullptr) {
+      monitors.push_back(m);
+    }
+  }
+
+  // One periodic drives sample → watchdog → exposition so the three stay
+  // phase-locked on the rollup cadence.
+  cluster::Cluster* cl = rig.cluster.get();
+  cluster::ctrl::ControlPlane* plane = rig.plane.get();
+  obs::FleetRollup* rollup = rig.rollup.get();
+  obs::AlertWatchdog* watchdog = rig.watchdog.get();
+  obs::TraceSpiller* spiller = rig.spiller.get();
+  obs::MetricsRegistry* registry = rig.registry.get();
+  obs::LiveTelemetrySink* sink = t.live_sink;
+  const std::uint32_t live_every = t.live_every == 0 ? 1 : t.live_every;
+  rig.engine->add_periodic(
+      Seconds{rollup_cfg.interval_s},
+      [cl, plane, rollup, watchdog, spiller, registry, sink, live_every,
+       monitors = std::move(monitors), ticks = std::uint64_t{0}](SimTime now) mutable {
+        rollup->begin(now.seconds());
+        for (std::size_t i = 0; i < cl->size(); ++i) {
+          const cluster::Node& node = cl->node(i);
+          const bool capped = plane != nullptr && plane->agent(i).cap_index() > 0;
+          const bool autonomous = plane != nullptr && plane->agent(i).autonomous();
+          rollup->observe(i, node.die_temperature().value(), node.wall_power().value(),
+                          capped, autonomous);
+        }
+        std::uint64_t rejected = 0;
+        for (const SensorHealthMonitor* m : monitors) {
+          rejected += m->stats().rejected;
+        }
+        rollup->commit(plane != nullptr ? plane->stats().failsafe_entries : 0, rejected);
+        if (watchdog != nullptr) {
+          watchdog->evaluate(now.seconds(), *rollup);
+        }
+        ++ticks;
+        if (sink != nullptr && ticks % live_every == 0) {
+          const obs::MetricsSnapshot snapshot =
+              registry != nullptr ? registry->merged() : obs::MetricsSnapshot{};
+          sink->on_exposition(
+              now.seconds(),
+              obs::render_openmetrics(snapshot, rollup, watchdog,
+                                      spiller != nullptr ? &spiller->stats() : nullptr,
+                                      now.seconds()));
+        }
+      });
+}
+
 }  // namespace
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
@@ -376,6 +478,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   build_fan_policy(rig, config);
   build_dvfs_policy(rig, config);
   build_control_plane(rig, config);
+  build_live_telemetry(rig, config);
 
   if (config.on_rig_built) {
     RigView view;
@@ -395,6 +498,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   result.run = rig.engine->run();
+
+  if (rig.spiller != nullptr) {
+    rig.spiller->finish();
+    result.spill = rig.spiller->stats();
+  }
+  result.rollup = rig.rollup;
+  if (rig.watchdog != nullptr) {
+    result.alert_rules = rig.watchdog->rules();
+    result.alerts = rig.watchdog->events();
+  }
 
   if (rig.plane != nullptr) {
     result.plane_stats = rig.plane->stats();
@@ -471,6 +584,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     if (rig.trace != nullptr) {
       shard.counter("trace.emitted").add(rig.trace->total_emitted());
       shard.counter("trace.dropped").add(rig.trace->total_dropped());
+    }
+    if (result.spill.has_value()) {
+      shard.counter("spill.drains").add(result.spill->drains);
+      shard.counter("spill.events").add(result.spill->events_spilled);
+      shard.counter("spill.events_lost").add(result.spill->events_lost);
+      shard.counter("spill.deferred_drains").add(result.spill->deferred_drains);
+    }
+    if (rig.rollup != nullptr) {
+      shard.counter("rollup.samples").add(rig.rollup->samples_recorded());
+    }
+    if (rig.watchdog != nullptr) {
+      shard.counter("alerts.events").add(rig.watchdog->events().size());
     }
     result.metrics = rig.registry->merged();
   }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,11 @@
 #include "core/policy.hpp"
 #include "core/tdvfs.hpp"
 #include "core/unified_controller.hpp"
+#include "obs/alerts.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/rollup.hpp"
+#include "obs/spill.hpp"
 #include "obs/trace.hpp"
 #include "workload/npb.hpp"
 #include "workload/synthetic.hpp"
@@ -112,9 +117,12 @@ struct PlaneHarnessConfig {
   cluster::RoomParams room{};
 };
 
-/// Run telemetry switches. Both default off; a disabled run pays one untaken
-/// branch per decision site and is bit-identical to a build without any of
-/// this wired in.
+/// Run telemetry switches. Everything defaults off; a disabled run pays one
+/// untaken branch per decision site and is bit-identical to a build without
+/// any of this wired in. The live pipeline below (spill / rollup / alerts /
+/// exposition) is pure observation on the engine thread's serial phases: the
+/// oracle's kLiveTelemetryOnVsOff pairing asserts an enabled run stays
+/// bit-identical on every behavioural axis.
 struct TelemetryConfig {
   /// Record controller decisions into per-node trace rings; the result then
   /// carries a RunTrace for export (.thermtrace / Chrome JSON) and analysis.
@@ -124,6 +132,32 @@ struct TelemetryConfig {
   /// Count engine/controller activity into a metrics registry; the result
   /// then carries a merged MetricsSnapshot.
   bool metrics = false;
+
+  /// Stream ring contents into a SpillSink during the run (requires trace).
+  /// With a drain period short enough for the ring capacity, a run whose
+  /// rings would wrap loses nothing — drops surface in SpillStats instead.
+  bool spill = false;
+  obs::SpillConfig spill_cfg{};
+  /// Spill destination: an externally owned sink takes precedence; else a
+  /// .thermtrace file is created at spill_path. One must be set when
+  /// spill is on.
+  obs::SpillSink* spill_sink = nullptr;
+  std::string spill_path;
+
+  /// Online per-rack/fleet aggregation on a sim-time cadence. When the
+  /// control plane is enabled and rollup.nodes_per_rack is 0, rack geometry
+  /// is inherited from the plane config.
+  obs::RollupConfig rollup{};
+
+  /// Watchdog threshold rules evaluated after every rollup sample (requires
+  /// rollup.enabled). Fires land on the fleet trace lane (ring 0, when
+  /// tracing) and in the run summary's alerts section.
+  std::vector<obs::AlertRule> alerts;
+
+  /// Mid-run OpenMetrics exposition sink (not owned), called every
+  /// `live_every` rollup intervals (requires rollup.enabled).
+  obs::LiveTelemetrySink* live_sink = nullptr;
+  std::uint32_t live_every = 1;
 };
 
 /// Read-only view of a fully built rig, handed to `on_rig_built` observers
@@ -208,6 +242,16 @@ struct ExperimentResult {
   std::shared_ptr<obs::RunTrace> trace;
   /// Merged run telemetry (empty unless telemetry.metrics).
   obs::MetricsSnapshot metrics;
+  /// Fleet/rack rollup series (null unless telemetry.rollup.enabled). Shared
+  /// for the same reason as `trace`.
+  std::shared_ptr<obs::FleetRollup> rollup;
+  /// Watchdog rules and the alert episodes they produced (empty unless
+  /// telemetry.alerts were configured).
+  std::vector<obs::AlertRule> alert_rules;
+  std::vector<obs::AlertEvent> alerts;
+  /// Spiller accounting (set only when telemetry.spill; includes the
+  /// finishing drain).
+  std::optional<obs::SpillStats> spill;
 };
 
 /// Builds, runs and tears down one experiment.

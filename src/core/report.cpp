@@ -62,6 +62,29 @@ std::string render_report(const ExperimentResult& result, const ReportOptions& o
         << fs.dvfs_held_ticks << " held ticks)\n";
   }
 
+  // Live-pipeline accounting, same only-when-it-happened policy.
+  if (result.trace != nullptr && result.trace->total_dropped() != 0) {
+    std::size_t nodes_dropping = 0;
+    for (std::uint64_t d : result.trace->dropped_by_node()) {
+      nodes_dropping += d != 0 ? 1 : 0;
+    }
+    out << "trace: " << result.trace->total_dropped() << " events dropped to ring wraps on "
+        << nodes_dropping << " node(s)";
+    if (result.spill.has_value()) {
+      out << "; spiller lost " << result.spill->events_lost << " of "
+          << result.spill->events_spilled + result.spill->events_lost << " spilled";
+    }
+    out << "\n";
+  }
+  if (!result.alerts.empty()) {
+    std::size_t still_firing = 0;
+    for (const obs::AlertEvent& e : result.alerts) {
+      still_firing += e.cleared_at_s < 0.0 ? 1 : 0;
+    }
+    out << "alerts: " << result.alerts.size() << " episode(s), " << still_firing
+        << " still firing at end of run\n";
+  }
+
   if (options.per_node) {
     TextTable table{{"node", "avg die (degC)", "max die", "avg duty (%)", "avg power (W)",
                      "freq changes", "PROCHOT"}};
@@ -165,6 +188,104 @@ void write_run_summary_json(const std::string& path, const std::string& name,
     w.field("nodes", static_cast<std::uint64_t>(result.trace->node_count()));
     w.field("emitted", result.trace->total_emitted());
     w.field("dropped", result.trace->total_dropped());
+    w.begin_array("dropped_by_node");
+    for (std::uint64_t d : result.trace->dropped_by_node()) {
+      w.value(d);
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  if (result.spill.has_value()) {
+    const obs::SpillStats& sp = *result.spill;
+    w.begin_object("spill");
+    w.field("drains", sp.drains);
+    w.field("events_spilled", sp.events_spilled);
+    w.field("events_lost", sp.events_lost);
+    w.field("deferred_drains", sp.deferred_drains);
+    w.begin_array("lost_by_node");
+    for (std::uint64_t d : sp.lost_by_node) {
+      w.value(d);
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  if (result.rollup != nullptr) {
+    const obs::FleetRollup& r = *result.rollup;
+    w.begin_object("rollup");
+    w.field("interval_s", r.config().interval_s);
+    w.field("nodes_per_rack", static_cast<std::uint64_t>(r.config().nodes_per_rack));
+    w.field("violation_temp_c", r.config().violation_temp_c);
+    w.field("racks", static_cast<std::uint64_t>(r.rack_count()));
+    w.field("samples_recorded", r.samples_recorded());
+    w.begin_array("fleet");
+    for (const obs::RollupSample& s : r.fleet_series()) {
+      w.begin_object();
+      w.field("t_s", s.t_s);
+      w.field("max_temp_c", s.max_temp_c);
+      w.field("avg_temp_c", s.avg_temp_c);
+      w.field("power_w", s.power_w);
+      w.field("capped_nodes", static_cast<std::uint64_t>(s.capped_nodes));
+      w.field("autonomous_nodes", static_cast<std::uint64_t>(s.autonomous_nodes));
+      w.field("violation_node_s", s.violation_node_s);
+      w.field("plane_failsafe_entries", s.plane_failsafe_entries);
+      w.field("sensor_rejected", s.sensor_rejected);
+      w.end_object();
+    }
+    w.end_array();
+    // Per-rack series stay O(racks · intervals); the summary keeps one
+    // aggregate row per rack so fleet-scale files stay small.
+    w.begin_array("racks_summary");
+    for (std::size_t rack = 0; rack < r.rack_count(); ++rack) {
+      const std::vector<obs::RollupSample>& series = r.rack_series(rack);
+      double peak_temp = 0.0;
+      double peak_power = 0.0;
+      double violation_node_s = 0.0;
+      for (const obs::RollupSample& s : series) {
+        peak_temp = std::max(peak_temp, s.max_temp_c);
+        peak_power = std::max(peak_power, s.power_w);
+        violation_node_s += s.violation_node_s;
+      }
+      w.begin_object();
+      w.field("rack", static_cast<std::uint64_t>(rack));
+      w.field("samples", static_cast<std::uint64_t>(series.size()));
+      w.field("peak_temp_c", peak_temp);
+      w.field("peak_power_w", peak_power);
+      w.field("violation_node_s", violation_node_s);
+      w.field("last_capped_nodes",
+              static_cast<std::uint64_t>(series.empty() ? 0 : series.back().capped_nodes));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  if (!result.alert_rules.empty()) {
+    w.begin_object("alerts");
+    w.begin_array("rules");
+    for (const obs::AlertRule& rule : result.alert_rules) {
+      w.begin_object();
+      w.field("name", rule.name);
+      w.field("kind", obs::to_string(rule.kind));
+      w.field("threshold", rule.threshold);
+      w.field("for_s", rule.for_s);
+      w.field("per_rack", rule.per_rack);
+      w.end_object();
+    }
+    w.end_array();
+    w.begin_array("events");
+    for (const obs::AlertEvent& e : result.alerts) {
+      w.begin_object();
+      w.field("rule", static_cast<std::uint64_t>(e.rule));
+      w.field("name", e.name);
+      w.field("rack", static_cast<std::int64_t>(e.rack));
+      w.field("fired_at_s", e.fired_at_s);
+      w.field("cleared_at_s", e.cleared_at_s);
+      w.field("peak", e.peak);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
 

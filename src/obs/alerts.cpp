@@ -1,0 +1,138 @@
+#include "obs/alerts.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace thermctl::obs {
+
+const char* to_string(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kMaxTemp:
+      return "max_temp";
+    case AlertKind::kPowerOverBudget:
+      return "power_over_budget";
+    case AlertKind::kFailsafeRate:
+      return "failsafe_rate";
+    case AlertKind::kSensorFaultRate:
+      return "sensor_fault_rate";
+  }
+  return "unknown";
+}
+
+AlertWatchdog::AlertWatchdog(std::vector<AlertRule> rules, std::size_t rack_count)
+    : rules_(std::move(rules)), rack_count_(rack_count) {
+  states_.resize(rules_.size() * (rack_count_ + 1));
+}
+
+void AlertWatchdog::step(std::size_t rule, std::int32_t rack, double t_s, double value) {
+  const AlertRule& r = rules_[rule];
+  const std::size_t scope = rack < 0 ? rack_count_ : static_cast<std::size_t>(rack);
+  ScopeState& st = states_[rule * (rack_count_ + 1) + scope];
+  const bool over = value > r.threshold;
+  if (over) {
+    if (st.above_since_s < 0.0) {
+      st.above_since_s = t_s;
+      st.peak = value;
+    }
+    st.peak = std::max(st.peak, value);
+    const bool held = t_s - st.above_since_s >= r.for_s;
+    if (held && st.event < 0) {
+      AlertEvent ev;
+      ev.rule = rule;
+      ev.name = r.name;
+      ev.rack = rack;
+      ev.fired_at_s = t_s;
+      ev.peak = st.peak;
+      st.event = static_cast<std::int64_t>(events_.size());
+      events_.push_back(std::move(ev));
+      THERMCTL_TRACE_EMIT(trace_, (TraceEvent{.t_s = t_s,
+                                              .type = TraceEventType::kAlertFire,
+                                              .subsystem = TraceSubsystem::kAlert,
+                                              .i0 = static_cast<std::int64_t>(rule),
+                                              .i1 = rack,
+                                              .a = value,
+                                              .b = r.threshold}));
+    }
+    if (st.event >= 0) {
+      events_[static_cast<std::size_t>(st.event)].peak = st.peak;
+    }
+  } else {
+    if (st.event >= 0) {
+      events_[static_cast<std::size_t>(st.event)].cleared_at_s = t_s;
+      THERMCTL_TRACE_EMIT(trace_, (TraceEvent{.t_s = t_s,
+                                              .type = TraceEventType::kAlertClear,
+                                              .subsystem = TraceSubsystem::kAlert,
+                                              .i0 = static_cast<std::int64_t>(rule),
+                                              .i1 = rack,
+                                              .a = value,
+                                              .b = r.threshold}));
+    }
+    st.above_since_s = -1.0;
+    st.peak = 0.0;
+    st.event = -1;
+  }
+}
+
+void AlertWatchdog::evaluate(double t_s, const FleetRollup& rollup) {
+  THERMCTL_ASSERT(rollup.rack_count() == rack_count_, "watchdog/rollup rack count mismatch");
+  THERMCTL_ASSERT(!rollup.fleet_series().empty(), "evaluate() before the first rollup commit");
+  const RollupSample& fleet = rollup.fleet_series().back();
+
+  // Rate signals: per-minute deltas of the cumulative fleet counters across
+  // rollup intervals. The first sample has no predecessor, so rates are 0.
+  const double dt = last_t_s_ >= 0.0 ? t_s - last_t_s_ : 0.0;
+  const double failsafe_per_min =
+      dt > 0.0
+          ? static_cast<double>(fleet.plane_failsafe_entries - last_failsafes_) / dt * 60.0
+          : 0.0;
+  const double rejected_per_min =
+      dt > 0.0 ? static_cast<double>(fleet.sensor_rejected - last_rejected_) / dt * 60.0 : 0.0;
+  last_t_s_ = t_s;
+  last_failsafes_ = fleet.plane_failsafe_entries;
+  last_rejected_ = fleet.sensor_rejected;
+
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const AlertRule& r = rules_[i];
+    switch (r.kind) {
+      case AlertKind::kMaxTemp:
+      case AlertKind::kPowerOverBudget: {
+        if (r.per_rack) {
+          for (std::size_t rack = 0; rack < rack_count_; ++rack) {
+            const RollupSample& s = rollup.rack_series(rack).back();
+            step(i, static_cast<std::int32_t>(rack), t_s,
+                 r.kind == AlertKind::kMaxTemp ? s.max_temp_c : s.power_w);
+          }
+        } else {
+          step(i, -1, t_s, r.kind == AlertKind::kMaxTemp ? fleet.max_temp_c : fleet.power_w);
+        }
+        break;
+      }
+      case AlertKind::kFailsafeRate:
+        step(i, -1, t_s, failsafe_per_min);
+        break;
+      case AlertKind::kSensorFaultRate:
+        step(i, -1, t_s, rejected_per_min);
+        break;
+    }
+  }
+}
+
+std::size_t AlertWatchdog::firing_count() const {
+  std::size_t n = 0;
+  for (const ScopeState& st : states_) {
+    n += st.event >= 0 ? 1 : 0;
+  }
+  return n;
+}
+
+bool AlertWatchdog::rule_firing(std::size_t rule) const {
+  for (std::size_t scope = 0; scope <= rack_count_; ++scope) {
+    if (states_[rule * (rack_count_ + 1) + scope].event >= 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace thermctl::obs

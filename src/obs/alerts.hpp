@@ -1,0 +1,100 @@
+// Online alert watchdog: declarative threshold rules over the rollup stream.
+//
+// A rule names a signal (rack/fleet max temperature, fleet wall power,
+// plane-failsafe rate, sensor-fault rate), a threshold, and a hold time:
+// the alert fires at the first rollup sample where the signal has been
+// continuously over threshold for at least `for_s` seconds, and clears at
+// the first sample back at or under it. Evaluation is pure arithmetic over
+// the latest rollup row — deterministic, O(rules · racks) per interval —
+// and every transition is recorded twice: a structured kAlertFire /
+// kAlertClear event on the trace's fleet lane (ring 0), and an AlertEvent
+// in the list the run summary serializes as the machine-readable `alerts`
+// section.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/rollup.hpp"
+#include "obs/trace.hpp"
+
+namespace thermctl::obs {
+
+enum class AlertKind : std::uint8_t {
+  /// Rack (or fleet, when per_rack is false) max die temperature, °C.
+  kMaxTemp = 0,
+  /// Fleet (or rack) wall power, W — "budget overshoot" against the
+  /// threshold the operator intended the plane to hold.
+  kPowerOverBudget = 1,
+  /// Plane failsafe entries per minute, fleet-wide (from the cumulative
+  /// counter's delta across rollup intervals).
+  kFailsafeRate = 2,
+  /// Sensor readings rejected per minute, fleet-wide.
+  kSensorFaultRate = 3,
+};
+
+[[nodiscard]] const char* to_string(AlertKind kind);
+
+struct AlertRule {
+  std::string name;
+  AlertKind kind = AlertKind::kMaxTemp;
+  double threshold = 0.0;
+  /// Continuous seconds over threshold before firing (0 = first sample).
+  double for_s = 0.0;
+  /// Evaluate each rack's series separately; otherwise one fleet-scope
+  /// evaluation. Rate kinds are fleet-only and ignore this.
+  bool per_rack = false;
+};
+
+/// One fire (and optional clear) of a rule in one scope.
+struct AlertEvent {
+  std::size_t rule = 0;    // index into the rule list
+  std::string name;        // copied from the rule for self-contained output
+  std::int32_t rack = -1;  // -1 = fleet scope
+  double fired_at_s = 0.0;
+  double cleared_at_s = -1.0;  // -1 = still firing at end of run
+  /// Worst value observed while over threshold.
+  double peak = 0.0;
+};
+
+class AlertWatchdog {
+ public:
+  AlertWatchdog(std::vector<AlertRule> rules, std::size_t rack_count);
+
+  /// Structured alert events land on this ring (the fleet lane; nullptr
+  /// disables trace emission but the AlertEvent record is always kept).
+  void set_trace(TraceRing* ring) { trace_ = ring; }
+
+  /// Evaluate every rule against the rollup's newest sample. Call once per
+  /// rollup interval, right after FleetRollup::commit().
+  void evaluate(double t_s, const FleetRollup& rollup);
+
+  [[nodiscard]] const std::vector<AlertRule>& rules() const { return rules_; }
+  [[nodiscard]] const std::vector<AlertEvent>& events() const { return events_; }
+  /// Alerts currently over threshold (fired, not yet cleared).
+  [[nodiscard]] std::size_t firing_count() const;
+  [[nodiscard]] bool rule_firing(std::size_t rule) const;
+
+ private:
+  struct ScopeState {
+    double above_since_s = -1.0;  // first over-threshold sample (-1 = none)
+    double peak = 0.0;
+    std::int64_t event = -1;  // open AlertEvent index while firing
+  };
+
+  void step(std::size_t rule, std::int32_t rack, double t_s, double value);
+
+  std::vector<AlertRule> rules_;
+  std::size_t rack_count_;
+  TraceRing* trace_ = nullptr;
+  /// rack_count_+1 scopes per rule: [0..racks) then the fleet scope.
+  std::vector<ScopeState> states_;
+  std::vector<AlertEvent> events_;
+  /// Previous cumulative counters + sample time for the rate kinds.
+  double last_t_s_ = -1.0;
+  std::uint64_t last_failsafes_ = 0;
+  std::uint64_t last_rejected_ = 0;
+};
+
+}  // namespace thermctl::obs

@@ -194,6 +194,20 @@ void write_chrome_trace(const std::string& path, const std::vector<TraceEvent>& 
       case TraceEventType::kPlanePolicyUpdate:
         instant(json, ev, "plane_policy_update", {{"pp", static_cast<double>(ev.i0)}});
         break;
+      case TraceEventType::kAlertFire:
+        instant(json, ev, "alert_fire",
+                {{"rule", static_cast<double>(ev.i0)},
+                 {"rack", static_cast<double>(ev.i1)},
+                 {"value", ev.a},
+                 {"threshold", ev.b}});
+        break;
+      case TraceEventType::kAlertClear:
+        instant(json, ev, "alert_clear",
+                {{"rule", static_cast<double>(ev.i0)},
+                 {"rack", static_cast<double>(ev.i1)},
+                 {"value", ev.a},
+                 {"threshold", ev.b}});
+        break;
       case TraceEventType::kNone:
         break;
     }

@@ -1,0 +1,158 @@
+#include "obs/openmetrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace thermctl::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return std::string{buf};
+}
+
+/// OpenMetrics label values escape backslash, double quote and newline.
+std::string label_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+struct Renderer {
+  std::ostringstream out;
+
+  void type(const std::string& name, const char* kind) {
+    out << "# TYPE " << name << ' ' << kind << '\n';
+  }
+  void sample(const std::string& name, double value) {
+    out << name << ' ' << fmt_double(value) << '\n';
+  }
+  void sample(const std::string& name, const std::string& labels, double value) {
+    out << name << '{' << labels << "} " << fmt_double(value) << '\n';
+  }
+
+  void gauge(const std::string& name, double value) {
+    type(name, "gauge");
+    sample(name, value);
+  }
+  void counter(const std::string& name, double value) {
+    type(name, "counter");
+    sample(name + "_total", value);
+  }
+};
+
+}  // namespace
+
+std::string openmetrics_name(const std::string& name) {
+  std::string out = "thermctl_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string render_openmetrics(const MetricsSnapshot& metrics, const FleetRollup* rollup,
+                               const AlertWatchdog* alerts, const SpillStats* spill,
+                               double t_s) {
+  Renderer r;
+  r.gauge("thermctl_sim_time_seconds", t_s);
+
+  for (const auto& [name, value] : metrics.counters) {
+    r.counter(openmetrics_name(name), static_cast<double>(value));
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    r.gauge(openmetrics_name(name), value);
+  }
+  for (const auto& [name, h] : metrics.histograms) {
+    const std::string om = openmetrics_name(name);
+    r.type(om, "histogram");
+    // The registry stores per-bucket counts; the exposition wants cumulative
+    // counts per upper bound, closed by the +Inf bucket.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      r.sample(om + "_bucket", "le=\"" + fmt_double(h.bounds[i]) + "\"",
+               static_cast<double>(cumulative));
+    }
+    r.sample(om + "_bucket", "le=\"+Inf\"", static_cast<double>(h.total));
+    r.sample(om + "_sum", h.sum);
+    r.sample(om + "_count", static_cast<double>(h.total));
+  }
+
+  if (rollup != nullptr && !rollup->fleet_series().empty()) {
+    const RollupSample& fleet = rollup->fleet_series().back();
+    r.gauge("thermctl_fleet_max_temp_celsius", fleet.max_temp_c);
+    r.gauge("thermctl_fleet_avg_temp_celsius", fleet.avg_temp_c);
+    r.gauge("thermctl_fleet_power_watts", fleet.power_w);
+    r.gauge("thermctl_fleet_capped_nodes", static_cast<double>(fleet.capped_nodes));
+    r.gauge("thermctl_fleet_autonomous_nodes", static_cast<double>(fleet.autonomous_nodes));
+    r.gauge("thermctl_fleet_violation_node_seconds", fleet.violation_node_s);
+    // `fleet_`-prefixed like the gauges above — the raw names would collide
+    // with the registry counters the coordinator publishes under the same
+    // families (plane.failsafe_entries et al).
+    r.counter("thermctl_fleet_plane_failsafe_entries",
+              static_cast<double>(fleet.plane_failsafe_entries));
+    r.counter("thermctl_fleet_sensor_rejected", static_cast<double>(fleet.sensor_rejected));
+
+    r.type("thermctl_rack_max_temp_celsius", "gauge");
+    for (std::size_t rack = 0; rack < rollup->rack_count(); ++rack) {
+      r.sample("thermctl_rack_max_temp_celsius", "rack=\"" + std::to_string(rack) + "\"",
+               rollup->rack_series(rack).back().max_temp_c);
+    }
+    r.type("thermctl_rack_power_watts", "gauge");
+    for (std::size_t rack = 0; rack < rollup->rack_count(); ++rack) {
+      r.sample("thermctl_rack_power_watts", "rack=\"" + std::to_string(rack) + "\"",
+               rollup->rack_series(rack).back().power_w);
+    }
+    r.type("thermctl_rack_capped_nodes", "gauge");
+    for (std::size_t rack = 0; rack < rollup->rack_count(); ++rack) {
+      r.sample("thermctl_rack_capped_nodes", "rack=\"" + std::to_string(rack) + "\"",
+               static_cast<double>(rollup->rack_series(rack).back().capped_nodes));
+    }
+  }
+
+  if (alerts != nullptr) {
+    r.gauge("thermctl_alerts_firing", static_cast<double>(alerts->firing_count()));
+    if (!alerts->rules().empty()) {
+      r.type("thermctl_alert_firing", "gauge");
+      for (std::size_t i = 0; i < alerts->rules().size(); ++i) {
+        r.sample("thermctl_alert_firing",
+                 "rule=\"" + label_escape(alerts->rules()[i].name) + "\"",
+                 alerts->rule_firing(i) ? 1.0 : 0.0);
+      }
+    }
+    r.counter("thermctl_alert_events", static_cast<double>(alerts->events().size()));
+  }
+
+  if (spill != nullptr) {
+    r.counter("thermctl_spill_drains", static_cast<double>(spill->drains));
+    r.counter("thermctl_spill_events", static_cast<double>(spill->events_spilled));
+    r.counter("thermctl_spill_events_lost", static_cast<double>(spill->events_lost));
+    r.counter("thermctl_spill_deferred_drains", static_cast<double>(spill->deferred_drains));
+  }
+
+  r.out << "# EOF\n";
+  return r.out.str();
+}
+
+}  // namespace thermctl::obs

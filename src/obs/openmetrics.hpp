@@ -1,0 +1,66 @@
+// OpenMetrics text exposition: a pull-style snapshot of the live run.
+//
+// render_openmetrics() serializes the merged MetricsRegistry snapshot plus
+// the fleet rollup's newest samples and the watchdog's firing state into
+// the OpenMetrics text format (the Prometheus exposition format with the
+// stricter `# EOF` framing): counters as `<name>_total`, histograms as
+// `_bucket{le=...}` / `_sum` / `_count`, per-rack rollup gauges labelled
+// `{rack="N"}`. Metric names are sanitized (dots become underscores,
+// `thermctl_` prefix) so the registry's dotted names scrape cleanly.
+//
+// LiveTelemetrySink is the mid-run seam: the experiment harness renders an
+// exposition on the rollup cadence and hands it to the sink. In-process
+// sinks (CapturingTelemetrySink) are what the benches and tests pull from;
+// a future `thermctld` serves the same string over a socket — nothing
+// above this interface changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/alerts.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/rollup.hpp"
+#include "obs/spill.hpp"
+
+namespace thermctl::obs {
+
+/// `thermctl_`-prefixed OpenMetrics-safe name: [a-zA-Z0-9_:] only.
+[[nodiscard]] std::string openmetrics_name(const std::string& name);
+
+/// Renders one exposition. Any of rollup / alerts / spill may be null —
+/// only the sections with data appear. Always ends with `# EOF\n`.
+[[nodiscard]] std::string render_openmetrics(const MetricsSnapshot& metrics,
+                                             const FleetRollup* rollup,
+                                             const AlertWatchdog* alerts,
+                                             const SpillStats* spill, double t_s);
+
+/// Receives mid-run expositions on the rollup cadence. Implementations run
+/// on the engine thread and must not touch the rig — they observe, never
+/// actuate (the oracle's live-telemetry pairing assumes it).
+class LiveTelemetrySink {
+ public:
+  virtual ~LiveTelemetrySink() = default;
+  virtual void on_exposition(double t_s, const std::string& text) = 0;
+};
+
+/// Keeps the latest exposition (and the count) for in-process pulls.
+class CapturingTelemetrySink : public LiveTelemetrySink {
+ public:
+  void on_exposition(double t_s, const std::string& text) override {
+    last_t_s_ = t_s;
+    last_ = text;
+    ++count_;
+  }
+
+  [[nodiscard]] const std::string& last() const { return last_; }
+  [[nodiscard]] double last_t_s() const { return last_t_s_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+ private:
+  std::string last_;
+  double last_t_s_ = -1.0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace thermctl::obs

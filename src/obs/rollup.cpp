@@ -1,0 +1,84 @@
+#include "obs/rollup.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace thermctl::obs {
+
+FleetRollup::FleetRollup(std::size_t node_count, RollupConfig config)
+    : node_count_(node_count), config_(config) {
+  THERMCTL_ASSERT(node_count_ >= 1, "rollup needs nodes");
+  THERMCTL_ASSERT(config_.interval_s > 0.0, "rollup interval must be positive");
+  rack_count_ = config_.nodes_per_rack == 0
+                    ? 1
+                    : (node_count_ + config_.nodes_per_rack - 1) / config_.nodes_per_rack;
+  pending_.resize(rack_count_);
+  pending_counts_.resize(rack_count_);
+  rack_series_.resize(rack_count_);
+}
+
+void FleetRollup::begin(double t_s) {
+  THERMCTL_ASSERT(!in_sample_, "rollup begin() without commit()");
+  in_sample_ = true;
+  for (RollupSample& s : pending_) {
+    s = RollupSample{};
+    s.t_s = t_s;
+  }
+  pending_fleet_ = RollupSample{};
+  pending_fleet_.t_s = t_s;
+  std::fill(pending_counts_.begin(), pending_counts_.end(), 0u);
+}
+
+void FleetRollup::observe(std::size_t node, double temp_c, double power_w, bool capped,
+                          bool autonomous) {
+  THERMCTL_ASSERT(in_sample_, "rollup observe() outside begin()/commit()");
+  RollupSample& r = pending_[rack_of(node)];
+  r.max_temp_c = std::max(r.max_temp_c, temp_c);
+  r.avg_temp_c += temp_c;  // sum for now; commit() divides
+  r.power_w += power_w;
+  r.capped_nodes += capped ? 1 : 0;
+  r.autonomous_nodes += autonomous ? 1 : 0;
+  if (temp_c > config_.violation_temp_c) {
+    r.violation_node_s += config_.interval_s;
+  }
+  ++pending_counts_[rack_of(node)];
+}
+
+void FleetRollup::commit(std::uint64_t plane_failsafe_entries, std::uint64_t sensor_rejected) {
+  THERMCTL_ASSERT(in_sample_, "rollup commit() without begin()");
+  in_sample_ = false;
+  RollupSample& fleet = pending_fleet_;
+  std::uint32_t fleet_members = 0;
+  for (std::size_t rack = 0; rack < rack_count_; ++rack) {
+    RollupSample& r = pending_[rack];
+    const std::uint32_t members = pending_counts_[rack];
+    fleet.max_temp_c = std::max(fleet.max_temp_c, r.max_temp_c);
+    fleet.avg_temp_c += r.avg_temp_c;  // still a sum
+    fleet.power_w += r.power_w;
+    fleet.capped_nodes += r.capped_nodes;
+    fleet.autonomous_nodes += r.autonomous_nodes;
+    fleet.violation_node_s += r.violation_node_s;
+    fleet_members += members;
+    if (members > 0) {
+      r.avg_temp_c /= static_cast<double>(members);
+    }
+    rack_series_[rack].push_back(r);
+  }
+  if (fleet_members > 0) {
+    fleet.avg_temp_c /= static_cast<double>(fleet_members);
+  }
+  fleet.plane_failsafe_entries = plane_failsafe_entries;
+  fleet.sensor_rejected = sensor_rejected;
+  fleet_series_.push_back(fleet);
+}
+
+std::uint64_t FleetRollup::samples_recorded() const {
+  std::uint64_t n = fleet_series_.size();
+  for (const auto& series : rack_series_) {
+    n += series.size();
+  }
+  return n;
+}
+
+}  // namespace thermctl::obs

@@ -1,0 +1,94 @@
+// Fleet rollups: online per-rack + fleet aggregation of node state.
+//
+// At 100k nodes the post-hoc per-node series are the telemetry scaling
+// problem — O(nodes · samples) doubles nobody upstream wants to ship. The
+// rollup inverts that: a fixed sim-time cadence walks the nodes once,
+// folds each rack's temperature/power/cap state into one compact sample,
+// and appends it to per-rack and fleet time series. A run's rollup output
+// is O(racks · intervals) regardless of fleet size, which is what the
+// ROADMAP's `thermctld` needs to serve live and what the alert watchdog
+// evaluates against.
+//
+// Layering: obs sits below cluster, so the rollup knows nothing about
+// Node/ControlPlane — the experiment harness feeds it plain values
+// (observe() per node between begin()/commit()). Rack membership is plain
+// arithmetic over nodes_per_rack, matching the control plane's layout when
+// one is attached.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace thermctl::obs {
+
+struct RollupConfig {
+  bool enabled = false;
+  /// Sim-time sampling cadence.
+  double interval_s = 1.0;
+  /// Nodes per rack (0 = the whole fleet is one rack). Keep consistent with
+  /// the control plane's nodes_per_rack when both are on; the experiment
+  /// harness defaults it from there.
+  std::size_t nodes_per_rack = 0;
+  /// Die temperature above this accrues violation node-seconds.
+  double violation_temp_c = 60.0;
+};
+
+/// One rollup interval's aggregate for a rack (or the fleet row).
+struct RollupSample {
+  double t_s = 0.0;
+  double max_temp_c = 0.0;
+  double avg_temp_c = 0.0;
+  /// Sum of member wall power at the sample instant.
+  double power_w = 0.0;
+  /// Members under a plane p-state cap / in plane-autonomous fallback.
+  std::uint32_t capped_nodes = 0;
+  std::uint32_t autonomous_nodes = 0;
+  /// Node-seconds above violation_temp_c accrued this interval.
+  double violation_node_s = 0.0;
+  /// Cumulative fleet counters at sample time (fleet rows only; rack rows
+  /// carry zeros — the plane reports these per fleet, not per rack).
+  std::uint64_t plane_failsafe_entries = 0;
+  std::uint64_t sensor_rejected = 0;
+};
+
+class FleetRollup {
+ public:
+  FleetRollup(std::size_t node_count, RollupConfig config);
+
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  [[nodiscard]] std::size_t rack_count() const { return rack_count_; }
+  [[nodiscard]] std::size_t rack_of(std::size_t node) const {
+    return config_.nodes_per_rack == 0 ? 0 : node / config_.nodes_per_rack;
+  }
+  [[nodiscard]] const RollupConfig& config() const { return config_; }
+
+  /// One sampling pass: begin(t), observe() every node in node order, then
+  /// commit() with the cumulative fleet counters. The harness drives this
+  /// from an engine periodic.
+  void begin(double t_s);
+  void observe(std::size_t node, double temp_c, double power_w, bool capped, bool autonomous);
+  void commit(std::uint64_t plane_failsafe_entries, std::uint64_t sensor_rejected);
+
+  [[nodiscard]] const std::vector<RollupSample>& rack_series(std::size_t rack) const {
+    return rack_series_[rack];
+  }
+  [[nodiscard]] const std::vector<RollupSample>& fleet_series() const { return fleet_series_; }
+  /// Total samples across all series — the O(racks · intervals) figure the
+  /// live-telemetry bench holds against O(nodes · samples).
+  [[nodiscard]] std::uint64_t samples_recorded() const;
+
+ private:
+  std::size_t node_count_;
+  RollupConfig config_;
+  std::size_t rack_count_;
+  std::vector<RollupSample> pending_;  // per rack, the interval being built
+  RollupSample pending_fleet_;
+  std::vector<std::uint32_t> pending_counts_;  // members observed, per rack
+  bool in_sample_ = false;
+  std::vector<std::vector<RollupSample>> rack_series_;
+  std::vector<RollupSample> fleet_series_;
+};
+
+}  // namespace thermctl::obs

@@ -1,0 +1,120 @@
+#include "obs/spill.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "obs/trace_io.hpp"
+
+namespace thermctl::obs {
+
+struct FileSpillSink::Impl {
+  std::ofstream out;
+};
+
+FileSpillSink::FileSpillSink(std::string path)
+    : path_(std::move(path)), impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path_, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) {
+    throw std::runtime_error("spill: cannot open " + path_ + " for writing");
+  }
+  // Placeholder header; finalize() rewrites it with the real counts.
+  write_trace_header(impl_->out, 0, 0);
+}
+
+FileSpillSink::~FileSpillSink() = default;
+
+void FileSpillSink::append(const TraceEvent* events, std::size_t count) {
+  if (count == 0) {
+    return;
+  }
+  impl_->out.write(reinterpret_cast<const char*>(events),
+                   static_cast<std::streamsize>(count * sizeof(TraceEvent)));
+  if (!impl_->out) {
+    throw std::runtime_error("spill: write failed for " + path_);
+  }
+}
+
+void FileSpillSink::finalize(std::uint32_t node_count, std::uint64_t event_count) {
+  impl_->out.seekp(0);
+  write_trace_header(impl_->out, node_count, event_count);
+  impl_->out.flush();
+  if (!impl_->out) {
+    throw std::runtime_error("spill: finalize failed for " + path_);
+  }
+  impl_->out.close();
+}
+
+void MemorySpillSink::append(const TraceEvent* events, std::size_t count) {
+  events_.insert(events_.end(), events, events + count);
+}
+
+void MemorySpillSink::finalize(std::uint32_t node_count, std::uint64_t event_count) {
+  THERMCTL_ASSERT(event_count == events_.size(), "spill finalize count drifted");
+  node_count_ = node_count;
+  finalized_ = true;
+}
+
+TraceSpiller::TraceSpiller(const RunTrace& trace, SpillSink& sink, SpillConfig config)
+    : trace_(trace), sink_(sink), config_(config) {
+  THERMCTL_ASSERT(config_.period_s > 0.0, "spill period must be positive");
+  cursors_.assign(trace_.node_count(), 0);
+  stats_.lost_by_node.assign(trace_.node_count(), 0);
+}
+
+void TraceSpiller::drain_pass(std::size_t budget) {
+  batch_.clear();
+  const std::size_t nodes = trace_.node_count();
+  const std::size_t start = next_node_;
+  for (std::size_t visited = 0; visited < nodes; ++visited) {
+    if (budget != 0 && batch_.size() >= budget) {
+      break;
+    }
+    const std::size_t i = (start + visited) % nodes;
+    const std::size_t remaining = budget == 0 ? 0 : budget - batch_.size();
+    std::uint64_t lost = 0;
+    cursors_[i] = trace_.ring(i).read_new(cursors_[i], remaining, batch_, lost);
+    stats_.lost_by_node[i] += lost;
+    stats_.events_lost += lost;
+  }
+  // Budget exhausted with events still unread? Resume the next pass at the
+  // first still-pending ring so no node starves under sustained pressure.
+  next_node_ = 0;
+  for (std::size_t visited = 0; visited < nodes; ++visited) {
+    const std::size_t i = (start + visited) % nodes;
+    if (cursors_[i] < trace_.ring(i).emitted()) {
+      next_node_ = i;
+      ++stats_.deferred_drains;
+      break;
+    }
+  }
+  // Batches interleave nodes in visit order; restore the canonical container
+  // order. Stable so one node's events keep their emission order.
+  std::stable_sort(batch_.begin(), batch_.end(), [](const TraceEvent& x, const TraceEvent& y) {
+    if (x.t_s != y.t_s) return x.t_s < y.t_s;
+    return x.node < y.node;
+  });
+  sink_.append(batch_.data(), batch_.size());
+  stats_.events_spilled += batch_.size();
+}
+
+void TraceSpiller::drain(double now_s) {
+  (void)now_s;  // cadence is the caller's (engine periodic) concern
+  THERMCTL_ASSERT(!finished_, "spiller drained after finish()");
+  ++stats_.drains;
+  drain_pass(config_.max_events_per_drain);
+}
+
+void TraceSpiller::finish() {
+  if (finished_) {
+    return;
+  }
+  // One unbudgeted closing drain empties every ring regardless of where the
+  // last budgeted pass stopped.
+  drain_pass(0);
+  finished_ = true;
+  sink_.finalize(static_cast<std::uint32_t>(trace_.node_count()), stats_.events_spilled);
+}
+
+}  // namespace thermctl::obs

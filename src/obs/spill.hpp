@@ -1,0 +1,139 @@
+// Streaming trace spiller: continuous ring-to-container drain.
+//
+// The per-node TraceRings are bounded by design, so a long fleet run loses
+// its oldest events to ring wraps unless something reads them out first.
+// The spiller is that something: registered as an engine periodic task, it
+// walks every ring on a fixed sim-time cadence, copies out the events
+// emitted since its last visit (TraceRing::read_new cursors), stable-sorts
+// the batch into the canonical (time, node) merge order and appends it to a
+// SpillSink — the .thermtrace container for real runs, an in-memory buffer
+// for tests and the differential oracle.
+//
+// Backpressure is explicit rather than implicit: each drain moves at most
+// `max_events_per_drain` events (0 = unbounded). When the budget runs out
+// mid-pass the remaining rings keep their events until the next drain — and
+// the pass resumes *at the ring where it stopped*, so a budget smaller than
+// the steady-state event rate degrades fairly instead of starving the
+// high-numbered nodes. Events a ring overwrites before the spiller returns
+// are counted per node in SpillStats::lost_by_node; a zero there is the
+// "no trace-event loss" claim bench/live_telemetry asserts.
+//
+// Everything runs on the engine thread in the serial BSP phases (the rings
+// are single-writer from those same phases), so the spiller needs no locks
+// and a spilling run stays bit-identical to a dark one — the oracle's
+// live-telemetry pairing holds it to that.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace thermctl::obs {
+
+/// Where the spilled stream lands. append() receives batches already in
+/// (time, node) order, and batches are time-ordered against each other
+/// because ring timestamps only advance between drains. The one wrinkle:
+/// when a budgeted drain defers part of an instant's events to the next
+/// batch, equal-timestamp events can straddle the batch boundary out of
+/// node order — readers that need the strict merge order (trace_analyze
+/// does) re-sort after load, which is cheap and stable.
+class SpillSink {
+ public:
+  virtual ~SpillSink() = default;
+  virtual void append(const TraceEvent* events, std::size_t count) = 0;
+  /// Called exactly once, after the final drain. `event_count` is the total
+  /// ever appended.
+  virtual void finalize(std::uint32_t node_count, std::uint64_t event_count) = 0;
+};
+
+/// Appends to a .thermtrace container file. The 32-byte header is written
+/// up front with a zero event count and patched in place on finalize, so a
+/// crash mid-run leaves a recognizable (if short-counted) file rather than
+/// a corrupt one.
+class FileSpillSink : public SpillSink {
+ public:
+  explicit FileSpillSink(std::string path);
+  ~FileSpillSink() override;
+
+  void append(const TraceEvent* events, std::size_t count) override;
+  void finalize(std::uint32_t node_count, std::uint64_t event_count) override;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  struct Impl;
+  std::string path_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Keeps the spilled stream in memory — tests and the oracle use this so
+/// parallel sweeps don't need a filesystem rendezvous.
+class MemorySpillSink : public SpillSink {
+ public:
+  void append(const TraceEvent* events, std::size_t count) override;
+  void finalize(std::uint32_t node_count, std::uint64_t event_count) override;
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] bool finalized() const { return finalized_; }
+  [[nodiscard]] std::uint32_t node_count() const { return node_count_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::uint32_t node_count_ = 0;
+  bool finalized_ = false;
+};
+
+struct SpillConfig {
+  /// Sim-time drain cadence.
+  double period_s = 1.0;
+  /// Backpressure budget: events moved per drain across all rings
+  /// (0 = unbounded). Undersized budgets defer, they don't lose — loss only
+  /// happens when a ring laps the spill cursor between visits.
+  std::size_t max_events_per_drain = 0;
+};
+
+struct SpillStats {
+  std::uint64_t drains = 0;
+  std::uint64_t events_spilled = 0;
+  /// Events overwritten before the spiller could read them (ring lapped the
+  /// cursor). The spiller's real loss — distinct from TraceRing::dropped(),
+  /// which counts overwrites the spiller may well have already saved.
+  std::uint64_t events_lost = 0;
+  /// Drains that ran out of budget with events still pending.
+  std::uint64_t deferred_drains = 0;
+  std::vector<std::uint64_t> lost_by_node;
+};
+
+class TraceSpiller {
+ public:
+  /// Neither the trace nor the sink is owned; both must outlive the spiller.
+  TraceSpiller(const RunTrace& trace, SpillSink& sink, SpillConfig config);
+
+  /// One budgeted pass over the rings; registered as an engine periodic.
+  void drain(double now_s);
+
+  /// Final unbudgeted drain + sink finalize. Call after the engine stops;
+  /// further drains are invalid.
+  void finish();
+
+  [[nodiscard]] const SpillStats& stats() const { return stats_; }
+  [[nodiscard]] const SpillConfig& config() const { return config_; }
+
+ private:
+  /// Drains up to `budget` events (0 = unbounded) starting at next_node_.
+  void drain_pass(std::size_t budget);
+
+  const RunTrace& trace_;
+  SpillSink& sink_;
+  SpillConfig config_;
+  SpillStats stats_;
+  std::vector<std::uint64_t> cursors_;
+  std::vector<TraceEvent> batch_;  // reused per drain
+  std::size_t next_node_ = 0;      // resume point after a budget-limited pass
+  bool finished_ = false;
+};
+
+}  // namespace thermctl::obs

@@ -42,6 +42,10 @@ std::string_view to_string(TraceEventType type) {
       return "plane_failsafe_exit";
     case TraceEventType::kPlanePolicyUpdate:
       return "plane_policy_update";
+    case TraceEventType::kAlertFire:
+      return "alert_fire";
+    case TraceEventType::kAlertClear:
+      return "alert_clear";
   }
   return "?";
 }
@@ -62,6 +66,8 @@ std::string_view to_string(TraceSubsystem subsystem) {
       return "i2c";
     case TraceSubsystem::kPlane:
       return "plane";
+    case TraceSubsystem::kAlert:
+      return "alert";
   }
   return "?";
 }
@@ -95,6 +101,28 @@ std::vector<TraceEvent> TraceRing::events() const {
     out.push_back(buffer_[(start + k) % buffer_.size()]);
   }
   return out;
+}
+
+std::uint64_t TraceRing::read_new(std::uint64_t cursor, std::size_t max_events,
+                                  std::vector<TraceEvent>& out, std::uint64_t& lost) const {
+  // Oldest absolute index still resident in the buffer.
+  const std::uint64_t oldest =
+      emitted_ > buffer_.size() ? emitted_ - buffer_.size() : 0;
+  if (cursor < oldest) {
+    lost += oldest - cursor;
+    cursor = oldest;
+  }
+  std::uint64_t n = emitted_ - cursor;
+  if (max_events != 0 && n > max_events) {
+    n = max_events;
+  }
+  out.reserve(out.size() + static_cast<std::size_t>(n));
+  for (std::uint64_t k = 0; k < n; ++k) {
+    // Absolute index j was written at slot j % capacity (head_ starts at 0
+    // and advances one slot per emit).
+    out.push_back(buffer_[static_cast<std::size_t>((cursor + k) % buffer_.size())]);
+  }
+  return cursor + n;
 }
 
 void TraceRing::clear() {
@@ -141,6 +169,15 @@ std::uint64_t RunTrace::total_dropped() const {
     n += ring.dropped();
   }
   return n;
+}
+
+std::vector<std::uint64_t> RunTrace::dropped_by_node() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(rings_.size());
+  for (const TraceRing& ring : rings_) {
+    out.push_back(ring.dropped());
+  }
+  return out;
 }
 
 }  // namespace thermctl::obs

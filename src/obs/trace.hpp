@@ -74,6 +74,13 @@ enum class TraceEventType : std::uint8_t {
   kPlaneFailsafeExit = 15,
   /// Policy parameter re-tune pushed down by the plane. i0=applied Pp.
   kPlanePolicyUpdate = 16,
+  /// Watchdog alert rule crossed its threshold for its hold time.
+  /// i0=rule index, i1=rack (-1 = fleet scope), a=observed value,
+  /// b=threshold. Recorded on the fleet lane (ring 0).
+  kAlertFire = 17,
+  /// Previously firing alert dropped back under threshold. Same payload as
+  /// kAlertFire, with a=value at clearing.
+  kAlertClear = 18,
 };
 
 /// Which controller/plane emitted the event.
@@ -86,6 +93,8 @@ enum class TraceSubsystem : std::uint8_t {
   kI2c = 5,
   /// Hierarchical rack/room control plane (node agents).
   kPlane = 6,
+  /// Online alert watchdog (fleet-scope events land on node 0's ring).
+  kAlert = 7,
 };
 
 /// Flag bits (per-type meaning documented on the type).
@@ -145,6 +154,17 @@ class TraceRing {
   /// Events in emission order, oldest first (copies out of the ring).
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
+  /// Cursor-based incremental read for the streaming spiller. `cursor` is an
+  /// absolute emission index (0 on the first call, then the returned value).
+  /// Appends up to `max_events` events at-or-after the cursor to `out`
+  /// (0 = no limit) and returns the advanced cursor. Events the ring
+  /// overwrote before they could be read are counted into `lost` — that is
+  /// the spiller's true loss, distinct from dropped() which counts every
+  /// overwrite whether or not a reader got there first.
+  [[nodiscard]] std::uint64_t read_new(std::uint64_t cursor, std::size_t max_events,
+                                       std::vector<TraceEvent>& out,
+                                       std::uint64_t& lost) const;
+
   void clear();
 
  private:
@@ -170,6 +190,10 @@ class RunTrace {
 
   [[nodiscard]] std::uint64_t total_emitted() const;
   [[nodiscard]] std::uint64_t total_dropped() const;
+  /// Ring-wrap overwrites per node, indexable by node id — lets post-hoc
+  /// analyses spot which nodes' traces are truncated even when the totals
+  /// look survivable.
+  [[nodiscard]] std::vector<std::uint64_t> dropped_by_node() const;
 
  private:
   std::vector<TraceRing> rings_;

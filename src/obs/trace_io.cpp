@@ -28,20 +28,25 @@ void write_trace_file(const std::string& path, const RunTrace& trace) {
                    trace.merged_events());
 }
 
+void write_trace_header(std::ostream& out, std::uint32_t node_count,
+                        std::uint64_t event_count) {
+  Header header{};
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.header_size = kHeaderSize;
+  header.record_size = static_cast<std::uint32_t>(sizeof(TraceEvent));
+  header.node_count = node_count;
+  header.event_count = event_count;
+  header.reserved = 0;
+  out.write(reinterpret_cast<const char*>(&header), sizeof header);
+}
+
 void write_trace_file(const std::string& path, std::uint32_t node_count,
                       const std::vector<TraceEvent>& events) {
   std::ofstream out{path, std::ios::binary | std::ios::trunc};
   if (!out) {
     throw std::runtime_error("trace_io: cannot open " + path + " for writing");
   }
-  Header header{};
-  std::memcpy(header.magic, kMagic, sizeof kMagic);
-  header.header_size = kHeaderSize;
-  header.record_size = static_cast<std::uint32_t>(sizeof(TraceEvent));
-  header.node_count = node_count;
-  header.event_count = events.size();
-  header.reserved = 0;
-  out.write(reinterpret_cast<const char*>(&header), sizeof header);
+  write_trace_header(out, node_count, events.size());
   if (!events.empty()) {
     out.write(reinterpret_cast<const char*>(events.data()),
               static_cast<std::streamsize>(events.size() * sizeof(TraceEvent)));

@@ -39,4 +39,10 @@ void write_trace_file(const std::string& path, std::uint32_t node_count,
 /// magic, or a record-size mismatch.
 [[nodiscard]] TraceFile read_trace_file(const std::string& path);
 
+/// Writes just the 32-byte container header at the stream's current
+/// position. The streaming spiller writes it once with a zero event count,
+/// appends records as the run progresses, and rewrites it on finalize.
+void write_trace_header(std::ostream& out, std::uint32_t node_count,
+                        std::uint64_t event_count);
+
 }  // namespace thermctl::obs

@@ -17,6 +17,9 @@ std::string fmt(const char* format, double a, double b = 0.0, double c = 0.0) {
 
 std::vector<ModeChange> mode_change_sequence(const std::vector<TraceEvent>& events) {
   std::vector<ModeChange> out;
+  // Plane budget events carry the node's *current* cap, not a from/to pair;
+  // reconstruct transitions by remembering each node's last-seen cap.
+  std::map<std::uint16_t, std::int64_t> last_cap_khz;
   for (const TraceEvent& ev : events) {
     ModeChange mc;
     mc.t_s = ev.t_s;
@@ -43,6 +46,20 @@ std::vector<ModeChange> mode_change_sequence(const std::vector<TraceEvent>& even
         mc.consistency_rounds = ev.i0;
         mc.is_restore = true;
         break;
+      case TraceEventType::kPlaneBudget: {
+        auto it = last_cap_khz.find(ev.node);
+        const std::int64_t prev = it != last_cap_khz.end() ? it->second : ev.i0;
+        last_cap_khz[ev.node] = ev.i0;
+        if ((ev.flags & kTraceFlagChanged) == 0) {
+          continue;  // heartbeat round, cap held
+        }
+        // Cap moves express as the p-state frequency in GHz; a node whose
+        // very first budget already moved the cap has no recorded "from", so
+        // its pre-history is attributed to the new cap.
+        mc.from = static_cast<double>(prev) / 1e6;
+        mc.to = static_cast<double>(ev.i0) / 1e6;
+        break;
+      }
       default:
         continue;
     }
@@ -135,6 +152,21 @@ std::map<std::uint16_t, NodeDecisionStats> decision_stats(
       case TraceEventType::kI2cExhausted:
         ++s.i2c_exhausted;
         break;
+      case TraceEventType::kPlaneBudget:
+        ++s.plane_budgets;
+        if (ev.flags & kTraceFlagChanged) {
+          ++s.plane_cap_changes;
+        }
+        break;
+      case TraceEventType::kPlaneFailsafeEnter:
+        ++s.plane_failsafes;
+        break;
+      case TraceEventType::kPlanePolicyUpdate:
+        ++s.plane_policy_updates;
+        break;
+      case TraceEventType::kAlertFire:
+        ++s.alerts_fired;
+        break;
       default:
         break;
     }
@@ -177,6 +209,33 @@ std::string render_timeline(const std::vector<TraceEvent>& events, std::size_t m
         break;
       case TraceEventType::kI2cExhausted:
         text = "i2c transfer exhausted its retry budget";
+        break;
+      case TraceEventType::kPlaneBudget:
+        if ((ev.flags & kTraceFlagChanged) == 0) {
+          continue;  // unchanged heartbeats arrive every plane round
+        }
+        text = fmt("plane cap -> %.2f GHz (budget %.0f W, wall %.0f W)",
+                   static_cast<double>(ev.i0) / 1e6, ev.a, ev.b);
+        break;
+      case TraceEventType::kPlaneFailsafeEnter:
+        text = fmt("PLANE FAIL-SAFE: coordinator quiet %.1f s, reverting to local control",
+                   ev.a);
+        break;
+      case TraceEventType::kPlaneFailsafeExit:
+        text = fmt("plane rejoin: back under coordinator epoch %.0f",
+                   static_cast<double>(ev.i0));
+        break;
+      case TraceEventType::kPlanePolicyUpdate:
+        text = fmt("plane re-tune: Pp -> %.0f", static_cast<double>(ev.i0));
+        break;
+      case TraceEventType::kAlertFire:
+        text = fmt("ALERT FIRED: rule %.0f value %.1f > threshold %.1f",
+                   static_cast<double>(ev.i0), ev.a, ev.b) +
+               (ev.i1 >= 0 ? fmt(" (rack %.0f)", static_cast<double>(ev.i1)) : " (fleet)");
+        break;
+      case TraceEventType::kAlertClear:
+        text = fmt("alert cleared: rule %.0f value %.1f <= threshold %.1f",
+                   static_cast<double>(ev.i0), ev.a, ev.b);
         break;
       default:
         continue;  // window rounds / raw decisions are too dense for this view
@@ -224,12 +283,13 @@ std::string render_causality(const std::vector<TraceEvent>& events) {
   const auto stats = decision_stats(events);
   std::ostringstream out;
   out << "  node  rounds  decided  changed  lvl2  clamped  fan-moves  wr-fail  "
-         "dvfs-trig  dvfs-rest  sensor-flags  failsafe  holds  i2c-retry\n";
+         "dvfs-trig  dvfs-rest  sensor-flags  failsafe  holds  i2c-retry  "
+         "plane-budg  plane-cap  plane-fs  plane-pp  alerts\n";
   for (const auto& [node, s] : stats) {
-    char buf[256];
+    char buf[320];
     std::snprintf(buf, sizeof buf,
                   "  %4u  %6llu  %7llu  %7llu  %4llu  %7llu  %9llu  %7llu  %9llu  %9llu  "
-                  "%12llu  %8llu  %5llu  %9llu\n",
+                  "%12llu  %8llu  %5llu  %9llu  %10llu  %9llu  %8llu  %8llu  %6llu\n",
                   static_cast<unsigned>(node),
                   static_cast<unsigned long long>(s.window_rounds),
                   static_cast<unsigned long long>(s.decisions),
@@ -243,7 +303,12 @@ std::string render_causality(const std::vector<TraceEvent>& events) {
                   static_cast<unsigned long long>(s.sensor_flags),
                   static_cast<unsigned long long>(s.failsafe_entries),
                   static_cast<unsigned long long>(s.dvfs_holds),
-                  static_cast<unsigned long long>(s.i2c_retries));
+                  static_cast<unsigned long long>(s.i2c_retries),
+                  static_cast<unsigned long long>(s.plane_budgets),
+                  static_cast<unsigned long long>(s.plane_cap_changes),
+                  static_cast<unsigned long long>(s.plane_failsafes),
+                  static_cast<unsigned long long>(s.plane_policy_updates),
+                  static_cast<unsigned long long>(s.alerts_fired));
     out << buf;
   }
   return out.str();

@@ -60,6 +60,11 @@ struct NodeDecisionStats {
   std::uint64_t dvfs_holds = 0;
   std::uint64_t i2c_retries = 0;
   std::uint64_t i2c_exhausted = 0;
+  std::uint64_t plane_budgets = 0;       // budget heartbeats applied
+  std::uint64_t plane_cap_changes = 0;   // ... that moved the p-state cap
+  std::uint64_t plane_failsafes = 0;     // autonomous-fallback entries
+  std::uint64_t plane_policy_updates = 0;
+  std::uint64_t alerts_fired = 0;  // watchdog fires (fleet lane = node 0)
 };
 
 [[nodiscard]] std::map<std::uint16_t, NodeDecisionStats> decision_stats(

@@ -1,9 +1,12 @@
 #include "verify/differential.hpp"
 
 #include <bit>
+#include <memory>
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/spill.hpp"
 #include "runtime/sweep.hpp"
 
 namespace thermctl::verify {
@@ -20,6 +23,8 @@ const char* to_string(OraclePairKind kind) {
       return "sharded-vs-serial";
     case OraclePairKind::kPlanePassiveVsDetached:
       return "plane-passive-vs-detached";
+    case OraclePairKind::kLiveTelemetryOnVsOff:
+      return "live-telemetry-on-vs-off";
   }
   return "unknown";
 }
@@ -323,6 +328,51 @@ OracleReport run_oracle(const std::vector<core::ExperimentConfig>& corpus,
     for (std::size_t i = 0; i < corpus.size(); ++i) {
       record(i, OraclePairKind::kPlanePassiveVsDetached,
              diff_results(base[i], attached[i], options.max_differences));
+    }
+  }
+
+  // Pair 6: the full live telemetry pipeline armed — streaming spiller into
+  // an in-memory sink, fleet rollups on a sub-second cadence, watchdog rules
+  // set low enough to actually fire, and mid-run OpenMetrics expositions
+  // into a capturing sink. All of it is observation on the engine thread's
+  // serial phases; node behaviour must stay bit-identical to the dark run.
+  {
+    std::vector<core::ExperimentConfig> live = corpus;
+    // Sinks are raw non-owning pointers in TelemetryConfig; keep them alive
+    // across the (possibly parallel) sweep.
+    std::vector<std::unique_ptr<obs::MemorySpillSink>> spill_sinks;
+    std::vector<std::unique_ptr<obs::CapturingTelemetrySink>> live_sinks;
+    spill_sinks.reserve(live.size());
+    live_sinks.reserve(live.size());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      core::ExperimentConfig& cfg = live[i];
+      cfg.telemetry.trace = true;
+      cfg.telemetry.metrics = true;
+      // Tiny rings + tight budgets force wraps, deferrals and spiller
+      // catch-up — the paths most likely to hide a behavioural side effect.
+      cfg.telemetry.trace_ring_capacity = 32;
+      cfg.telemetry.spill = true;
+      cfg.telemetry.spill_cfg.period_s = 0.5;
+      cfg.telemetry.spill_cfg.max_events_per_drain = i % 2 == 0 ? 0 : 16;
+      spill_sinks.push_back(std::make_unique<obs::MemorySpillSink>());
+      cfg.telemetry.spill_sink = spill_sinks.back().get();
+      cfg.telemetry.rollup.enabled = true;
+      cfg.telemetry.rollup.interval_s = 0.5;
+      cfg.telemetry.rollup.nodes_per_rack = 1 + i % 3;
+      cfg.telemetry.rollup.violation_temp_c = 45.0;
+      cfg.telemetry.alerts = {
+          {"hot-rack", obs::AlertKind::kMaxTemp, 45.0, 1.0, true},
+          {"fleet-power", obs::AlertKind::kPowerOverBudget, 50.0, 0.0, false},
+      };
+      live_sinks.push_back(std::make_unique<obs::CapturingTelemetrySink>());
+      cfg.telemetry.live_sink = live_sinks.back().get();
+      cfg.telemetry.live_every = 2;
+    }
+    const std::vector<core::ExperimentResult> lit =
+        runtime::run_sweep(live, runtime::SweepOptions{.threads = options.threads});
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      record(i, OraclePairKind::kLiveTelemetryOnVsOff,
+             diff_results(base[i], lit[i], options.max_differences));
     }
   }
 

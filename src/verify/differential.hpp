@@ -35,6 +35,7 @@ enum class OraclePairKind : std::uint8_t {
   kFaultAwareZeroFault, // fault_aware gating on vs off, no faults scheduled
   kShardedVsSerial,     // engine workers > 1 vs the serial engine
   kPlanePassiveVsDetached,  // passive control plane attached vs no plane
+  kLiveTelemetryOnVsOff,    // spiller + rollups + watchdog + exposition vs dark
 };
 
 [[nodiscard]] const char* to_string(OraclePairKind kind);
@@ -86,7 +87,7 @@ struct OracleOptions {
 [[nodiscard]] std::vector<core::ExperimentConfig> make_oracle_corpus(std::uint64_t seed,
                                                                      std::size_t count);
 
-/// Runs every config under all five pairings and reports any diff.
+/// Runs every config under all six pairings and reports any diff.
 [[nodiscard]] OracleReport run_oracle(const std::vector<core::ExperimentConfig>& corpus,
                                       OracleOptions options = {});
 

@@ -2,6 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "obs/alerts.hpp"
+#include "obs/rollup.hpp"
+#include "obs/spill.hpp"
+#include "obs/trace.hpp"
+
 namespace thermctl::core {
 namespace {
 
@@ -87,6 +98,112 @@ TEST(Report, EmptyEventsNoTimelineHeader) {
   r.tdvfs_events.assign(2, {});
   r.fan_events.assign(2, {});
   EXPECT_EQ(render_report(r).find("timeline"), std::string::npos);
+}
+
+// The live-pipeline sections of the run-summary JSON are a machine-readable
+// contract: fixed keys, fixed nesting. This round-trips a fully populated
+// result through write_run_summary_json and checks the schema keys and a few
+// exact values — effectively a golden-file test that tolerates float noise.
+TEST(RunSummaryJson, RoundTripsLivePipelineSections) {
+  ExperimentResult r = sample_result();
+
+  r.trace = std::make_shared<obs::RunTrace>(2, 2);
+  for (int i = 0; i < 4; ++i) {
+    r.trace->ring(1).emit(obs::TraceEvent{.t_s = 1.0 + i});
+  }
+
+  obs::SpillStats spill;
+  spill.drains = 7;
+  spill.events_spilled = 4;
+  spill.events_lost = 2;
+  spill.deferred_drains = 1;
+  spill.lost_by_node = {0, 2};
+  r.spill = spill;
+
+  obs::RollupConfig rcfg;
+  rcfg.enabled = true;
+  rcfg.interval_s = 0.5;
+  rcfg.nodes_per_rack = 1;
+  rcfg.violation_temp_c = 55.0;
+  r.rollup = std::make_shared<obs::FleetRollup>(2, rcfg);
+  r.rollup->begin(0.5);
+  r.rollup->observe(0, 60.0, 100.0, true, false);
+  r.rollup->observe(1, 50.0, 90.0, false, false);
+  r.rollup->commit(1, 3);
+
+  r.alert_rules = {{"hot-rack", obs::AlertKind::kMaxTemp, 55.0, 0.0, true}};
+  obs::AlertEvent ev;
+  ev.rule = 0;
+  ev.name = "hot-rack";
+  ev.rack = 0;
+  ev.fired_at_s = 0.5;
+  ev.cleared_at_s = -1.0;
+  ev.peak = 60.0;
+  r.alerts = {ev};
+
+  const std::string path = ::testing::TempDir() + "thermctl_summary_roundtrip.json";
+  write_run_summary_json(path, "roundtrip", r);
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  std::remove(path.c_str());
+
+  // trace section with per-node drop accounting (ring capacity 2, 4 emits).
+  EXPECT_NE(json.find("\"dropped_by_node\":[0,2]"), std::string::npos);
+
+  // spill section mirrors SpillStats exactly.
+  EXPECT_NE(json.find("\"spill\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"drains\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"events_spilled\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"events_lost\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"deferred_drains\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"lost_by_node\":[0,2]"), std::string::npos);
+
+  // rollup section: config echo, fleet series row, per-rack aggregate rows.
+  EXPECT_NE(json.find("\"rollup\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"interval_s\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"racks\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"samples_recorded\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"max_temp_c\":60"), std::string::npos);
+  EXPECT_NE(json.find("\"power_w\":190"), std::string::npos);
+  EXPECT_NE(json.find("\"plane_failsafe_entries\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"sensor_rejected\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"racks_summary\":["), std::string::npos);
+  EXPECT_NE(json.find("\"peak_power_w\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"last_capped_nodes\":1"), std::string::npos);
+
+  // alerts section: declarative rules plus machine-readable episodes.
+  EXPECT_NE(json.find("\"alerts\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"max_temp\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_rack\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"hot-rack\""), std::string::npos);
+  EXPECT_NE(json.find("\"fired_at_s\":0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"cleared_at_s\":-1"), std::string::npos);
+  EXPECT_NE(json.find("\"peak\":60"), std::string::npos);
+}
+
+TEST(Report, MentionsDropsSpillLossAndAlerts) {
+  ExperimentResult r = sample_result();
+  r.trace = std::make_shared<obs::RunTrace>(2, 2);
+  for (int i = 0; i < 4; ++i) {
+    r.trace->ring(1).emit(obs::TraceEvent{.t_s = 1.0 + i});
+  }
+  obs::SpillStats spill;
+  spill.events_spilled = 8;
+  spill.events_lost = 2;
+  r.spill = spill;
+  r.alert_rules = {{"hot-rack", obs::AlertKind::kMaxTemp, 55.0, 0.0, true}};
+  obs::AlertEvent ev;
+  ev.name = "hot-rack";
+  ev.fired_at_s = 0.5;
+  r.alerts = {ev};
+
+  const std::string report = render_report(r);
+  EXPECT_NE(report.find("2 events dropped"), std::string::npos);
+  EXPECT_NE(report.find("spiller lost 2 of 10"), std::string::npos);
+  EXPECT_NE(report.find("alerts: 1 episode(s), 1 still firing"), std::string::npos);
 }
 
 }  // namespace

@@ -71,6 +71,68 @@ TEST(TraceRing, ClearResetsEverything) {
   EXPECT_TRUE(ring.events().empty());
 }
 
+TEST(TraceRing, ReadNewAdvancesCursorWithoutLoss) {
+  TraceRing ring{0, 8};
+  for (int i = 0; i < 3; ++i) {
+    ring.emit(TraceEvent{.t_s = 1.0 + i, .type = TraceEventType::kWindowRound});
+  }
+  std::vector<TraceEvent> out;
+  std::uint64_t lost = 0;
+  std::uint64_t cursor = ring.read_new(0, 0, out, lost);
+  EXPECT_EQ(cursor, 3u);
+  EXPECT_EQ(lost, 0u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].t_s, 1.0);
+
+  // Nothing new: the cursor holds and nothing is appended.
+  cursor = ring.read_new(cursor, 0, out, lost);
+  EXPECT_EQ(cursor, 3u);
+  EXPECT_EQ(out.size(), 3u);
+
+  ring.emit(TraceEvent{.t_s = 9.0, .type = TraceEventType::kWindowRound});
+  cursor = ring.read_new(cursor, 0, out, lost);
+  EXPECT_EQ(cursor, 4u);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out.back().t_s, 9.0);
+  EXPECT_EQ(lost, 0u);
+}
+
+TEST(TraceRing, ReadNewCountsLapLossAndHonorsBudget) {
+  TraceRing ring{0, 4};
+  for (int i = 0; i < 10; ++i) {
+    ring.emit(TraceEvent{.t_s = static_cast<double>(i), .type = TraceEventType::kWindowRound});
+  }
+  // Cursor still at 0 but emissions 0..5 are gone: only 6..9 survive.
+  std::vector<TraceEvent> out;
+  std::uint64_t lost = 0;
+  std::uint64_t cursor = ring.read_new(0, 2, out, lost);
+  EXPECT_EQ(lost, 6u);
+  ASSERT_EQ(out.size(), 2u);  // budget of 2 defers the rest
+  EXPECT_DOUBLE_EQ(out[0].t_s, 6.0);
+  EXPECT_DOUBLE_EQ(out[1].t_s, 7.0);
+  EXPECT_EQ(cursor, 8u);
+
+  cursor = ring.read_new(cursor, 2, out, lost);
+  EXPECT_EQ(cursor, 10u);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out.back().t_s, 9.0);
+  EXPECT_EQ(lost, 6u);  // no further loss once the reader catches up
+}
+
+TEST(RunTrace, DroppedByNodeIsPerNodeNotAggregate) {
+  RunTrace trace{3, 2};
+  trace.ring(0).emit(TraceEvent{.t_s = 1.0});
+  for (int i = 0; i < 5; ++i) {
+    trace.ring(2).emit(TraceEvent{.t_s = 1.0 + i});
+  }
+  const std::vector<std::uint64_t> dropped = trace.dropped_by_node();
+  ASSERT_EQ(dropped.size(), 3u);
+  EXPECT_EQ(dropped[0], 0u);
+  EXPECT_EQ(dropped[1], 0u);
+  EXPECT_EQ(dropped[2], 3u);
+  EXPECT_EQ(trace.total_dropped(), 3u);
+}
+
 TEST(TraceEmitMacro, NullRingIsANoOp) {
   TraceRing* no_ring = nullptr;
   // Must compile and do nothing — this is the disabled-tracing hot path.

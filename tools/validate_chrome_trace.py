@@ -13,7 +13,11 @@ catches exporter regressions without a browser:
   * instants ("i") carry a scope "s",
   * timestamps are non-decreasing per (pid, tid) lane for non-"X" events
     (the exporter writes the merged time-ordered stream; spans are stamped
-    at their start edge so they may jump backwards).
+    at their start edge so they may jump backwards),
+  * control-plane and watchdog events carry their full structured payload
+    (plane_budget: budget_w/wall_w/cap_khz/changed, plane_policy_update: pp,
+    alert_fire/alert_clear: rule/rack/value/threshold) and plane_autonomous
+    spans carry their start edge.
 
 Exit code 0 on success; 1 with a diagnostic on the first violation.
 
@@ -25,6 +29,15 @@ import math
 import sys
 
 ALLOWED_PHASES = {"i", "C", "X", "M"}
+
+# Structured payloads the analyzer tooling depends on: these instants must
+# carry every listed arg (numeric payloads are checked like counter args).
+REQUIRED_ARGS = {
+    "plane_budget": {"budget_w", "wall_w", "cap_khz", "changed"},
+    "plane_policy_update": {"pp"},
+    "alert_fire": {"rule", "rack", "value", "threshold"},
+    "alert_clear": {"rule", "rack", "value", "threshold"},
+}
 
 
 def fail(path, msg):
@@ -87,6 +100,23 @@ def validate(path):
                     return fail(path, f"{where} ('C') arg {k!r} is non-numeric: {v!r}")
         if ph == "i" and ev.get("s") not in ("t", "p", "g"):
             return fail(path, f"{where} ('i') has bad scope {ev.get('s')!r}")
+
+        name = ev["name"]
+        if ph == "i" and name in REQUIRED_ARGS:
+            args = ev.get("args")
+            if not isinstance(args, dict):
+                return fail(path, f"{where} ({name!r}) has no args payload")
+            missing = REQUIRED_ARGS[name] - set(args)
+            if missing:
+                return fail(path, f"{where} ({name!r}) missing args {sorted(missing)}")
+            for k in REQUIRED_ARGS[name]:
+                v = args[k]
+                if not isinstance(v, (int, float)) or not math.isfinite(v):
+                    return fail(path, f"{where} ({name!r}) arg {k!r} is non-numeric: {v!r}")
+        if ph == "X" and name == "plane_autonomous":
+            args = ev.get("args")
+            if not isinstance(args, dict) or "start_s" not in args:
+                return fail(path, f"{where} (plane_autonomous span) missing start_s")
 
     summary = ", ".join(f"{counts.get(p, 0)} {p}" for p in sorted(ALLOWED_PHASES))
     print(f"{path}: OK ({len(events)} events: {summary})")

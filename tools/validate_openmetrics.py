@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text exposition written by obs::render_openmetrics.
+
+Checks the subset of the OpenMetrics text format a Prometheus scrape relies
+on, so CI catches exposition regressions without running a scraper:
+
+  * the exposition ends with exactly one terminal "# EOF" line,
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*,
+  * every sample belongs to a family declared by a prior "# TYPE" line, and
+    families are declared at most once,
+  * counter samples use the "_total" suffix,
+  * histogram families expose "_bucket" samples with le labels, cumulative
+    non-decreasing counts closed by an le="+Inf" bucket, plus "_sum" and
+    "_count" where _count equals the +Inf bucket,
+  * labels are well-formed name="value" pairs (escaped \\, \" and \\n),
+  * all sample values parse as finite floats (+Inf/-Inf allowed for le).
+
+Exit code 0 on success; 1 with a diagnostic on the first violation.
+
+Usage: validate_openmetrics.py metrics.txt [metrics2.txt ...]
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABELS_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\["\\n])*)"$')
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})?\s+(\S+)(?:\s+\S+)?$")
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "unknown", "info", "stateset"}
+
+
+def fail(path, lineno, msg):
+    print(f"{path}:{lineno}: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def base_family(name, families):
+    """Maps a sample name to its declared family (histogram suffixes fold)."""
+    if name in families:
+        return name
+    for suffix in ("_total", "_bucket", "_sum", "_count", "_created"):
+        if name.endswith(suffix) and name[: -len(suffix)] in families:
+            return name[: -len(suffix)]
+    return None
+
+
+def validate(path):
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    if not text:
+        return fail(path, 0, "empty exposition")
+    if not text.endswith("# EOF\n"):
+        return fail(path, 0, "exposition does not end with '# EOF'")
+
+    families = {}  # name -> type
+    buckets = {}  # histogram name -> list of (le, value) in order
+    hist_scalars = {}  # histogram name -> {"_sum": v, "_count": v}
+    samples = 0
+    lines = text.splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                return fail(path, lineno, "'# EOF' before end of exposition")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                return fail(path, lineno, f"malformed TYPE line: {line!r}")
+            _, _, name, kind = parts
+            if not NAME_RE.match(name):
+                return fail(path, lineno, f"bad metric name {name!r}")
+            if kind not in KNOWN_TYPES:
+                return fail(path, lineno, f"unknown metric type {kind!r}")
+            if name in families:
+                return fail(path, lineno, f"family {name!r} declared twice")
+            families[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP / UNIT / comments
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            return fail(path, lineno, f"malformed sample line: {line!r}")
+        name, labels_text, value_text = m.group(1), m.group(2), m.group(3)
+        family = base_family(name, families)
+        if family is None:
+            return fail(path, lineno, f"sample {name!r} has no prior TYPE declaration")
+        kind = families[family]
+
+        labels = {}
+        if labels_text:
+            for pair in labels_text.split(","):
+                lm = LABELS_RE.match(pair)
+                if not lm:
+                    return fail(path, lineno, f"malformed label pair {pair!r}")
+                labels[lm.group(1)] = lm.group(2)
+
+        value = parse_value(value_text)
+        if value is None:
+            return fail(path, lineno, f"non-numeric sample value {value_text!r}")
+        if not math.isfinite(value):
+            return fail(path, lineno, f"non-finite sample value {value_text!r}")
+        samples += 1
+
+        if kind == "counter":
+            if not (name.endswith("_total") or name.endswith("_created")):
+                return fail(path, lineno, f"counter sample {name!r} lacks '_total' suffix")
+            if value < 0:
+                return fail(path, lineno, f"counter {name!r} is negative: {value}")
+        elif kind == "histogram":
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    return fail(path, lineno, f"bucket sample {name!r} has no 'le' label")
+                le = parse_value(labels["le"])
+                if le is None:
+                    return fail(path, lineno, f"bad le bound {labels['le']!r}")
+                buckets.setdefault(family, []).append((lineno, le, value))
+            elif name.endswith("_sum") or name.endswith("_count"):
+                hist_scalars.setdefault(family, {})[name[len(family):]] = value
+
+    for family, series in buckets.items():
+        last_le = -math.inf
+        last_v = -1.0
+        for lineno, le, value in series:
+            if le <= last_le:
+                return fail(path, lineno, f"{family} bucket bounds not increasing at le={le}")
+            if value < last_v:
+                return fail(
+                    path, lineno, f"{family} cumulative bucket count decreases at le={le}"
+                )
+            last_le, last_v = le, value
+        if last_le != math.inf:
+            return fail(path, series[-1][0], f"{family} buckets not closed by le=\"+Inf\"")
+        scalars = hist_scalars.get(family, {})
+        if "_count" not in scalars or "_sum" not in scalars:
+            return fail(path, series[-1][0], f"{family} missing _sum/_count")
+        if scalars["_count"] != series[-1][2]:
+            return fail(
+                path,
+                series[-1][0],
+                f"{family} _count {scalars['_count']} != +Inf bucket {series[-1][2]}",
+            )
+
+    if samples == 0:
+        return fail(path, 0, "no samples in exposition")
+    print(
+        f"{path}: OK ({len(families)} families, {samples} samples, "
+        f"{len(buckets)} histograms)"
+    )
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc |= validate(path)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
