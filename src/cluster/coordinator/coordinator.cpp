@@ -226,6 +226,13 @@ void NodeAgent::release_cap() {
   ++stats_.caps_released;
 }
 
+void NodeAgent::force_release_cap() {
+  if (config_.passive || cap_index_ == 0 || node_.halted()) {
+    return;
+  }
+  release_cap();
+}
+
 void NodeAgent::actuate_cap() {
   const long target = ladder_khz_[cap_index_];
   if (node_.cpufreq().cur_khz() != target) {
@@ -465,6 +472,12 @@ void ControlPlane::set_metrics(obs::MetricsShard* shard) {
 }
 
 void ControlPlane::broadcast_policy(int pp) { room_coord_.broadcast_policy(pp); }
+
+void ControlPlane::failsafe_release_all() {
+  for (NodeAgent& agent : agents_) {
+    agent.force_release_cap();
+  }
+}
 
 void ControlPlane::on_round(SimTime now) {
   bool due = false;

@@ -107,6 +107,12 @@ class NodeAgent {
 
   void tick(SimTime now, Transport& transport);
 
+  /// Drops any active p-state cap immediately (ControlPlane's
+  /// failsafe_release_all fans out here). Unlike the budget path this does
+  /// not wait for a plane round; the cap re-establishes itself on the next
+  /// over-budget round once control resumes.
+  void force_release_cap();
+
   /// True when not under coordinator control (never joined, or fail-safed).
   [[nodiscard]] bool autonomous() const { return autonomous_; }
   [[nodiscard]] bool joined() const { return joined_; }
@@ -225,6 +231,21 @@ class ControlPlane {
 
   /// Queues a Pp broadcast through room → racks → agents.
   void broadcast_policy(int pp);
+
+  /// Hot budget injection (thermctld `set-budget`): rewrites the live room
+  /// budget the room coordinator re-reads every round, so the new total
+  /// propagates room → racks → agents within one plane period without
+  /// dropping control. Watts <= 0 disables room-level budgeting (racks then
+  /// keep their configured budget). Engine-thread only, like on_round().
+  void set_room_budget(double watts) { config_.room_budget_w = watts; }
+  [[nodiscard]] double room_budget_w() const { return config_.room_budget_w; }
+
+  /// Releases every agent's p-state cap at once — the thermctld watchdog's
+  /// fail-safe ("never let a wedged daemon leave nodes frequency-capped").
+  /// Caller's contract: the engine thread is either the caller or provably
+  /// not stepping (a stalled control loop), since this actuates cpufreq.
+  /// No-op per agent when passive, already uncapped, or the node is halted.
+  void failsafe_release_all();
 
   /// One plane round, called by the engine every physics step; internally
   /// paced to config.period. Deterministic order: agents in node order,

@@ -379,6 +379,11 @@ RunResult Engine::run() {
     if (now_.seconds() >= config_.horizon.value()) {
       break;
     }
+    // External stop (thermctld shutdown): checked last so the step that saw
+    // the request still completes its controller and metrics phases.
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      break;
+    }
   }
 
   if (m_sim_time_ != nullptr) {

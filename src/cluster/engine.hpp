@@ -127,6 +127,17 @@ class Engine {
   /// Runs to completion and returns the recorded result.
   RunResult run();
 
+  /// Asks a running engine to stop at the end of the current step (after the
+  /// step's controllers and metrics have run), as if the horizon had been
+  /// reached. Thread-safe and callable from any thread — this is how
+  /// thermctld's socket `shutdown` ends a live run cleanly (spill finalize
+  /// and result finalization happen exactly as on a natural exit). A stop
+  /// requested before run() makes the run end after its first step.
+  void request_stop() { stop_requested_.store(true, std::memory_order_release); }
+  [[nodiscard]] bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Shard count the physics phase will actually use (config workers
@@ -176,6 +187,8 @@ class Engine {
   std::vector<std::uint64_t> shard_samples_;  // per-shard counts, reduced in shard order
   // Set by the first run(); later runs must come from the same thread.
   std::atomic<std::thread::id> owner_thread_{};
+  // Cross-thread early-stop flag (see request_stop()).
+  std::atomic<bool> stop_requested_{false};
 };
 
 }  // namespace thermctl::cluster

@@ -7,6 +7,18 @@
 
 namespace thermctl::core {
 
+void retune_policy(const RigView& rig, PolicyParam pp) {
+  for (DynamicFanController* fan : rig.fans) {
+    fan->set_policy(pp);
+  }
+  for (TdvfsDaemon* daemon : rig.tdvfs) {
+    daemon->set_policy(pp);
+  }
+  if (rig.plane != nullptr) {
+    rig.plane->broadcast_policy(pp.value);
+  }
+}
+
 ExperimentConfig paper_platform() {
   ExperimentConfig cfg;
   cfg.nodes = 4;
@@ -485,6 +497,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     view.cluster = rig.cluster.get();
     view.engine = rig.engine.get();
     view.plane = rig.plane.get();
+    view.rollup = rig.rollup.get();
+    view.watchdog = rig.watchdog.get();
+    view.spiller = rig.spiller.get();
     view.config = &config;
     view.fans.reserve(rig.fans.size());
     for (const auto& fan : rig.fans) {

@@ -174,8 +174,22 @@ struct RigView {
   std::vector<DynamicFanController*> fans;    // empty unless fan == kDynamic
   std::vector<TdvfsDaemon*> tdvfs;            // empty unless dvfs == kTdvfs
   cluster::ctrl::ControlPlane* plane = nullptr;  // null unless plane enabled
+  // Live-telemetry handles (null unless the corresponding TelemetryConfig
+  // switch is on). thermctld serves these over its socket; observers may
+  // read them from the engine thread only.
+  obs::FleetRollup* rollup = nullptr;
+  obs::AlertWatchdog* watchdog = nullptr;
+  obs::TraceSpiller* spiller = nullptr;
   const struct ExperimentConfig* config = nullptr;
 };
+
+/// Hot policy re-tune across a built rig: applies `pp` directly to every
+/// dynamic fan controller and tDVFS daemon (taking effect at their next
+/// sample, i.e. well inside one L2 window) and, when an active control plane
+/// is attached, also broadcasts it down the hierarchy so late joiners and
+/// plane bookkeeping converge on the same Pp. This is thermctld's
+/// `set-policy` path; engine-thread only, like the controllers themselves.
+void retune_policy(const RigView& rig, PolicyParam pp);
 
 struct ExperimentConfig {
   std::string name = "experiment";

@@ -22,6 +22,13 @@ const char* to_string(AlertKind kind) {
 
 AlertWatchdog::AlertWatchdog(std::vector<AlertRule> rules, std::size_t rack_count)
     : rules_(std::move(rules)), rack_count_(rack_count) {
+  for (const AlertRule& r : rules_) {
+    const bool rate_kind =
+        r.kind == AlertKind::kFailsafeRate || r.kind == AlertKind::kSensorFaultRate;
+    THERMCTL_ASSERT(!(rate_kind && r.per_rack),
+                    "rate alert kinds are fleet-scope only: per_rack is unsupported on "
+                    "failsafe_rate / sensor_fault_rate rules");
+  }
   states_.resize(rules_.size() * (rack_count_ + 1));
 }
 

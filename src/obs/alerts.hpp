@@ -43,7 +43,12 @@ struct AlertRule {
   /// Continuous seconds over threshold before firing (0 = first sample).
   double for_s = 0.0;
   /// Evaluate each rack's series separately; otherwise one fleet-scope
-  /// evaluation. Rate kinds are fleet-only and ignore this.
+  /// evaluation. Scope rules: only kMaxTemp and kPowerOverBudget support
+  /// per-rack evaluation — the rollup keeps those per rack. The rate kinds
+  /// (kFailsafeRate, kSensorFaultRate) derive from cumulative counters the
+  /// plane reports fleet-wide only, so per_rack=true on them is a config
+  /// error and the AlertWatchdog constructor rejects it rather than
+  /// silently evaluating at fleet scope.
   bool per_rack = false;
 };
 

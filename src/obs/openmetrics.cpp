@@ -1,5 +1,6 @@
 #include "obs/openmetrics.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -8,6 +9,14 @@ namespace thermctl::obs {
 namespace {
 
 std::string fmt_double(double v) {
+  // The OpenMetrics ABNF spells non-finite values "NaN" / "+Inf" / "-Inf"
+  // exactly; printf's %g renders "nan" / "inf", which scrapers reject.
+  if (std::isnan(v)) {
+    return "NaN";
+  }
+  if (std::isinf(v)) {
+    return v > 0.0 ? "+Inf" : "-Inf";
+  }
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.10g", v);
   return std::string{buf};

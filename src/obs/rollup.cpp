@@ -1,6 +1,7 @@
 #include "obs/rollup.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/assert.hpp"
 
@@ -24,9 +25,13 @@ void FleetRollup::begin(double t_s) {
   for (RollupSample& s : pending_) {
     s = RollupSample{};
     s.t_s = t_s;
+    // Identity for max: a rack that never observes keeps no fake 0 °C peak
+    // (commit() replaces it with NaN when the interval stays empty).
+    s.max_temp_c = std::numeric_limits<double>::lowest();
   }
   pending_fleet_ = RollupSample{};
   pending_fleet_.t_s = t_s;
+  pending_fleet_.max_temp_c = std::numeric_limits<double>::lowest();
   std::fill(pending_counts_.begin(), pending_counts_.end(), 0u);
 }
 
@@ -48,25 +53,38 @@ void FleetRollup::observe(std::size_t node, double temp_c, double power_w, bool 
 void FleetRollup::commit(std::uint64_t plane_failsafe_entries, std::uint64_t sensor_rejected) {
   THERMCTL_ASSERT(in_sample_, "rollup commit() without begin()");
   in_sample_ = false;
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
   RollupSample& fleet = pending_fleet_;
   std::uint32_t fleet_members = 0;
   for (std::size_t rack = 0; rack < rack_count_; ++rack) {
     RollupSample& r = pending_[rack];
     const std::uint32_t members = pending_counts_[rack];
-    fleet.max_temp_c = std::max(fleet.max_temp_c, r.max_temp_c);
-    fleet.avg_temp_c += r.avg_temp_c;  // still a sum
-    fleet.power_w += r.power_w;
-    fleet.capped_nodes += r.capped_nodes;
-    fleet.autonomous_nodes += r.autonomous_nodes;
-    fleet.violation_node_s += r.violation_node_s;
-    fleet_members += members;
+    r.members = members;
     if (members > 0) {
+      // Fleet aggregates fold nonempty racks only, so one idle rack can't
+      // drag NaN (or a fake 0) into the fleet row.
+      fleet.max_temp_c = std::max(fleet.max_temp_c, r.max_temp_c);
+      fleet.avg_temp_c += r.avg_temp_c;  // still a sum
+      fleet.power_w += r.power_w;
+      fleet.capped_nodes += r.capped_nodes;
+      fleet.autonomous_nodes += r.autonomous_nodes;
+      fleet.violation_node_s += r.violation_node_s;
+      fleet_members += members;
       r.avg_temp_c /= static_cast<double>(members);
+    } else {
+      r.max_temp_c = kNaN;
+      r.avg_temp_c = kNaN;
+      r.power_w = kNaN;
     }
     rack_series_[rack].push_back(r);
   }
+  fleet.members = fleet_members;
   if (fleet_members > 0) {
     fleet.avg_temp_c /= static_cast<double>(fleet_members);
+  } else {
+    fleet.max_temp_c = kNaN;
+    fleet.avg_temp_c = kNaN;
+    fleet.power_w = kNaN;
   }
   fleet.plane_failsafe_entries = plane_failsafe_entries;
   fleet.sensor_rejected = sensor_rejected;

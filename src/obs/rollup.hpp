@@ -36,8 +36,17 @@ struct RollupConfig {
 };
 
 /// One rollup interval's aggregate for a rack (or the fleet row).
+///
+/// A rack that saw zero observe() calls in an interval still gets a row (so
+/// every series stays interval-aligned), but it is explicitly marked: its
+/// `members` is 0 and the temperature/power aggregates are NaN rather than
+/// the zeros that would read as real data (and feed a max_temp alert a bogus
+/// 0 °C). NaN compares false against any alert threshold, so empty-rack rows
+/// naturally never fire, and the OpenMetrics renderer spells them `NaN`.
 struct RollupSample {
   double t_s = 0.0;
+  /// Nodes observed into this row (0 = empty interval, aggregates are NaN).
+  std::uint32_t members = 0;
   double max_temp_c = 0.0;
   double avg_temp_c = 0.0;
   /// Sum of member wall power at the sample instant.

@@ -52,6 +52,14 @@ void MemorySpillSink::append(const TraceEvent* events, std::size_t count) {
 
 void MemorySpillSink::finalize(std::uint32_t node_count, std::uint64_t event_count) {
   THERMCTL_ASSERT(event_count == events_.size(), "spill finalize count drifted");
+  // Budgeted drains can defer a ring's older events into a later batch, so
+  // the appended stream is only sorted within batches; restore the global
+  // (time, node) merge order here, like read_trace_file does for files.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     if (x.t_s != y.t_s) return x.t_s < y.t_s;
+                     return x.node < y.node;
+                   });
   node_count_ = node_count;
   finalized_ = true;
 }

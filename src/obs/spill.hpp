@@ -33,13 +33,15 @@
 
 namespace thermctl::obs {
 
-/// Where the spilled stream lands. append() receives batches already in
-/// (time, node) order, and batches are time-ordered against each other
-/// because ring timestamps only advance between drains. The one wrinkle:
-/// when a budgeted drain defers part of an instant's events to the next
-/// batch, equal-timestamp events can straddle the batch boundary out of
-/// node order — readers that need the strict merge order (trace_analyze
-/// does) re-sort after load, which is cheap and stable.
+/// Where the spilled stream lands. append() receives batches each sorted in
+/// (time, node) order, but batches are NOT globally ordered against each
+/// other: a budgeted drain that runs out mid-pass defers a ring's *older*
+/// events to the next batch, so under backpressure a later batch can open
+/// earlier than the previous batch ended. The stream is made order-tolerant
+/// at the read boundary instead — MemorySpillSink::finalize and
+/// read_trace_file both stable-sort back into the canonical (time, node)
+/// merge order — so the on-disk .thermtrace stays an append-only crash-safe
+/// log and no reader ever sees an unsorted stream.
 class SpillSink {
  public:
   virtual ~SpillSink() = default;

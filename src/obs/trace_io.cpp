@@ -1,5 +1,6 @@
 #include "obs/trace_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -81,6 +82,15 @@ TraceFile read_trace_file(const std::string& path) {
   if (!in) {
     throw std::runtime_error("trace_io: " + path + " is truncated");
   }
+  // Spilled files are written as per-drain batches; a budget-limited drain
+  // defers a ring's older events into a later batch, so the on-disk order is
+  // only sorted per batch. Restore the canonical (time, node) merge order
+  // here so every reader is order-tolerant by construction.
+  std::stable_sort(file.events.begin(), file.events.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     if (x.t_s != y.t_s) return x.t_s < y.t_s;
+                     return x.node < y.node;
+                   });
   return file;
 }
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/rng.hpp"
+#include "daemon/daemon.hpp"
 #include "obs/openmetrics.hpp"
 #include "obs/spill.hpp"
 #include "runtime/sweep.hpp"
@@ -25,6 +26,8 @@ const char* to_string(OraclePairKind kind) {
       return "plane-passive-vs-detached";
     case OraclePairKind::kLiveTelemetryOnVsOff:
       return "live-telemetry-on-vs-off";
+    case OraclePairKind::kDaemonPassiveVsEngine:
+      return "daemon-passive-vs-engine";
   }
   return "unknown";
 }
@@ -373,6 +376,25 @@ OracleReport run_oracle(const std::vector<core::ExperimentConfig>& corpus,
     for (std::size_t i = 0; i < corpus.size(); ++i) {
       record(i, OraclePairKind::kLiveTelemetryOnVsOff,
              diff_results(base[i], lit[i], options.max_differences));
+    }
+  }
+
+  // Pair 7: the same config hosted inside thermctld with no socket and no
+  // commands. The daemon's control round rides the engine as one more
+  // periodic observer (pet the deadman, drain an empty queue, refresh a
+  // status snapshot), so a command-free daemon run must be bit-identical to
+  // the plain engine run. Serial by necessity: Daemon::run() wraps
+  // run_experiment itself, so it cannot go through run_sweep.
+  {
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      daemon::DaemonConfig dc;
+      dc.experiment = corpus[i];
+      // Armed but effectively un-fireable: a spurious failsafe would actuate.
+      dc.watchdog_timeout_s = 3600.0;
+      daemon::Daemon d{dc};
+      const core::ExperimentResult hosted = d.run();
+      record(i, OraclePairKind::kDaemonPassiveVsEngine,
+             diff_results(base[i], hosted, options.max_differences));
     }
   }
 

@@ -2,8 +2,10 @@
 // rollups, the alert watchdog, and OpenMetrics exposition.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -377,6 +379,148 @@ TEST(OpenMetrics, NullSectionsStillWellFormed) {
   const std::string text = render_openmetrics(MetricsSnapshot{}, nullptr, nullptr, nullptr, 0.0);
   EXPECT_NE(text.find("thermctl_sim_time_seconds 0"), std::string::npos);
   EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(Spill, OrderRestoredAcrossBudgetedDrains) {
+  // Budget 1 forces node 1's older event into a later drain batch than
+  // node 0's newer one: the appended stream is out of (time, node) order
+  // and only the finalize-time sort restores it (the bug this regresses:
+  // per-batch stable sort alone left the stream globally unsorted).
+  RunTrace trace{2, 8};
+  MemorySpillSink sink;
+  SpillConfig cfg;
+  cfg.max_events_per_drain = 1;
+  TraceSpiller spiller{trace, sink, cfg};
+  trace.ring(0).emit(event_at(0.5, 1));
+  trace.ring(1).emit(event_at(0.2, 2));
+  spiller.drain(1.0);
+  spiller.drain(1.0);
+  trace.ring(0).emit(event_at(1.5, 3));
+  trace.ring(1).emit(event_at(1.2, 4));
+  spiller.drain(2.0);
+  spiller.drain(2.0);
+  spiller.finish();
+
+  ASSERT_EQ(sink.events().size(), 4u);
+  EXPECT_GT(spiller.stats().deferred_drains, 0u);
+  for (std::size_t i = 1; i < sink.events().size(); ++i) {
+    const TraceEvent& prev = sink.events()[i - 1];
+    const TraceEvent& cur = sink.events()[i];
+    EXPECT_TRUE(prev.t_s < cur.t_s || (prev.t_s == cur.t_s && prev.node <= cur.node))
+        << "unsorted at index " << i;
+  }
+  EXPECT_EQ(sink.events()[0].i0, 2);  // t=0.2 first despite later drain
+}
+
+TEST(Spill, FileReaderRestoresOrderAcrossBudgetedDrains) {
+  const std::string path = testing::TempDir() + "spill_order.thermtrace";
+  RunTrace trace{2, 8};
+  {
+    FileSpillSink sink{path};
+    SpillConfig cfg;
+    cfg.max_events_per_drain = 1;
+    TraceSpiller spiller{trace, sink, cfg};
+    trace.ring(0).emit(event_at(0.5, 1));
+    trace.ring(1).emit(event_at(0.2, 2));
+    spiller.drain(1.0);
+    spiller.drain(1.0);
+    spiller.finish();
+  }
+  const TraceFile file = read_trace_file(path);
+  ASSERT_EQ(file.events.size(), 2u);
+  EXPECT_EQ(file.events[0].i0, 2);
+  EXPECT_EQ(file.events[1].i0, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Rollup, EmptyRackRowsAreMarkedNotZero) {
+  RollupConfig cfg;
+  cfg.enabled = true;
+  cfg.interval_s = 1.0;
+  cfg.nodes_per_rack = 2;
+  FleetRollup rollup{4, cfg};
+
+  // Only rack 0's nodes report this interval; rack 1 is silent.
+  rollup.begin(1.0);
+  rollup.observe(0, 50.0, 100.0, false, false);
+  rollup.observe(1, 52.0, 110.0, false, false);
+  rollup.commit(0, 0);
+
+  const RollupSample& rack0 = rollup.rack_series(0).back();
+  EXPECT_EQ(rack0.members, 2u);
+  EXPECT_DOUBLE_EQ(rack0.max_temp_c, 52.0);
+
+  // The empty rack keeps its interval-aligned row but is explicitly marked:
+  // members 0 and NaN aggregates, not a 0 °C / 0 W reading.
+  const RollupSample& rack1 = rollup.rack_series(1).back();
+  EXPECT_EQ(rack1.members, 0u);
+  EXPECT_TRUE(std::isnan(rack1.max_temp_c));
+  EXPECT_TRUE(std::isnan(rack1.avg_temp_c));
+  EXPECT_TRUE(std::isnan(rack1.power_w));
+
+  // Fleet folds only the racks that reported: no NaN poisoning, no zeros.
+  const RollupSample& fleet = rollup.fleet_series().back();
+  EXPECT_EQ(fleet.members, 2u);
+  EXPECT_DOUBLE_EQ(fleet.max_temp_c, 52.0);
+  EXPECT_DOUBLE_EQ(fleet.power_w, 210.0);
+
+  // NaN compares false against any threshold: the empty rack can never fire
+  // a per-rack temperature alert (and a 0 °C row would never have either,
+  // which is exactly how the old zeros masked dead racks).
+  AlertWatchdog dog{{{"hot", AlertKind::kMaxTemp, -100.0, 0.0, true}}, rollup.rack_count()};
+  dog.evaluate(1.0, rollup);
+  ASSERT_EQ(dog.events().size(), 1u);  // rack 0 fires (threshold -100)
+  EXPECT_EQ(dog.events()[0].rack, 0);
+
+  // An all-empty interval yields a NaN fleet row too.
+  rollup.begin(2.0);
+  rollup.commit(0, 0);
+  EXPECT_EQ(rollup.fleet_series().back().members, 0u);
+  EXPECT_TRUE(std::isnan(rollup.fleet_series().back().max_temp_c));
+}
+
+TEST(Alerts, RejectsPerRackRateRules) {
+  RollupConfig cfg;
+  cfg.enabled = true;
+  FleetRollup rollup{2, cfg};
+  // The rate kinds derive from fleet-wide cumulative counters; per_rack on
+  // them used to be silently ignored — now it is a rejected config error.
+  EXPECT_DEATH(
+      (AlertWatchdog{{{"fs", AlertKind::kFailsafeRate, 1.0, 0.0, true}}, rollup.rack_count()}),
+      "fleet-scope only");
+  EXPECT_DEATH(
+      (AlertWatchdog{{{"sf", AlertKind::kSensorFaultRate, 1.0, 0.0, true}},
+                     rollup.rack_count()}),
+      "fleet-scope only");
+}
+
+TEST(OpenMetrics, NonFiniteValuesUseCanonicalSpellings) {
+  MetricsSnapshot snap;
+  snap.gauges["gauge.missing"] = std::numeric_limits<double>::quiet_NaN();
+  snap.gauges["gauge.ceiling"] = std::numeric_limits<double>::infinity();
+  snap.gauges["gauge.floor"] = -std::numeric_limits<double>::infinity();
+
+  const std::string text = render_openmetrics(snap, nullptr, nullptr, nullptr, 1.0);
+  EXPECT_NE(text.find("thermctl_gauge_missing NaN\n"), std::string::npos);
+  EXPECT_NE(text.find("thermctl_gauge_ceiling +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("thermctl_gauge_floor -Inf\n"), std::string::npos);
+  // The ABNF-violating printf spellings must not appear anywhere.
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+
+  // An empty-rack rollup row flows through as a valid NaN sample.
+  RollupConfig cfg;
+  cfg.enabled = true;
+  cfg.nodes_per_rack = 1;
+  FleetRollup rollup{2, cfg};
+  rollup.begin(1.0);
+  rollup.observe(0, 50.0, 100.0, false, false);
+  rollup.commit(0, 0);
+  const std::string with_rollup =
+      render_openmetrics(MetricsSnapshot{}, &rollup, nullptr, nullptr, 1.0);
+  EXPECT_NE(with_rollup.find("thermctl_rack_max_temp_celsius{rack=\"1\"} NaN"),
+            std::string::npos);
+  EXPECT_EQ(with_rollup.find("nan"), std::string::npos);
 }
 
 TEST(OpenMetrics, CapturingSinkKeepsLatest) {

@@ -110,7 +110,7 @@ TEST(Oracle, SmallCorpusPassesAllPairs) {
   const OracleReport report = run_oracle(corpus);
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_EQ(report.configs, 4u);
-  EXPECT_EQ(report.pairs_checked, 24u);  // 6 pairings per config
+  EXPECT_EQ(report.pairs_checked, 28u);  // 7 pairings per config
 }
 
 TEST(Oracle, PassivePlanePairingHasTeeth) {

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Minimal thermctld socket client for CI and operator one-liners.
+
+Speaks the daemon's line-oriented protocol over its UNIX-domain stream
+socket: sends one request line, prints the response to stdout, and exits
+non-zero on connect failure, a dropped reply, or an ERR response. The
+`metrics` / `GET /metrics` request reads a full OpenMetrics body (framed
+by its terminating "# EOF" line); every other request reads one line.
+
+Usage:
+  thermctld_client.py SOCKET_PATH REQUEST [ARG...]
+
+Examples:
+  thermctld_client.py /run/thermctld.sock status
+  thermctld_client.py /run/thermctld.sock metrics > metrics.txt
+  thermctld_client.py /run/thermctld.sock set-policy 25
+  thermctld_client.py /run/thermctld.sock shutdown
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+import time
+
+
+def recv_until(sock: socket.socket, terminator: bytes) -> bytes:
+    """Reads until `terminator` ends the buffer; b"" on a dropped reply."""
+    buf = b""
+    while not buf.endswith(terminator):
+        chunk = sock.recv(65536)
+        if not chunk:
+            return b""
+        buf += chunk
+    return buf
+
+
+def request(path: str, line: str, connect_timeout_s: float = 10.0) -> str:
+    """One request -> full response text. Raises on connect/drop failures."""
+    deadline = time.monotonic() + connect_timeout_s
+    while True:
+        # A fresh socket per attempt: a failed connect() leaves the fd
+        # unusable (EINVAL on retry).
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(30.0)
+        try:
+            sock.connect(path)
+            break
+        except OSError:
+            sock.close()
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+    try:
+        sock.sendall(line.encode() + b"\n")
+        is_metrics = line in ("metrics", "GET /metrics")
+        terminator = b"# EOF\n" if is_metrics else b"\n"
+        response = recv_until(sock, terminator)
+        if not response:
+            raise ConnectionError(f"connection dropped mid-response to: {line}")
+        return response.decode()
+    finally:
+        sock.close()
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    line = " ".join(argv[2:])
+    try:
+        response = request(path, line)
+    except OSError as err:
+        print(f"thermctld_client: {err}", file=sys.stderr)
+        return 1
+    sys.stdout.write(response)
+    return 1 if response.startswith("ERR") else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

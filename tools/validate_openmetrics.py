@@ -13,7 +13,10 @@ on, so CI catches exposition regressions without running a scraper:
     non-decreasing counts closed by an le="+Inf" bucket, plus "_sum" and
     "_count" where _count equals the +Inf bucket,
   * labels are well-formed name="value" pairs (escaped \\, \" and \\n),
-  * all sample values parse as finite floats (+Inf/-Inf allowed for le).
+  * sample values parse as floats; non-finite values must use the exact
+    OpenMetrics spellings "NaN"/"+Inf"/"-Inf" (lowercase "nan"/"inf" and
+    printf-style variants are rejected), are allowed on gauges and histogram
+    _sum, and are rejected on counters and histogram bucket/count samples.
 
 Exit code 0 on success; 1 with a diagnostic on the first violation.
 
@@ -36,14 +39,23 @@ def fail(path, lineno, msg):
 
 
 def parse_value(text):
-    if text in ("+Inf", "Inf"):
+    """Parses an OpenMetrics value. Non-finite values are legal only in the
+    ABNF's exact spellings; anything else float() would accept ("nan", "inf",
+    "INFINITY", "NAN", ...) is a renderer bug and parses as None."""
+    if text == "NaN":
+        return math.nan
+    if text == "+Inf":
         return math.inf
     if text == "-Inf":
         return -math.inf
     try:
-        return float(text)
+        value = float(text)
     except ValueError:
         return None
+    # A float() success on a non-finite means a lowercase/alternate spelling.
+    if not math.isfinite(value):
+        return None
+    return value
 
 
 def base_family(name, families):
@@ -109,22 +121,33 @@ def validate(path):
 
         value = parse_value(value_text)
         if value is None:
-            return fail(path, lineno, f"non-numeric sample value {value_text!r}")
-        if not math.isfinite(value):
-            return fail(path, lineno, f"non-finite sample value {value_text!r}")
+            return fail(
+                path,
+                lineno,
+                f"bad sample value {value_text!r} (non-finite values must be "
+                f'spelled "NaN"/"+Inf"/"-Inf" exactly)',
+            )
         samples += 1
 
         if kind == "counter":
             if not (name.endswith("_total") or name.endswith("_created")):
                 return fail(path, lineno, f"counter sample {name!r} lacks '_total' suffix")
+            # Checked explicitly: NaN slips past a bare `value < 0`.
+            if not math.isfinite(value):
+                return fail(path, lineno, f"counter {name!r} is non-finite: {value_text}")
             if value < 0:
                 return fail(path, lineno, f"counter {name!r} is negative: {value}")
         elif kind == "histogram":
+            if name.endswith("_bucket") or name.endswith("_count"):
+                if not math.isfinite(value):
+                    return fail(
+                        path, lineno, f"histogram count {name!r} is non-finite: {value_text}"
+                    )
             if name.endswith("_bucket"):
                 if "le" not in labels:
                     return fail(path, lineno, f"bucket sample {name!r} has no 'le' label")
                 le = parse_value(labels["le"])
-                if le is None:
+                if le is None or math.isnan(le):
                     return fail(path, lineno, f"bad le bound {labels['le']!r}")
                 buckets.setdefault(family, []).append((lineno, le, value))
             elif name.endswith("_sum") or name.endswith("_count"):
