@@ -7,6 +7,9 @@
 // trips, one RC physics step, and a whole-node engine step.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "cluster/cluster.hpp"
 #include "cluster/node.hpp"
 #include "core/control_array.hpp"
@@ -14,6 +17,8 @@
 #include "core/mode_selector.hpp"
 #include "core/two_level_window.hpp"
 #include "thermal/package_model.hpp"
+#include "thermal/rc_batch.hpp"
+#include "thermal/rc_network.hpp"
 
 namespace {
 
@@ -97,6 +102,43 @@ void BM_ControllerTickThroughSysfs(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ControllerTickThroughSysfs);
+
+void BM_RcNetworkStepFleet(benchmark::State& state) {
+  // Per-node reference: N standalone package networks stepped one at a time
+  // — the object-walk layout the batched solver replaces.
+  const std::size_t instances = static_cast<std::size_t>(state.range(0));
+  std::vector<std::unique_ptr<thermal::RcNetwork>> nets;
+  nets.reserve(instances);
+  for (std::size_t i = 0; i < instances; ++i) {
+    nets.push_back(std::make_unique<thermal::RcNetwork>());
+    thermal::PackageModel::wire_network(thermal::PackageParams{}, *nets.back());
+  }
+  for (auto _ : state) {
+    for (auto& net : nets) {
+      net->step(Seconds{0.05});
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(instances));
+}
+BENCHMARK(BM_RcNetworkStepFleet)->Arg(1)->Arg(64)->Arg(4096);
+
+void BM_RcBatchStepFleet(benchmark::State& state) {
+  // The batched solver: same package topology, N instances advanced by
+  // restrict-qualified, compiler-vectorized SoA sweeps over the instance
+  // axis. items/sec here vs BM_RcNetworkStepFleet is the layout win; the
+  // trajectories are bit-identical by RcBatch's contract.
+  const std::size_t instances = static_cast<std::size_t>(state.range(0));
+  thermal::RcNetwork tmpl;
+  thermal::PackageModel::wire_network(thermal::PackageParams{}, tmpl);
+  thermal::RcBatch batch{tmpl, instances};
+  for (auto _ : state) {
+    batch.step_all(Seconds{0.05});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(instances));
+}
+BENCHMARK(BM_RcBatchStepFleet)->Arg(1)->Arg(64)->Arg(4096);
 
 void BM_SimulatedSecondFourNodes(benchmark::State& state) {
   // Cost of simulating one wall-clock second of a 4-node cluster at the

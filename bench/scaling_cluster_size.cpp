@@ -28,6 +28,7 @@
 #include "bench_util.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/engine.hpp"
+#include "core/control_bank.hpp"
 #include "core/unified_controller.hpp"
 #include "workload/app.hpp"
 #include "workload/npb.hpp"
@@ -100,17 +101,14 @@ Outcome run_scale(std::size_t nodes, bool quality) {
     }
   }
 
-  std::vector<std::unique_ptr<UnifiedController>> controllers;
-  controllers.reserve(nodes);
+  ControlBank bank{nodes, rack.fleet() != nullptr ? rack.fleet()->sensor_last_data() : nullptr};
   for (std::size_t i = 0; i < nodes; ++i) {
     UnifiedConfig cfg;
     cfg.pp = PolicyParam{50};
     cfg.tdvfs.threshold = Celsius{53.0};
-    controllers.push_back(std::make_unique<UnifiedController>(
-        rack.node(i).hwmon(), rack.node(i).cpufreq(), cfg));
-    UnifiedController* raw = controllers.back().get();
-    engine.add_periodic(params.sample_period, [raw](SimTime now) { raw->on_sample(now); });
+    bank.emplace_unified(i, rack.node(i).hwmon(), rack.node(i).cpufreq(), cfg);
   }
+  engine.add_periodic(params.sample_period, [&bank](SimTime now) { bank.tick_unified(now); });
 
   const auto wall_start = std::chrono::steady_clock::now();
   const cluster::RunResult run = engine.run();

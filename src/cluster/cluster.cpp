@@ -20,6 +20,11 @@ Cluster::Cluster(std::size_t count, const NodeParams& base, bool batched) {
     raw_.push_back(nodes_.back().get());
     ipmi_.attach(static_cast<int>(i), &nodes_.back()->bmc());
   }
+  if (fleet_ != nullptr) {
+    // Every node above shares `base`'s hardware constants (only the noise
+    // seed differs), so one sweep can batch the whole rack's device/OS work.
+    sweep_ = std::make_unique<FleetSweep>(*fleet_, base, raw_);
+  }
 }
 
 void Cluster::set_inlet_temperature(std::size_t i, Celsius t) {

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/fleet_sweep.hpp"
 #include "cluster/node.hpp"
 #include "common/assert.hpp"
 #include "sysfs/ipmi.hpp"
@@ -40,6 +41,11 @@ class Cluster {
   [[nodiscard]] FleetState* fleet() { return fleet_.get(); }
   [[nodiscard]] const FleetState* fleet() const { return fleet_.get(); }
 
+  /// The batched device/OS sweep over the fleet arrays, or nullptr for a
+  /// per-node-object cluster. Built only for the homogeneous batched layout;
+  /// the engine falls back to per-node stepping without it.
+  [[nodiscard]] FleetSweep* sweep() { return sweep_.get(); }
+
   [[nodiscard]] sysfs::IpmiNetwork& ipmi() { return ipmi_; }
 
   /// Sets one node's inlet (ambient) temperature — rack hot spots.
@@ -55,6 +61,7 @@ class Cluster {
   std::unique_ptr<FleetState> fleet_;  // must outlive the nodes viewing it
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Node*> raw_;
+  std::unique_ptr<FleetSweep> sweep_;  // batched layout only
   sysfs::IpmiNetwork ipmi_;
 };
 

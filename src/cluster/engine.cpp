@@ -65,6 +65,12 @@ void Engine::set_node_load_fn(std::size_t i, std::function<Utilization(SimTime)>
   node_loads_[i] = std::move(load);
 }
 
+void Engine::set_fleet_load_fn(FleetLoadFn load) {
+  THERMCTL_ASSERT(cluster_.fleet() != nullptr,
+                  "the fleet load hook requires the SoA cluster layout");
+  fleet_load_ = std::move(load);
+}
+
 void Engine::attach_room(RoomModel& room) {
   THERMCTL_ASSERT(room.node_count() == cluster_.size(), "room sized for a different rack");
   room_ = &room;
@@ -139,38 +145,58 @@ void Engine::set_metrics(obs::MetricsShard* shard) {
   m_sim_time_ = &shard->gauge("engine.sim_time_s");
 }
 
+ActivityCode Engine::activity_of_node(std::size_t i) const {
+  if (app_ == nullptr) {
+    return ActivityCode::kNone;
+  }
+  const auto rank = rank_on_node(i);
+  if (!rank.has_value()) {
+    return ActivityCode::kNone;
+  }
+  const auto kind = app_->current_phase_kind(*rank);
+  if (!kind.has_value()) {
+    return ActivityCode::kFinished;
+  }
+  switch (*kind) {
+    case workload::PhaseKind::kCompute:
+      return ActivityCode::kCompute;
+    case workload::PhaseKind::kCommunicate:
+      return ActivityCode::kCommunicate;
+    case workload::PhaseKind::kIdle:
+      return ActivityCode::kIdlePhase;
+    case workload::PhaseKind::kBarrier:
+      return ActivityCode::kBarrier;
+  }
+  return ActivityCode::kNone;
+}
+
 void Engine::record_sample() {
   recorder_.stamp(now_.seconds());
+  FleetSweep* sweep = cluster_.sweep();
+  if (sweep != nullptr) {
+    // Fast path: every recorded field is fleet-resident (or, for the wall
+    // watts, resolved by the sweep with Node::wall_power()'s exact memo
+    // semantics), so the recording loop streams arrays instead of walking
+    // Node objects.
+    FleetState* fleet = cluster_.fleet();
+    const double* die = sweep->die_temp_row();
+    const double* sensor = fleet->sensor_last_data();
+    const double* duty = fleet->fan_duty_data();
+    const double* rpm = fleet->fan_rpm_data();
+    const double* util = fleet->util_data();
+    for (std::size_t i = 0; i < cluster_.size(); ++i) {
+      recorder_.sample(now_.seconds(), i, die[i], sensor[i], duty[i], rpm[i],
+                       sweep->nominal_freq_ghz(i), sweep->wall_power_w(i), util[i],
+                       activity_of_node(i));
+    }
+    return;
+  }
   for (std::size_t i = 0; i < cluster_.size(); ++i) {
     Node& n = cluster_.node(i);
-    ActivityCode activity = ActivityCode::kNone;
-    if (app_ != nullptr) {
-      if (const auto rank = rank_on_node(i); rank.has_value()) {
-        const auto kind = app_->current_phase_kind(*rank);
-        if (!kind.has_value()) {
-          activity = ActivityCode::kFinished;
-        } else {
-          switch (*kind) {
-            case workload::PhaseKind::kCompute:
-              activity = ActivityCode::kCompute;
-              break;
-            case workload::PhaseKind::kCommunicate:
-              activity = ActivityCode::kCommunicate;
-              break;
-            case workload::PhaseKind::kIdle:
-              activity = ActivityCode::kIdlePhase;
-              break;
-            case workload::PhaseKind::kBarrier:
-              activity = ActivityCode::kBarrier;
-              break;
-          }
-        }
-      }
-    }
     recorder_.sample(now_.seconds(), i, n.die_temperature().value(),
                      n.sensor_reading().value(), n.fan().duty().percent(), n.fan().rpm().value(),
                      n.cpu().frequency().value(), n.wall_power().value(),
-                     n.utilization().fraction(), activity);
+                     n.utilization().fraction(), activity_of_node(i));
   }
 }
 
@@ -178,6 +204,18 @@ std::uint64_t Engine::step_shard(std::size_t begin, std::size_t end, Seconds dt,
                                  SimTime after) {
   Node* const* nodes = cluster_.raw_nodes().data();
   FleetState* fleet = cluster_.fleet();
+  FleetSweep* sweep = cluster_.sweep();
+
+  // Fast path: batched device/OS sweep over the fleet's SoA arrays — the
+  // same arithmetic in the same per-node order as the object walk below,
+  // just executed as contiguous array passes (bit-identical; the oracle's
+  // batched-vs-per-node pairing enforces it).
+  if (sweep != nullptr) {
+    sweep->pre_range(begin, end, dt);
+    fleet->batch().step_range(dt, begin, end);
+    sweep->post_range(begin, end, dt);
+    return sweep->sample_range(begin, end, after);
+  }
 
   // Physics: device/OS work per node, with the RC solve batched over the
   // shard's contiguous SoA slice when a fleet is present. Interleaving
@@ -277,11 +315,30 @@ RunResult Engine::run() {
         completion = app_->completion_time();
       }
     }
-    for (std::size_t i = 0; i < node_count; ++i) {
-      if (node_loads_[i]) {
-        nodes[i]->set_utilization(node_loads_[i](now_));
-      } else if (app_ != nullptr && !app_running && rank_of_node_[i] != kNoRank) {
-        nodes[i]->set_utilization(Utilization{0.02});  // job exited
+    if (FleetState* fleet = cluster_.fleet(); fleet != nullptr) {
+      // Fast path: Node::set_utilization on a fleet-backed node is
+      // `util = halted ? 0 : u` over fleet-resident scalars — write the
+      // arrays directly instead of bouncing through every Node object.
+      double* util = fleet->util_data();
+      const std::uint8_t* halted = fleet->halted_data();
+      if (fleet_load_) {
+        // One batched call fills the row; per-node functions override below.
+        fleet_load_(now_, util, halted, node_count);
+      }
+      for (std::size_t i = 0; i < node_count; ++i) {
+        if (node_loads_[i]) {
+          util[i] = halted[i] != 0 ? 0.0 : node_loads_[i](now_).fraction();
+        } else if (app_ != nullptr && !app_running && rank_of_node_[i] != kNoRank) {
+          util[i] = halted[i] != 0 ? 0.0 : 0.02;  // job exited
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < node_count; ++i) {
+        if (node_loads_[i]) {
+          nodes[i]->set_utilization(node_loads_[i](now_));
+        } else if (app_ != nullptr && !app_running && rank_of_node_[i] != kNoRank) {
+          nodes[i]->set_utilization(Utilization{0.02});  // job exited
+        }
       }
     }
 
@@ -325,8 +382,14 @@ RunResult Engine::run() {
     // steady state the moment the engine started stepping it.)
     if (room_ != nullptr) {
       double rack_watts = 0.0;
-      for (std::size_t i = 0; i < node_count; ++i) {
-        rack_watts += nodes[i]->wall_power().value();
+      if (FleetSweep* sweep = cluster_.sweep(); sweep != nullptr) {
+        for (std::size_t i = 0; i < node_count; ++i) {
+          rack_watts += sweep->wall_power_w(i);  // == Node::wall_power()
+        }
+      } else {
+        for (std::size_t i = 0; i < node_count; ++i) {
+          rack_watts += nodes[i]->wall_power().value();
+        }
       }
       room_->step(dt, Watts{rack_watts});
       for (std::size_t i = 0; i < node_count; ++i) {

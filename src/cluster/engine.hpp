@@ -83,6 +83,17 @@ class Engine {
   /// Fully general form: any utilization function of simulated time.
   void set_node_load_fn(std::size_t i, std::function<Utilization(SimTime)> load);
 
+  /// Batched load hook for dense synthetic fleets: ONE call per physics step
+  /// fills the fleet's whole utilization row in place of N per-node
+  /// std::function dispatches (at 100k nodes the per-node hops cost more
+  /// than the RC solve). The callback must write
+  /// `util[i] = halted[i] != 0 ? 0.0 : <fraction in [0, 1]>` for every i.
+  /// Requires the fleet-backed (SoA) cluster layout; per-node load functions
+  /// still override individual nodes afterwards.
+  using FleetLoadFn =
+      std::function<void(SimTime, double* util, const std::uint8_t* halted, std::size_t count)>;
+  void set_fleet_load_fn(FleetLoadFn load);
+
   /// Attaches a machine-room air model (not owned): each physics step the
   /// room mixes under the rack's dissipation and every node's inlet
   /// temperature is driven from it — closing the datacenter-level loop.
@@ -151,6 +162,7 @@ class Engine {
   };
 
   void record_sample();
+  [[nodiscard]] ActivityCode activity_of_node(std::size_t i) const;
   void finalize(RunResult& result) const;
   /// Physics + sampling for nodes [begin, end); `after` is the step's end
   /// time (sampling schedules are checked against it). Returns the number of
@@ -167,6 +179,7 @@ class Engine {
   std::vector<std::size_t> node_for_rank_;
   std::vector<std::size_t> rank_of_node_;  // reverse map; kNoRank = vacant
   std::vector<std::function<Utilization(SimTime)>> node_loads_;
+  FleetLoadFn fleet_load_;
   std::vector<double> steal_fraction_;  // per node, from in-band overhead
   std::vector<PeriodicTask> tasks_;
   MetricsRecorder recorder_;

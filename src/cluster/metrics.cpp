@@ -118,7 +118,7 @@ void RunResult::write_csv(const std::string& path, const std::string& field) con
   }
 }
 
-MetricsRecorder::MetricsRecorder(std::size_t node_count) {
+MetricsRecorder::MetricsRecorder(std::size_t node_count) : node_count_(node_count) {
   result_.nodes.resize(node_count);
   result_.summaries.resize(node_count);
 }
@@ -127,15 +127,8 @@ void MetricsRecorder::stamp(double t_seconds) { result_.times.push_back(t_second
 
 void MetricsRecorder::reserve(std::size_t samples) {
   result_.times.reserve(samples);
-  for (NodeSeries& s : result_.nodes) {
-    s.die_temp.reserve(samples);
-    s.sensor_temp.reserve(samples);
-    s.duty.reserve(samples);
-    s.rpm.reserve(samples);
-    s.freq_ghz.reserve(samples);
-    s.power_w.reserve(samples);
-    s.util.reserve(samples);
-    s.activity.reserve(samples);
+  for (std::vector<double>& col : cols_) {
+    col.reserve(samples * node_count_);
   }
 }
 
@@ -143,16 +136,59 @@ void MetricsRecorder::sample(double t_seconds, std::size_t node, double die, dou
                              double duty, double rpm, double freq_ghz, double power_w,
                              double util, ActivityCode activity) {
   (void)t_seconds;
-  THERMCTL_ASSERT(node < result_.nodes.size(), "node index out of range");
-  NodeSeries& s = result_.nodes[node];
-  s.die_temp.push_back(die);
-  s.sensor_temp.push_back(sensor);
-  s.duty.push_back(duty);
-  s.rpm.push_back(rpm);
-  s.freq_ghz.push_back(freq_ghz);
-  s.power_w.push_back(power_w);
-  s.util.push_back(util);
-  s.activity.push_back(static_cast<double>(static_cast<int>(activity)));
+  // The columnar staging assumes whole fleet rows in node order — exactly
+  // what the engine's recording loop produces.
+  THERMCTL_ASSERT(node == next_node_, "samples must arrive node-major (0..N-1 per round)");
+  next_node_ = (next_node_ + 1 == node_count_) ? 0 : next_node_ + 1;
+  cols_[0].push_back(die);
+  cols_[1].push_back(sensor);
+  cols_[2].push_back(duty);
+  cols_[3].push_back(rpm);
+  cols_[4].push_back(freq_ghz);
+  cols_[5].push_back(power_w);
+  cols_[6].push_back(util);
+  cols_[7].push_back(static_cast<double>(static_cast<int>(activity)));
+}
+
+void MetricsRecorder::flush_columns() const {
+  if (node_count_ == 0 || cols_[0].empty()) {
+    return;
+  }
+  THERMCTL_ASSERT(cols_[0].size() % node_count_ == 0, "flush mid-row");
+  const std::size_t rows = cols_[0].size() / node_count_;
+
+  static constexpr std::vector<double> NodeSeries::*kFields[] = {
+      &NodeSeries::die_temp, &NodeSeries::sensor_temp, &NodeSeries::duty,
+      &NodeSeries::rpm,      &NodeSeries::freq_ghz,    &NodeSeries::power_w,
+      &NodeSeries::util,     &NodeSeries::activity,
+  };
+
+  // Blocked transpose: a block of destination series stays cache-resident
+  // across all rows while the column side is read in contiguous row spans,
+  // so the scatter cost is paid once per element instead of once per record
+  // tick.
+  constexpr std::size_t kBlock = 128;
+  for (std::size_t b0 = 0; b0 < node_count_; b0 += kBlock) {
+    const std::size_t b1 = std::min(node_count_, b0 + kBlock);
+    for (std::size_t i = b0; i < b1; ++i) {
+      for (auto field : kFields) {
+        std::vector<double>& dst = result_.nodes[i].*field;
+        dst.reserve(dst.size() + rows);
+      }
+    }
+    for (std::size_t f = 0; f < kFieldCount; ++f) {
+      const double* col = cols_[f].data();
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double* row = col + r * node_count_;
+        for (std::size_t i = b0; i < b1; ++i) {
+          (result_.nodes[i].*kFields[f]).push_back(row[i]);
+        }
+      }
+    }
+  }
+  for (std::vector<double>& col : cols_) {
+    col.clear();
+  }
 }
 
 }  // namespace thermctl::cluster

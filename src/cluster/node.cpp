@@ -30,11 +30,32 @@ Node::Node(int id, const NodeParams& params, FleetState* fleet, std::size_t slot
       meter_([this] { return Watts{cpu_.power().value() + fan_.power().value()}; },
              params.meter),
       driver_(i2c_),
-      sample_schedule_(static_cast<std::int64_t>(params.sample_period.value() * 1e6)) {
+      sample_schedule_storage_(static_cast<std::int64_t>(params.sample_period.value() * 1e6)) {
   if (fleet != nullptr) {
-    // Hot device state moves into the fleet's SoA arrays before first use.
-    fan_.bind_state(fleet->fan_duty_slot(slot), fleet->fan_rpm_slot(slot));
+    // Hot device + OS state moves into the fleet's SoA arrays before first
+    // use, so the batched sweep and the per-object API share one storage.
+    fan_.bind_state(fleet->fan_duty_slot(slot), fleet->fan_rpm_slot(slot),
+                    fleet->fan_stuck_slot(slot));
     sensor_.bind_state(fleet->sensor_last_slot(slot));
+    cpu_.bind_state(fleet->cpu_slots(slot));
+    chip_.bind_state(fleet->chip_slots(slot));
+    meter_.bind_state(fleet->meter_energy_slot(slot), fleet->meter_elapsed_slot(slot));
+    package_.bind_airflow_memo(fleet->airflow_slot(slot), fleet->airflow_set_slot(slot));
+    auto rebind = [](auto*& ptr, auto* cell) {
+      *cell = *ptr;
+      ptr = cell;
+    };
+    rebind(util_, fleet->util_slot(slot));
+    rebind(busy_jiffies_, fleet->busy_jiffies_slot(slot));
+    rebind(total_jiffies_, fleet->total_jiffies_slot(slot));
+    rebind(jiffy_remainder_busy_, fleet->jiffy_rem_busy_slot(slot));
+    rebind(jiffy_remainder_total_, fleet->jiffy_rem_total_slot(slot));
+    rebind(prochot_events_, fleet->prochot_events_slot(slot));
+    rebind(prochot_seconds_, fleet->prochot_seconds_slot(slot));
+    rebind(halted_, fleet->halted_slot(slot));
+    rebind(bmc_override_duty_, fleet->bmc_override_duty_slot(slot));
+    rebind(bmc_override_set_, fleet->bmc_override_set_slot(slot));
+    rebind(sample_schedule_, fleet->sample_schedule_slot(slot));
   }
   i2c_.attach(sysfs::Adt7467Driver::kDefaultAddress, &chip_);
 
@@ -53,14 +74,20 @@ Node::Node(int id, const NodeParams& params, FleetState* fleet, std::size_t slot
   clamp_ = std::make_unique<sysfs::PowerClampDevice>(vfs_, "/sys/class/thermal", 0, cpu_);
   rapl_ = std::make_unique<sysfs::RaplDomain>(vfs_, "/sys/class/powercap", 0, cpu_);
   proc_stat_ = std::make_unique<sysfs::ProcStat>(
-      vfs_, [this] { return busy_jiffies_; }, [this] { return total_jiffies_; });
+      vfs_, [this] { return busy_jiffies(); }, [this] { return total_jiffies(); });
 
   // Out-of-band plane: BMC sensors + fan override.
   bmc_.add_sensor("CPU Temp", "degrees C", [this] { return sensor_.last_reading().value(); });
   bmc_.add_sensor("Fan1", "RPM", [this] { return fan_.rpm().value(); });
   bmc_.add_sensor("System Power", "Watts", [this] { return meter_.read().value(); });
-  bmc_.set_fan_override_handler(
-      [this](std::optional<DutyCycle> duty) { bmc_fan_override_ = duty; });
+  bmc_.set_fan_override_handler([this](std::optional<DutyCycle> duty) {
+    if (duty.has_value()) {
+      *bmc_override_duty_ = duty->percent();
+      *bmc_override_set_ = 1;
+    } else {
+      *bmc_override_set_ = 0;
+    }
+  });
 
   // Start the fan at the chip's automatic-curve output for the initial
   // (ambient) temperature, as the BIOS would have left it.
@@ -70,11 +97,11 @@ Node::Node(int id, const NodeParams& params, FleetState* fleet, std::size_t slot
   package_.set_airflow(fan_.airflow());
 }
 
-void Node::set_utilization(Utilization u) { util_ = halted_ ? Utilization{0.0} : u; }
+void Node::set_utilization(Utilization u) { *util_ = halted() ? 0.0 : u.fraction(); }
 
 void Node::apply_protection(Celsius die) {
-  if (params_.protection.critical_enabled && die >= params_.protection.critical && !halted_) {
-    halted_ = true;
+  if (params_.protection.critical_enabled && die >= params_.protection.critical && !halted()) {
+    *halted_ = 1;
     THERMCTL_LOG_WARN("node", "node %d THERMTRIP at %.1f C — halted", id_, die.value());
   }
   if (!params_.protection.prochot_enabled) {
@@ -82,7 +109,7 @@ void Node::apply_protection(Celsius die) {
   }
   if (!cpu_.thermal_throttled() && die >= params_.protection.prochot) {
     cpu_.set_thermal_throttle(true);
-    ++prochot_events_;
+    ++*prochot_events_;
     THERMCTL_LOG_INFO("node", "node %d PROCHOT asserted at %.1f C", id_, die.value());
   } else if (cpu_.thermal_throttled() &&
              die <= params_.protection.prochot - params_.protection.prochot_hysteresis) {
@@ -93,18 +120,19 @@ void Node::apply_protection(Celsius die) {
 
 void Node::step_pre_thermal(Seconds dt) {
   THERMCTL_ASSERT(dt.value() > 0.0, "step duration must be positive");
-  if (halted_) {
-    util_ = Utilization{0.0};
+  if (halted()) {
+    *util_ = 0.0;
   }
-  cpu_.set_utilization(util_);
+  cpu_.set_utilization(Utilization{*util_});
   cpu_.set_die_temperature(package_.die_temperature());
 
   // The fan follows the chip's PWM pin unless the BMC has overridden it
   // (the out-of-band plane wins, as on real servers).
-  fan_.set_duty(bmc_fan_override_.value_or(chip_.output_duty()));
+  fan_.set_duty(*bmc_override_set_ != 0 ? DutyCycle{*bmc_override_duty_}
+                                        : chip_.output_duty());
   fan_.step(dt);
 
-  package_.set_cpu_power(halted_ ? Watts{2.0} : cpu_.power());  // halted: trickle
+  package_.set_cpu_power(halted() ? Watts{2.0} : cpu_.power());  // halted: trickle
   package_.set_airflow(fan_.airflow());
 }
 
@@ -119,19 +147,19 @@ void Node::step_post_thermal(Seconds dt) {
   cpu_.advance_counters(dt);
 
   if (cpu_.thermal_throttled()) {
-    prochot_seconds_ += dt.value();
+    *prochot_seconds_ += dt.value();
   }
   apply_protection(die);
 
   // /proc/stat accounting at USER_HZ with fractional carry.
-  jiffy_remainder_busy_ += util_.fraction() * dt.value() * 100.0;
-  jiffy_remainder_total_ += dt.value() * 100.0;
-  const auto busy_whole = static_cast<std::uint64_t>(jiffy_remainder_busy_);
-  const auto total_whole = static_cast<std::uint64_t>(jiffy_remainder_total_);
-  busy_jiffies_ += busy_whole;
-  total_jiffies_ += total_whole;
-  jiffy_remainder_busy_ -= static_cast<double>(busy_whole);
-  jiffy_remainder_total_ -= static_cast<double>(total_whole);
+  *jiffy_remainder_busy_ += *util_ * dt.value() * 100.0;
+  *jiffy_remainder_total_ += dt.value() * 100.0;
+  const auto busy_whole = static_cast<std::uint64_t>(*jiffy_remainder_busy_);
+  const auto total_whole = static_cast<std::uint64_t>(*jiffy_remainder_total_);
+  *busy_jiffies_ += busy_whole;
+  *total_jiffies_ += total_whole;
+  *jiffy_remainder_busy_ -= static_cast<double>(busy_whole);
+  *jiffy_remainder_total_ -= static_cast<double>(total_whole);
 }
 
 void Node::step(Seconds dt) {
@@ -141,7 +169,7 @@ void Node::step(Seconds dt) {
 }
 
 void Node::settle() {
-  cpu_.set_utilization(util_);
+  cpu_.set_utilization(Utilization{*util_});
   cpu_.set_die_temperature(package_.die_temperature());
   package_.set_cpu_power(cpu_.power());
   fan_.settle();
@@ -153,7 +181,8 @@ void Node::settle() {
   package_.set_cpu_power(cpu_.power());
   package_.settle();
   chip_.set_measured_temperature(package_.die_temperature());
-  fan_.set_duty(bmc_fan_override_.value_or(chip_.output_duty()));
+  fan_.set_duty(*bmc_override_set_ != 0 ? DutyCycle{*bmc_override_duty_}
+                                        : chip_.output_duty());
   fan_.settle();
   package_.set_airflow(fan_.airflow());
   package_.settle();

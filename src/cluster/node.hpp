@@ -79,7 +79,7 @@ class Node {
 
   /// Sets the utilization the workload imposes for the next step.
   void set_utilization(Utilization u);
-  [[nodiscard]] Utilization utilization() const { return util_; }
+  [[nodiscard]] Utilization utilization() const { return Utilization{*util_}; }
 
   /// Advances devices, thermal model, protection and meters by `dt`.
   void step(Seconds dt);
@@ -94,8 +94,8 @@ class Node {
 
   /// Takes a thermal-sensor reading (called on the 4 Hz schedule).
   Celsius sample_sensor() { return sensor_.sample(); }
-  [[nodiscard]] const PeriodicSchedule& sample_schedule() const { return sample_schedule_; }
-  PeriodicSchedule& sample_schedule() { return sample_schedule_; }
+  [[nodiscard]] const PeriodicSchedule& sample_schedule() const { return *sample_schedule_; }
+  PeriodicSchedule& sample_schedule() { return *sample_schedule_; }
 
   // ---- state the experiments observe ----
   [[nodiscard]] Celsius die_temperature() const { return package_.die_temperature(); }
@@ -108,15 +108,15 @@ class Node {
 
   /// /proc/stat-style cumulative counters at USER_HZ (100 jiffies/second);
   /// utilization governors diff these, exactly like the real daemon.
-  [[nodiscard]] std::uint64_t busy_jiffies() const { return busy_jiffies_; }
-  [[nodiscard]] std::uint64_t total_jiffies() const { return total_jiffies_; }
+  [[nodiscard]] std::uint64_t busy_jiffies() const { return *busy_jiffies_; }
+  [[nodiscard]] std::uint64_t total_jiffies() const { return *total_jiffies_; }
 
   [[nodiscard]] bool prochot_active() const { return cpu_.thermal_throttled(); }
-  [[nodiscard]] int prochot_events() const { return prochot_events_; }
-  [[nodiscard]] Seconds prochot_time() const { return Seconds{prochot_seconds_}; }
-  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] int prochot_events() const { return *prochot_events_; }
+  [[nodiscard]] Seconds prochot_time() const { return Seconds{*prochot_seconds_}; }
+  [[nodiscard]] bool halted() const { return *halted_ != 0; }
   /// Clears a THERMTRIP halt (operator power-cycles the node).
-  void clear_halt() { halted_ = false; }
+  void clear_halt() { *halted_ = 0; }
 
   // ---- subsystem access for wiring controllers ----
   [[nodiscard]] hw::CpuDevice& cpu() { return cpu_; }
@@ -162,17 +162,33 @@ class Node {
   std::unique_ptr<sysfs::RaplDomain> rapl_;
   std::unique_ptr<sysfs::ProcStat> proc_stat_;
   sysfs::BmcEndpoint bmc_;
-  PeriodicSchedule sample_schedule_;
 
-  Utilization util_{0.0};
-  std::uint64_t busy_jiffies_ = 0;
-  std::uint64_t total_jiffies_ = 0;
-  double jiffy_remainder_busy_ = 0.0;
-  double jiffy_remainder_total_ = 0.0;
-  int prochot_events_ = 0;
-  double prochot_seconds_ = 0.0;
-  bool halted_ = false;
-  std::optional<DutyCycle> bmc_fan_override_;
+  // OS/protection scalars default to inline storage; a fleet-backed node
+  // repoints them into the FleetState SoA arrays in its constructor, so the
+  // batched sweep can walk them contiguously. Behaviour is identical either
+  // way — the accessors above read through the pointers.
+  PeriodicSchedule sample_schedule_storage_;
+  double util_storage_ = 0.0;  // Utilization fraction
+  std::uint64_t busy_jiffies_storage_ = 0;
+  std::uint64_t total_jiffies_storage_ = 0;
+  double jiffy_remainder_busy_storage_ = 0.0;
+  double jiffy_remainder_total_storage_ = 0.0;
+  std::int32_t prochot_events_storage_ = 0;
+  double prochot_seconds_storage_ = 0.0;
+  std::uint8_t halted_storage_ = 0;
+  double bmc_override_duty_storage_ = 0.0;  // percent; valid when set flag != 0
+  std::uint8_t bmc_override_set_storage_ = 0;
+  PeriodicSchedule* sample_schedule_ = &sample_schedule_storage_;
+  double* util_ = &util_storage_;
+  std::uint64_t* busy_jiffies_ = &busy_jiffies_storage_;
+  std::uint64_t* total_jiffies_ = &total_jiffies_storage_;
+  double* jiffy_remainder_busy_ = &jiffy_remainder_busy_storage_;
+  double* jiffy_remainder_total_ = &jiffy_remainder_total_storage_;
+  std::int32_t* prochot_events_ = &prochot_events_storage_;
+  double* prochot_seconds_ = &prochot_seconds_storage_;
+  std::uint8_t* halted_ = &halted_storage_;
+  double* bmc_override_duty_ = &bmc_override_duty_storage_;
+  std::uint8_t* bmc_override_set_ = &bmc_override_set_storage_;
 };
 
 }  // namespace thermctl::cluster

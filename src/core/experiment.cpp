@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/control_bank.hpp"
+
 #include "common/assert.hpp"
 #include "workload/app.hpp"
 
@@ -123,8 +125,16 @@ struct Rig {
   std::unique_ptr<cluster::Engine> engine;
   std::unique_ptr<workload::ParallelApp> app;
   std::vector<workload::SegmentLoad> loads;
-  std::vector<std::unique_ptr<DynamicFanController>> fans;
-  std::vector<std::unique_ptr<TdvfsDaemon>> tdvfs;
+  /// Batched layout: all dynamic fan / tDVFS / unified controllers live in
+  /// one bank, ticked by one periodic per family.
+  std::unique_ptr<ControlBank> bank;
+  /// Per-node layout: individually heap-allocated controllers, one periodic
+  /// each (the historical reference path).
+  std::vector<std::unique_ptr<DynamicFanController>> owned_fans;
+  std::vector<std::unique_ptr<TdvfsDaemon>> owned_tdvfs;
+  /// Node i's controllers regardless of layout (into `bank` or `owned_*`).
+  std::vector<DynamicFanController*> fans;
+  std::vector<TdvfsDaemon*> tdvfs;
   std::vector<std::unique_ptr<CpuspeedGovernor>> cpuspeed;
   std::vector<std::unique_ptr<FaultApplier>> fault_appliers;
   std::unique_ptr<cluster::RoomModel> room;
@@ -255,15 +265,30 @@ void build_fan_policy(Rig& rig, const ExperimentConfig& config) {
         fc.max_duty = config.max_duty;
         fc.fault_aware = config.fault_aware;
         fc.health = config.health;
-        auto controller = std::make_unique<DynamicFanController>(node.hwmon(), fc);
-        controller->set_trace(rig.ring(i));
-        DynamicFanController* raw = controller.get();
-        rig.fans.push_back(std::move(controller));
-        rig.engine->add_periodic(config.node_params.sample_period,
-                                 [raw](SimTime now) { raw->on_sample(now); });
+        if (rig.bank != nullptr) {
+          DynamicFanController& fan = rig.bank->emplace_fan(i, node.hwmon(), fc);
+          fan.set_trace(rig.ring(i));
+          rig.fans.push_back(&fan);
+        } else {
+          auto controller = std::make_unique<DynamicFanController>(node.hwmon(), fc);
+          controller->set_trace(rig.ring(i));
+          rig.fans.push_back(controller.get());
+          rig.owned_fans.push_back(std::move(controller));
+          DynamicFanController* raw = rig.fans.back();
+          rig.engine->add_periodic(config.node_params.sample_period,
+                                   [raw](SimTime now) { raw->on_sample(now); });
+        }
         break;
       }
     }
+  }
+  if (rig.bank != nullptr && rig.bank->fan_count() > 0) {
+    // One periodic sweeps the whole family in node order — registered here,
+    // where the per-node layout registers its last fan periodic, so the
+    // engine's task order is unchanged relative to the reference path.
+    ControlBank* bank = rig.bank.get();
+    rig.engine->add_periodic(config.node_params.sample_period,
+                             [bank](SimTime now) { bank->tick_fans(now); });
   }
 }
 
@@ -278,12 +303,19 @@ void build_dvfs_policy(Rig& rig, const ExperimentConfig& config) {
         tc.pp = config.pp;
         tc.fault_aware = config.fault_aware;
         tc.health = config.health;
-        auto daemon = std::make_unique<TdvfsDaemon>(node.hwmon(), node.cpufreq(), tc);
-        daemon->set_trace(rig.ring(i));
-        TdvfsDaemon* raw = daemon.get();
-        rig.tdvfs.push_back(std::move(daemon));
-        rig.engine->add_periodic(config.node_params.sample_period,
-                                 [raw](SimTime now) { raw->on_sample(now); });
+        if (rig.bank != nullptr) {
+          TdvfsDaemon& daemon = rig.bank->emplace_tdvfs(i, node.hwmon(), node.cpufreq(), tc);
+          daemon.set_trace(rig.ring(i));
+          rig.tdvfs.push_back(&daemon);
+        } else {
+          auto daemon = std::make_unique<TdvfsDaemon>(node.hwmon(), node.cpufreq(), tc);
+          daemon->set_trace(rig.ring(i));
+          rig.tdvfs.push_back(daemon.get());
+          rig.owned_tdvfs.push_back(std::move(daemon));
+          TdvfsDaemon* raw = rig.tdvfs.back();
+          rig.engine->add_periodic(config.node_params.sample_period,
+                                   [raw](SimTime now) { raw->on_sample(now); });
+        }
         break;
       }
       case DvfsPolicyKind::kCpuspeed: {
@@ -297,6 +329,11 @@ void build_dvfs_policy(Rig& rig, const ExperimentConfig& config) {
         break;
       }
     }
+  }
+  if (rig.bank != nullptr && rig.bank->tdvfs_count() > 0) {
+    ControlBank* bank = rig.bank.get();
+    rig.engine->add_periodic(config.node_params.sample_period,
+                             [bank](SimTime now) { bank->tick_tdvfs(now); });
   }
 }
 
@@ -321,8 +358,8 @@ void build_control_plane(Rig& rig, const ExperimentConfig& config) {
       *rig.cluster, config.control_plane.plane, rig.room.get());
   for (std::size_t i = 0; i < config.nodes; ++i) {
     DynamicFanController* fan =
-        config.fan == FanPolicyKind::kDynamic ? rig.fans[i].get() : nullptr;
-    TdvfsDaemon* daemon = config.dvfs == DvfsPolicyKind::kTdvfs ? rig.tdvfs[i].get() : nullptr;
+        config.fan == FanPolicyKind::kDynamic ? rig.fans[i] : nullptr;
+    TdvfsDaemon* daemon = config.dvfs == DvfsPolicyKind::kTdvfs ? rig.tdvfs[i] : nullptr;
     if (fan == nullptr && daemon == nullptr) {
       continue;
     }
@@ -451,7 +488,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   Rig rig;
   cluster::NodeParams node_params = config.node_params;
   node_params.seed = config.seed;
-  rig.cluster = std::make_unique<cluster::Cluster>(config.nodes, node_params);
+  const bool batched = config.control_layout == ControlLayout::kBatched;
+  rig.cluster = std::make_unique<cluster::Cluster>(config.nodes, node_params, batched);
+  if (batched &&
+      (config.fan == FanPolicyKind::kDynamic || config.dvfs == DvfsPolicyKind::kTdvfs)) {
+    cluster::FleetState* fleet = rig.cluster->fleet();
+    rig.bank = std::make_unique<ControlBank>(
+        config.nodes, fleet != nullptr ? fleet->sensor_last_data() : nullptr);
+  }
 
   // The machine idles before the job starts: settle at near-zero load.
   for (std::size_t i = 0; i < config.nodes; ++i) {
@@ -489,6 +533,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   build_fault_campaign(rig, config, engine_cfg.horizon, result);
   build_fan_policy(rig, config);
   build_dvfs_policy(rig, config);
+  if (config.control_phase_wheel) {
+    THERMCTL_ASSERT(rig.bank != nullptr, "phase wheel requires the batched control layout");
+    rig.bank->stagger_windows();
+  }
   build_control_plane(rig, config);
   build_live_telemetry(rig, config);
 
@@ -501,14 +549,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     view.watchdog = rig.watchdog.get();
     view.spiller = rig.spiller.get();
     view.config = &config;
-    view.fans.reserve(rig.fans.size());
-    for (const auto& fan : rig.fans) {
-      view.fans.push_back(fan.get());
-    }
-    view.tdvfs.reserve(rig.tdvfs.size());
-    for (const auto& daemon : rig.tdvfs) {
-      view.tdvfs.push_back(daemon.get());
-    }
+    view.fans = rig.fans;
+    view.tdvfs = rig.tdvfs;
     config.on_rig_built(view);
   }
 

@@ -46,10 +46,13 @@ void DynamicFanController::set_policy(PolicyParam pp) {
 }
 
 void DynamicFanController::on_sample(SimTime now) {
+  on_sample_with(now, hwmon_.read_temperature());
+}
+
+void DynamicFanController::on_sample_with(SimTime now, Celsius reading) {
   // Keep the ring's clock fresh before any bus traffic so i2c retry events
   // emitted below land at this tick's sim time.
   THERMCTL_TRACE_SET_TIME(trace_, now.seconds());
-  Celsius reading = hwmon_.read_temperature();
 
   if (!initialized_) {
     // Take over from the BIOS/auto mode: claim manual PWM control, then

@@ -68,6 +68,12 @@ class DynamicFanController {
   /// window round, maybe retarget the fan.
   void on_sample(SimTime now);
 
+  /// on_sample with the reading supplied by the caller — the ControlBank
+  /// batches the hwmon reads across a fleet and feeds each controller its
+  /// own node's value. `reading` must equal what hwmon.read_temperature()
+  /// would return at this tick; the tick logic is byte-for-byte the same.
+  void on_sample_with(SimTime now, Celsius reading);
+
   [[nodiscard]] std::size_t current_index() const { return index_; }
   [[nodiscard]] DutyCycle current_duty() const;
   [[nodiscard]] const ThermalControlArray& array() const { return array_; }
@@ -90,6 +96,10 @@ class DynamicFanController {
   /// selector decision, PWM retarget, sensor classification, and fail-safe
   /// transition is then recorded; control behaviour is unchanged.
   void set_trace(obs::TraceRing* trace) { trace_ = trace; }
+
+  /// The sampling window, mutable so a ControlBank can rebind its storage
+  /// into bank-owned SoA arrays (and a phase wheel can stagger it).
+  [[nodiscard]] TwoLevelWindow& window() { return window_; }
 
  private:
   static std::vector<double> duty_modes(const FanControlConfig& config);

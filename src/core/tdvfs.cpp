@@ -68,8 +68,11 @@ void TdvfsDaemon::retarget(SimTime now, std::size_t target, int consistency, boo
 }
 
 void TdvfsDaemon::on_sample(SimTime now) {
+  on_sample_with(now, hwmon_.read_temperature());
+}
+
+void TdvfsDaemon::on_sample_with(SimTime now, Celsius reading) {
   THERMCTL_TRACE_SET_TIME(trace_, now.seconds());
-  Celsius reading = hwmon_.read_temperature();
 
   if (health_.has_value()) {
     const SensorState state = health_->observe(now, reading);

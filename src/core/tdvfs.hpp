@@ -76,6 +76,11 @@ class TdvfsDaemon {
   /// Daemon tick (call at the sensor sampling rate).
   void on_sample(SimTime now);
 
+  /// on_sample with the reading supplied by the caller (ControlBank batched
+  /// path). `reading` must equal what hwmon.read_temperature() would return
+  /// at this tick; the tick logic is byte-for-byte the same.
+  void on_sample_with(SimTime now, Celsius reading);
+
   [[nodiscard]] std::size_t current_index() const { return index_; }
   [[nodiscard]] GigaHertz current_target() const;
   [[nodiscard]] const std::vector<TdvfsEvent>& events() const { return events_; }
@@ -105,6 +110,10 @@ class TdvfsDaemon {
   /// selector decisions, trigger/restore transitions (with the consistency
   /// counts that armed them), and hold transitions are then recorded.
   void set_trace(obs::TraceRing* trace) { trace_ = trace; }
+
+  /// The sampling window, mutable so a ControlBank can rebind its storage
+  /// into bank-owned SoA arrays (and a phase wheel can stagger it).
+  [[nodiscard]] TwoLevelWindow& window() { return window_; }
 
  private:
   /// `consistency` and `is_restore` feed the decision trace: how many

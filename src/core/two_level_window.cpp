@@ -5,31 +5,67 @@
 namespace thermctl::core {
 
 TwoLevelWindow::TwoLevelWindow(WindowConfig config)
-    : config_(config), level2_(config.level2_size) {
+    : config_(config),
+      round_size_(config.level1_size),
+      inline_cells_(config.level1_size + config.level2_size, 0.0) {
   THERMCTL_ASSERT(config_.level1_size >= 2 && config_.level1_size % 2 == 0,
                   "level-one window must be even-sized and >= 2");
   THERMCTL_ASSERT(config_.level2_size >= 2, "level-two FIFO must hold >= 2 rounds");
-  level1_.reserve(config_.level1_size);
+  level1_ = inline_cells_.data();
+  level2_ = inline_cells_.data() + config_.level1_size;
+}
+
+void TwoLevelWindow::bind_state(const WindowSlots& slots) {
+  for (std::size_t i = 0; i < config_.level1_size; ++i) {
+    slots.level1[i] = level1_[i];
+  }
+  for (std::size_t i = 0; i < config_.level2_size; ++i) {
+    slots.level2[i] = level2_[i];
+  }
+  *slots.level1_fill = *level1_fill_;
+  *slots.level2_head = *level2_head_;
+  *slots.level2_count = *level2_count_;
+  level1_ = slots.level1;
+  level2_ = slots.level2;
+  level1_fill_ = slots.level1_fill;
+  level2_head_ = slots.level2_head;
+  level2_count_ = slots.level2_count;
 }
 
 void TwoLevelWindow::reset() {
-  level1_.clear();
-  level2_.clear();
+  *level1_fill_ = 0;
+  *level2_head_ = 0;
+  *level2_count_ = 0;
+  round_size_ = config_.level1_size - stagger_;
 }
 
-std::optional<WindowRound> TwoLevelWindow::add_sample(Celsius t) {
-  level1_.push_back(t);
-  if (level1_.size() < config_.level1_size) {
-    return std::nullopt;
-  }
+void TwoLevelWindow::stagger(std::size_t skip) {
+  THERMCTL_ASSERT(skip < config_.level1_size, "stagger must be < level1_size");
+  stagger_ = skip;
+  round_size_ = config_.level1_size - skip;
+}
 
-  // Round complete: Δt_L1 = sum(second half) − sum(first half).
-  const std::size_t half = config_.level1_size / 2;
+Celsius TwoLevelWindow::level2_front() const {
+  THERMCTL_ASSERT(*level2_count_ > 0, "level2_front() on empty FIFO");
+  return Celsius{level2_[*level2_head_]};
+}
+
+Celsius TwoLevelWindow::level2_rear() const {
+  THERMCTL_ASSERT(*level2_count_ > 0, "level2_rear() on empty FIFO");
+  return Celsius{level2_[(*level2_head_ + *level2_count_ - 1) % config_.level2_size]};
+}
+
+std::optional<WindowRound> TwoLevelWindow::close_round() {
+  // Round complete: Δt_L1 = sum(second half) − sum(first half). A staggered
+  // first round closes short (round_size_ < level1_size); the halves and the
+  // average then cover just the samples it actually saw.
+  const std::size_t n = *level1_fill_;
+  const std::size_t half = n / 2;
   double first = 0.0;
   double second = 0.0;
   double total = 0.0;
-  for (std::size_t i = 0; i < level1_.size(); ++i) {
-    const double v = level1_[i].value();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = level1_[i];
     total += v;
     if (i < half) {
       first += v;
@@ -40,16 +76,24 @@ std::optional<WindowRound> TwoLevelWindow::add_sample(Celsius t) {
 
   WindowRound round;
   round.level1_delta = CelsiusDelta{second - first};
-  round.level1_average = Celsius{total / static_cast<double>(config_.level1_size)};
+  round.level1_average = Celsius{total / static_cast<double>(n)};
 
-  // Push the round average into the FIFO, then read Δt_L2 = rear − front.
-  level2_.push(round.level1_average);
-  if (level2_.size() >= 2) {
-    round.level2_delta = level2_.back() - level2_.front();
+  // Push the round average into the FIFO (oldest evicted when full), then
+  // read Δt_L2 = rear − front.
+  const std::size_t cap = config_.level2_size;
+  level2_[(*level2_head_ + *level2_count_) % cap] = round.level1_average.value();
+  if (*level2_count_ == cap) {
+    *level2_head_ = (*level2_head_ + 1) % cap;
+  } else {
+    ++*level2_count_;
+  }
+  if (*level2_count_ >= 2) {
+    round.level2_delta = level2_rear() - level2_front();
     round.level2_valid = true;
   }
 
-  level1_.clear();  // "cells ... cleared out for next round of sampling"
+  *level1_fill_ = 0;  // "cells ... cleared out for next round of sampling"
+  round_size_ = config_.level1_size;
   return round;
 }
 

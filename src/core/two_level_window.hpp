@@ -18,13 +18,19 @@
 //
 // With the paper's 4 Hz sampling and a 4-entry level-one array, rounds
 // complete once per second and the level-two FIFO spans five seconds.
+//
+// Storage follows the fleet bind_state pattern: samples, the FIFO cells and
+// the three counters default to inline storage but can be rebound onto
+// external SoA slots (bind_state) so a ControlBank can keep thousands of
+// windows' hot state in contiguous node-major arrays. Behaviour is
+// bit-identical either way — the same add_sample code runs on the same
+// values, just at a different address.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <vector>
 
-#include "common/ring_buffer.hpp"
 #include "common/units.hpp"
 
 namespace thermctl::core {
@@ -42,30 +48,82 @@ struct WindowRound {
   bool level2_valid = false;     // FIFO had ≥ 2 entries when Δt_L2 was read
 };
 
+/// External storage one window's hot state can be rebound onto — node-major
+/// rows/cells of a ControlBank's SoA arrays. `level1` must hold
+/// config.level1_size cells and `level2` config.level2_size cells.
+struct WindowSlots {
+  double* level1 = nullptr;
+  double* level2 = nullptr;
+  std::size_t* level1_fill = nullptr;
+  std::size_t* level2_head = nullptr;
+  std::size_t* level2_count = nullptr;
+};
+
 class TwoLevelWindow {
  public:
   explicit TwoLevelWindow(WindowConfig config = {});
 
+  // Sample/FIFO storage may be rebound into bank-owned SoA arrays
+  // (bind_state), so the window must not be duplicated with pointers into
+  // the old storage.
+  TwoLevelWindow(const TwoLevelWindow&) = delete;
+  TwoLevelWindow& operator=(const TwoLevelWindow&) = delete;
+
+  /// Rebinds all hot state onto external storage (ControlBank SoA slots).
+  /// Current contents carry over.
+  void bind_state(const WindowSlots& slots);
+
   /// Adds a sample; returns a WindowRound when this sample completes a
-  /// level-one round, otherwise nullopt.
-  std::optional<WindowRound> add_sample(Celsius t);
+  /// level-one round, otherwise nullopt. Inline so the no-round common case
+  /// (all but one sample in level1_size) is a store and a compare at the
+  /// caller.
+  std::optional<WindowRound> add_sample(Celsius t) {
+    level1_[(*level1_fill_)++] = t.value();
+    if (*level1_fill_ < round_size_) {
+      return std::nullopt;
+    }
+    return close_round();
+  }
 
   /// Discards all history (e.g. after a controller mode change that makes
-  /// old samples unrepresentative).
+  /// old samples unrepresentative). A configured stagger (see below) is
+  /// re-applied, so a staggered window stays phase-offset after resets.
   void reset();
 
+  /// Phase-wheel support: shortens the *next* round to `level1_size - skip`
+  /// samples (skip in [0, level1_size)), after which rounds return to full
+  /// length. Spreading `skip` round-robin across a fleet staggers the
+  /// windows so each engine step closes only ~1/level1_size of them. NOT
+  /// bit-identical to synchronized windows — the short round averages fewer
+  /// samples — which is why it is opt-in and excluded from the differential
+  /// oracle's default pairings.
+  void stagger(std::size_t skip);
+
   [[nodiscard]] const WindowConfig& config() const { return config_; }
-  [[nodiscard]] std::size_t level1_fill() const { return level1_.size(); }
-  [[nodiscard]] std::size_t level2_fill() const { return level2_.size(); }
+  [[nodiscard]] std::size_t level1_fill() const { return *level1_fill_; }
+  [[nodiscard]] std::size_t level2_fill() const { return *level2_count_; }
 
   /// Front (oldest) and rear (newest) of the level-two FIFO.
-  [[nodiscard]] Celsius level2_front() const { return level2_.front(); }
-  [[nodiscard]] Celsius level2_rear() const { return level2_.back(); }
+  [[nodiscard]] Celsius level2_front() const;
+  [[nodiscard]] Celsius level2_rear() const;
 
  private:
+  [[nodiscard]] std::optional<WindowRound> close_round();
+
   WindowConfig config_;
-  std::vector<Celsius> level1_;
-  RingBuffer<Celsius> level2_;
+  std::size_t stagger_ = 0;    // sticky first-round shortening (phase wheel)
+  std::size_t round_size_ = 0; // samples until the current round closes
+  // Hot state defaults to inline storage; bind_state() repoints it into
+  // ControlBank SoA slots without changing behaviour.
+  std::vector<double> inline_cells_;  // level1_size + level2_size doubles
+  std::size_t level1_fill_storage_ = 0;
+  std::size_t level2_head_storage_ = 0;
+  std::size_t level2_count_storage_ = 0;
+  double* level1_ = nullptr;
+  double* level2_ = nullptr;
+  std::size_t* level1_fill_ = &level1_fill_storage_;
+  std::size_t* level2_head_ = &level2_head_storage_;
+  std::size_t* level2_count_ = &level2_count_storage_;
 };
 
 }  // namespace thermctl::core

@@ -40,6 +40,14 @@ void UnifiedController::on_sample(SimTime now) {
   }
 }
 
+void UnifiedController::on_sample_with(SimTime now, Celsius reading) {
+  fan_.on_sample_with(now, reading);
+  dvfs_.on_sample_with(now, reading);
+  if (idle_.has_value()) {
+    idle_->on_sample(now);
+  }
+}
+
 void UnifiedController::set_policy(PolicyParam pp) {
   fan_.set_policy(pp);
   dvfs_.set_policy(pp);

@@ -53,6 +53,13 @@ class UnifiedController {
   /// technique runs first (it is free), then the in-band one.
   void on_sample(SimTime now);
 
+  /// on_sample with the shared hwmon reading supplied by the caller (the
+  /// ControlBank batches the sensor reads across a fleet). `reading` must
+  /// equal what hwmon.read_temperature() would return at this tick; both
+  /// sub-controllers then behave byte-for-byte the same. The idle-injection
+  /// backstop keeps its own read path (it samples independently).
+  void on_sample_with(SimTime now, Celsius reading);
+
   /// Applies one Pp to both techniques (the paper's single-knob contract).
   void set_policy(PolicyParam pp);
 

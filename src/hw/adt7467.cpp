@@ -7,6 +7,17 @@ namespace thermctl::hw {
 
 Adt7467::Adt7467() { refresh_output(); }
 
+void Adt7467::bind_state(const ChipStateSlots& slots) {
+  *slots.temp_remote1 = *temp_remote1_;
+  *slots.tach1 = *tach1_;
+  *slots.last_measured_rpm = *last_measured_rpm_;
+  *slots.output_duty_pct = *output_duty_pct_;
+  temp_remote1_ = slots.temp_remote1;
+  tach1_ = slots.tach1;
+  last_measured_rpm_ = slots.last_measured_rpm;
+  output_duty_pct_ = slots.output_duty_pct;
+}
+
 std::uint8_t Adt7467::duty_to_reg(DutyCycle d) {
   return static_cast<std::uint8_t>(std::lround(d.fraction() * 255.0));
 }
@@ -18,23 +29,23 @@ DutyCycle Adt7467::reg_to_duty(std::uint8_t v) {
 void Adt7467::set_measured_temperature(Celsius t) {
   const double clamped = std::clamp(t.value(), -128.0, 127.0);
   const auto reg = static_cast<std::int8_t>(std::lround(clamped));
-  if (reg == temp_remote1_) {
+  if (reg == *temp_remote1_) {
     return;  // sub-degree drift doesn't move the register or the auto curve
   }
-  temp_remote1_ = reg;
+  *temp_remote1_ = reg;
   refresh_output();
 }
 
 void Adt7467::set_measured_rpm(Rpm rpm) {
-  if (rpm.value() == last_measured_rpm_) {
+  if (rpm.value() == *last_measured_rpm_) {
     return;  // rotor at steady state: the latched tach period is current
   }
-  last_measured_rpm_ = rpm.value();
+  *last_measured_rpm_ = rpm.value();
   if (rpm.value() < 100.0) {
-    tach1_ = 0xFFFF;  // stalled / too slow to measure
+    *tach1_ = 0xFFFF;  // stalled / too slow to measure
   } else {
     const double count = kTachClock / rpm.value();
-    tach1_ = static_cast<std::uint16_t>(std::min(count, 65534.0));
+    *tach1_ = static_cast<std::uint16_t>(std::min(count, 65534.0));
   }
 }
 
@@ -54,8 +65,9 @@ DutyCycle Adt7467::auto_curve(Celsius t) const {
 void Adt7467::refresh_output() {
   if (!manual_mode()) {
     pwm1_duty_ = std::min(
-        duty_to_reg(auto_curve(Celsius{static_cast<double>(temp_remote1_)})), pwm1_max_);
+        duty_to_reg(auto_curve(Celsius{static_cast<double>(*temp_remote1_)})), pwm1_max_);
   }
+  refresh_duty_mirror();
 }
 
 DutyCycle Adt7467::output_duty() const { return reg_to_duty(pwm1_duty_); }
@@ -63,11 +75,11 @@ DutyCycle Adt7467::output_duty() const { return reg_to_duty(pwm1_duty_); }
 std::optional<std::uint8_t> Adt7467::read_register(std::uint8_t reg) {
   switch (reg) {
     case kRegTempRemote1:
-      return static_cast<std::uint8_t>(temp_remote1_);
+      return static_cast<std::uint8_t>(*temp_remote1_);
     case kRegTach1Low:
-      return static_cast<std::uint8_t>(tach1_ & 0xFF);
+      return static_cast<std::uint8_t>(*tach1_ & 0xFF);
     case kRegTach1High:
-      return static_cast<std::uint8_t>(tach1_ >> 8);
+      return static_cast<std::uint8_t>(*tach1_ >> 8);
     case kRegPwm1Duty:
       return pwm1_duty_;
     case kRegPwm1Max:
@@ -98,6 +110,7 @@ bool Adt7467::write_register(std::uint8_t reg, std::uint8_t value) {
         return false;
       }
       pwm1_duty_ = value;
+      refresh_duty_mirror();
       return true;
     case kRegPwm1Max:
       pwm1_max_ = value;

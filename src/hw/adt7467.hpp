@@ -33,6 +33,19 @@
 
 namespace thermctl::hw {
 
+/// External storage the chip's latched measurements and output mirror can be
+/// rebound onto (bind_state) — slots into FleetState's SoA arrays so the
+/// fleet sweep can batch the measurement-side protocol without touching the
+/// register objects.
+struct ChipStateSlots {
+  std::int8_t* temp_remote1 = nullptr;
+  std::uint16_t* tach1 = nullptr;
+  double* last_measured_rpm = nullptr;
+  /// Mirror of reg_to_duty(PWM1_DUTY).percent(), refreshed whenever the duty
+  /// register changes (auto-curve refresh or manual write).
+  double* output_duty_pct = nullptr;
+};
+
 class Adt7467 final : public I2cSlave {
  public:
   // Register addresses (public so drivers and tests share one definition).
@@ -58,6 +71,15 @@ class Adt7467 final : public I2cSlave {
   static constexpr double kTachClock = 5.4e6;
 
   Adt7467();
+
+  // Latched state may be rebound into fleet-owned SoA arrays (bind_state),
+  // so the chip must not be duplicated with pointers into the old storage.
+  Adt7467(const Adt7467&) = delete;
+  Adt7467& operator=(const Adt7467&) = delete;
+
+  /// Rebinds the latched measurements and the output-duty mirror onto
+  /// external storage (FleetState SoA slots). Current values carry over.
+  void bind_state(const ChipStateSlots& slots);
 
   // --- physical-side interface (wired by the node model, not by drivers) ---
 
@@ -87,10 +109,18 @@ class Adt7467 final : public I2cSlave {
 
  private:
   void refresh_output();
+  void refresh_duty_mirror() { *output_duty_pct_ = reg_to_duty(pwm1_duty_).percent(); }
 
-  std::int8_t temp_remote1_ = 25;   // latched measurement, °C
-  std::uint16_t tach1_ = 0xFFFF;    // latched tach period
-  double last_measured_rpm_ = -1.0;  // skip tach recompute when unchanged
+  // Latched measurements default to inline storage; bind_state() repoints
+  // them into FleetState SoA slots without changing behaviour.
+  std::int8_t temp_remote1_storage_ = 25;    // latched measurement, °C
+  std::uint16_t tach1_storage_ = 0xFFFF;     // latched tach period
+  double last_measured_rpm_storage_ = -1.0;  // skip tach recompute when unchanged
+  double output_duty_pct_storage_ = 0.0;     // mirror of the PWM output pin
+  std::int8_t* temp_remote1_ = &temp_remote1_storage_;
+  std::uint16_t* tach1_ = &tach1_storage_;
+  double* last_measured_rpm_ = &last_measured_rpm_storage_;
+  double* output_duty_pct_ = &output_duty_pct_storage_;
   std::uint8_t pwm1_duty_ = 0;      // current duty register
   std::uint8_t pwm1_max_ = 0xFF;    // automatic-curve ceiling
   std::uint8_t pwm1_config_ = static_cast<std::uint8_t>(kBehaviourAutoRemote1 << 5);

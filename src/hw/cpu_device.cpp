@@ -16,12 +16,45 @@ CpuDevice::CpuDevice(CpuParams params)
   THERMCTL_ASSERT(params_.k_dyn > 0.0 && params_.k_leak >= 0.0, "power coefficients invalid");
 }
 
+void CpuDevice::bind_state(const CpuStateSlots& slots) {
+  *slots.pstate = *pstate_;
+  *slots.utilization = *utilization_;
+  *slots.die_temperature = *die_temperature_;
+  *slots.power_cache = *power_cache_;
+  *slots.power_valid = *power_valid_;
+  *slots.power_gen = *power_gen_;
+  *slots.throttled = *throttled_;
+  *slots.transitions = *transitions_;
+  *slots.aperf = *aperf_;
+  *slots.mperf = *mperf_;
+  *slots.energy_uj = *energy_uj_;
+  *slots.aperf_frac = *aperf_frac_;
+  *slots.mperf_frac = *mperf_frac_;
+  *slots.energy_frac = *energy_frac_;
+  pstate_ = slots.pstate;
+  utilization_ = slots.utilization;
+  die_temperature_ = slots.die_temperature;
+  power_cache_ = slots.power_cache;
+  power_valid_ = slots.power_valid;
+  power_gen_ = slots.power_gen;
+  throttled_ = slots.throttled;
+  transitions_ = slots.transitions;
+  aperf_ = slots.aperf;
+  mperf_ = slots.mperf;
+  energy_uj_ = slots.energy_uj;
+  aperf_frac_ = slots.aperf_frac;
+  mperf_frac_ = slots.mperf_frac;
+  energy_frac_ = slots.energy_frac;
+  idle_injector_.bind_state(slots.inj_dynamic_factor, slots.inj_leakage_factor,
+                            slots.inj_throughput_factor, slots.inj_generation);
+}
+
 void CpuDevice::set_pstate(std::size_t index) {
   THERMCTL_ASSERT(index < params_.pstates.size(), "P-state index out of range");
-  if (index != current_) {
-    current_ = index;
-    ++transitions_;
-    power_valid_ = false;
+  if (index != *pstate_) {
+    *pstate_ = static_cast<std::uint32_t>(index);
+    ++*transitions_;
+    *power_valid_ = 0;
   }
 }
 
@@ -39,10 +72,10 @@ void CpuDevice::set_frequency(GigaHertz f) {
 }
 
 void CpuDevice::recompute_power() const {
-  const PState& ps = params_.pstates[current_];
+  const PState& ps = params_.pstates[*pstate_];
   const double v2 = ps.voltage.value() * ps.voltage.value();
   const double activity =
-      params_.idle_activity + (1.0 - params_.idle_activity) * utilization_.fraction();
+      params_.idle_activity + (1.0 - params_.idle_activity) * *utilization_;
   // PROCHOT clock-gates: dynamic power tracks the delivered (effective)
   // frequency while voltage stays at the OS-selected P-state. Forced-idle
   // injection scales both components by its per-C-state retention.
@@ -50,11 +83,11 @@ void CpuDevice::recompute_power() const {
                        idle_injector_.dynamic_power_factor();
   const double p_leak =
       params_.k_leak * v2 *
-      (1.0 + params_.leakage_alpha * (die_temperature_.value() - params_.t_ref.value())) *
+      (1.0 + params_.leakage_alpha * (*die_temperature_ - params_.t_ref.value())) *
       idle_injector_.leakage_power_factor();
-  power_cache_ = p_dyn + std::max(0.0, p_leak);
-  power_valid_ = true;
-  power_injection_gen_ = idle_injector_.generation();
+  *power_cache_ = p_dyn + std::max(0.0, p_leak);
+  *power_valid_ = 1;
+  *power_gen_ = idle_injector_.generation();
 }
 
 void CpuDevice::advance_counters(Seconds dt) {
@@ -64,18 +97,18 @@ void CpuDevice::advance_counters(Seconds dt) {
   const double mperf_inc = max_frequency().value() * dt.value() * 1e3;
   const double energy_inc = power().value() * dt.value() * 1e6;  // J -> uJ
 
-  aperf_frac_ += aperf_inc;
-  mperf_frac_ += mperf_inc;
-  energy_frac_ += energy_inc;
-  const auto a = static_cast<std::uint64_t>(aperf_frac_);
-  const auto m = static_cast<std::uint64_t>(mperf_frac_);
-  const auto e = static_cast<std::uint64_t>(energy_frac_);
-  aperf_ += a;
-  mperf_ += m;
-  energy_uj_ += e;
-  aperf_frac_ -= static_cast<double>(a);
-  mperf_frac_ -= static_cast<double>(m);
-  energy_frac_ -= static_cast<double>(e);
+  *aperf_frac_ += aperf_inc;
+  *mperf_frac_ += mperf_inc;
+  *energy_frac_ += energy_inc;
+  const auto a = static_cast<std::uint64_t>(*aperf_frac_);
+  const auto m = static_cast<std::uint64_t>(*mperf_frac_);
+  const auto e = static_cast<std::uint64_t>(*energy_frac_);
+  *aperf_ += a;
+  *mperf_ += m;
+  *energy_uj_ += e;
+  *aperf_frac_ -= static_cast<double>(a);
+  *mperf_frac_ -= static_cast<double>(m);
+  *energy_frac_ -= static_cast<double>(e);
 }
 
 }  // namespace thermctl::hw

@@ -31,7 +31,8 @@ void IdleInjector::set_injection(double fraction, std::size_t state) {
   THERMCTL_ASSERT(state < params_.cstates.size(), "C-state index out of range");
   fraction_ = std::clamp(fraction, 0.0, params_.max_fraction);
   state_ = state;
-  ++generation_;
+  ++*generation_;
+  refresh_mirrors();
 }
 
 double IdleInjector::throughput_factor() const {

@@ -51,8 +51,29 @@ class IdleInjector {
  public:
   explicit IdleInjector(IdleInjectorParams params = {});
 
+  // Mirrors may be rebound into fleet-owned SoA arrays (bind_state), so the
+  // injector must not be duplicated with pointers into the old storage.
+  IdleInjector(const IdleInjector&) = delete;
+  IdleInjector& operator=(const IdleInjector&) = delete;
+
   [[nodiscard]] const std::vector<CState>& cstates() const { return params_.cstates; }
   [[nodiscard]] std::size_t cstate_count() const { return params_.cstates.size(); }
+
+  /// Rebinds the injection mirrors (the three factors + the generation
+  /// counter) onto external storage — the FleetState SoA arrays. The sweep
+  /// multiplies the factor arrays into its power/throughput math every step;
+  /// an inactive injector mirrors exact 1.0s, so the multiplications are
+  /// bitwise no-ops and the batched path stays identical to the per-node
+  /// one whether or not injection is in use.
+  void bind_state(double* dynamic_factor, double* leakage_factor, double* throughput_factor,
+                  std::uint64_t* generation) {
+    *generation = *generation_;
+    dyn_factor_ = dynamic_factor;
+    leak_factor_ = leakage_factor;
+    thr_factor_ = throughput_factor;
+    generation_ = generation;
+    refresh_mirrors();
+  }
 
   /// Commands injection of `fraction` of each period spent in C-state
   /// `state` (0-based into cstates()). Fraction is clamped to
@@ -60,7 +81,8 @@ class IdleInjector {
   void set_injection(double fraction, std::size_t state);
   void stop() {
     fraction_ = 0.0;
-    ++generation_;
+    ++*generation_;
+    refresh_mirrors();
   }
 
   [[nodiscard]] double fraction() const { return fraction_; }
@@ -80,13 +102,28 @@ class IdleInjector {
 
   /// Bumped on every injection change; lets consumers (the CPU's power
   /// cache) detect staleness without comparing the full injection state.
-  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  [[nodiscard]] std::uint64_t generation() const { return *generation_; }
 
  private:
+  void refresh_mirrors() {
+    *dyn_factor_ = dynamic_power_factor();
+    *leak_factor_ = leakage_power_factor();
+    *thr_factor_ = throughput_factor();
+  }
+
   IdleInjectorParams params_;
   double fraction_ = 0.0;
   std::size_t state_ = 0;
-  std::uint64_t generation_ = 0;
+  // Mirrors default to inline storage; bind_state() repoints them into
+  // FleetState SoA slots without changing behaviour.
+  double dyn_factor_storage_ = 1.0;
+  double leak_factor_storage_ = 1.0;
+  double thr_factor_storage_ = 1.0;
+  std::uint64_t generation_storage_ = 0;
+  double* dyn_factor_ = &dyn_factor_storage_;
+  double* leak_factor_ = &leak_factor_storage_;
+  double* thr_factor_ = &thr_factor_storage_;
+  std::uint64_t* generation_ = &generation_storage_;
 };
 
 }  // namespace thermctl::hw

@@ -14,6 +14,7 @@
 //  * Failure injection: a stuck rotor for the emergency scenarios.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 
 #include "common/units.hpp"
@@ -43,14 +44,17 @@ class FanDevice {
   FanDevice(const FanDevice&) = delete;
   FanDevice& operator=(const FanDevice&) = delete;
 
-  /// Rebinds the rotor state (duty %, RPM) onto external storage — the
-  /// FleetState SoA arrays. Current values carry over; the device keeps
-  /// behaving identically, it just keeps its hot state in the fleet arrays.
-  void bind_state(double* duty_pct, double* rpm) {
+  /// Rebinds the rotor state (duty %, RPM, stuck flag) onto external
+  /// storage — the FleetState SoA arrays. Current values carry over; the
+  /// device keeps behaving identically, it just keeps its hot state in the
+  /// fleet arrays.
+  void bind_state(double* duty_pct, double* rpm, std::uint8_t* stuck) {
     *duty_pct = *duty_pct_;
     *rpm = *rpm_;
+    *stuck = *stuck_;
     duty_pct_ = duty_pct;
     rpm_ = rpm;
+    stuck_ = stuck;
   }
 
   /// Commands a PWM duty cycle; takes effect through the rotor lag.
@@ -61,7 +65,7 @@ class FanDevice {
   /// the exponential smoothing factor only depends on dt, which the engine
   /// holds constant, so it is cached rather than recomputed per step.
   void step(Seconds dt) {
-    const double target = stuck_ ? 0.0 : target_rpm(duty()).value();
+    const double target = (*stuck_ != 0) ? 0.0 : target_rpm(duty()).value();
     if (dt.value() != alpha_dt_) {
       recompute_alpha(dt);
     }
@@ -100,9 +104,9 @@ class FanDevice {
 
   /// Injects a stuck-rotor fault: the fan ignores commands and coasts to a
   /// halt. `clear_fault` restores normal operation.
-  void inject_stuck_fault() { stuck_ = true; }
-  void clear_fault() { stuck_ = false; }
-  [[nodiscard]] bool faulted() const { return stuck_; }
+  void inject_stuck_fault() { *stuck_ = 1; }
+  void clear_fault() { *stuck_ = 0; }
+  [[nodiscard]] bool faulted() const { return *stuck_ != 0; }
 
   [[nodiscard]] const FanParams& params() const { return params_; }
 
@@ -114,9 +118,10 @@ class FanDevice {
   // FleetState SoA slot without changing behaviour.
   double duty_pct_storage_ = 0.0;
   double rpm_storage_ = 0.0;
+  std::uint8_t stuck_storage_ = 0;
   double* duty_pct_ = &duty_pct_storage_;
   double* rpm_ = &rpm_storage_;
-  bool stuck_ = false;
+  std::uint8_t* stuck_ = &stuck_storage_;
   // dt the cached smoothing factor was built for; NaN compares unequal to
   // every dt, forcing (and validating) the first computation.
   double alpha_dt_ = std::numeric_limits<double>::quiet_NaN();

@@ -23,15 +23,15 @@ Watts PowerMeter::read_with(Watts dc_component) const {
 }
 
 Watts PowerMeter::average_power() const {
-  if (elapsed_seconds_ <= 0.0) {
+  if (*elapsed_seconds_ <= 0.0) {
     return Watts{0.0};
   }
-  return Watts{energy_joules_ / elapsed_seconds_};
+  return Watts{*energy_joules_ / *elapsed_seconds_};
 }
 
 void PowerMeter::reset() {
-  energy_joules_ = 0.0;
-  elapsed_seconds_ = 0.0;
+  *energy_joules_ = 0.0;
+  *elapsed_seconds_ = 0.0;
 }
 
 }  // namespace thermctl::hw

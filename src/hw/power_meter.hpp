@@ -31,6 +31,21 @@ class PowerMeter {
   /// (CPU + fan + anything else the node registers).
   PowerMeter(std::function<Watts()> dc_load, PowerMeterParams params = {});
 
+  // The integration accumulators may be rebound into fleet-owned SoA arrays
+  // (bind_state), so the meter must not be duplicated with pointers into the
+  // old storage.
+  PowerMeter(const PowerMeter&) = delete;
+  PowerMeter& operator=(const PowerMeter&) = delete;
+
+  /// Rebinds the energy/elapsed accumulators onto external storage
+  /// (FleetState SoA slots). Current values carry over.
+  void bind_state(double* energy_joules, double* elapsed_seconds) {
+    *energy_joules = *energy_joules_;
+    *elapsed_seconds = *elapsed_seconds_;
+    energy_joules_ = energy_joules;
+    elapsed_seconds_ = elapsed_seconds;
+  }
+
   /// Instantaneous AC-side power as the meter would display it.
   [[nodiscard]] Watts read() const;
 
@@ -46,12 +61,12 @@ class PowerMeter {
   void integrate_with(Seconds dt, Watts dc_component) {
     THERMCTL_ASSERT(dt.value() >= 0.0, "negative integration interval");
     const double dc = params_.base_load.value() + dc_component.value();
-    energy_joules_ += dc / params_.psu_efficiency * dt.value();
-    elapsed_seconds_ += dt.value();
+    *energy_joules_ += dc / params_.psu_efficiency * dt.value();
+    *elapsed_seconds_ += dt.value();
   }
 
   /// Energy accumulated so far (the meter's kWh counter, in joules).
-  [[nodiscard]] Joules energy() const { return Joules{energy_joules_}; }
+  [[nodiscard]] Joules energy() const { return Joules{*energy_joules_}; }
 
   /// Average power over the integration window so far.
   [[nodiscard]] Watts average_power() const;
@@ -63,8 +78,12 @@ class PowerMeter {
  private:
   std::function<Watts()> dc_load_;
   PowerMeterParams params_;
-  double energy_joules_ = 0.0;
-  double elapsed_seconds_ = 0.0;
+  // Accumulators default to inline storage; bind_state() repoints them into
+  // FleetState SoA slots without changing behaviour.
+  double energy_joules_storage_ = 0.0;
+  double elapsed_seconds_storage_ = 0.0;
+  double* energy_joules_ = &energy_joules_storage_;
+  double* elapsed_seconds_ = &elapsed_seconds_storage_;
 };
 
 }  // namespace thermctl::hw

@@ -8,6 +8,7 @@
 // tens of seconds (the "gradual" behaviour).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "common/units.hpp"
@@ -58,6 +59,13 @@ class PackageModel {
   /// been built from `wire_network(params, ...)` so the wiring ids line up.
   PackageModel(const PackageParams& params, RcBatch& batch, std::size_t slot);
 
+  // The airflow memo may be rebound into fleet-owned SoA arrays
+  // (bind_airflow_memo), so the model must not be duplicated with pointers
+  // into the old storage. Callers build packages in place (prvalue
+  // construction elides; no move needed).
+  PackageModel(const PackageModel&) = delete;
+  PackageModel& operator=(const PackageModel&) = delete;
+
   /// Builds the three-node chain into `net` (initial temperatures at
   /// ambient, still-air convection) and returns the handles. Both the
   /// standalone backend and FleetState's batch template go through here, so
@@ -76,11 +84,11 @@ class PackageModel {
   /// law is only re-evaluated when the airflow actually moved — the fan's
   /// rotor settles between duty changes, making steady steps free.
   void set_airflow(Cfm v) {
-    if (airflow_set_ && v.value() == airflow_.value()) {
+    if (*airflow_set_ != 0 && v.value() == *airflow_cfm_) {
       return;
     }
-    airflow_ = v;
-    airflow_set_ = true;
+    *airflow_cfm_ = v.value();
+    *airflow_set_ = 1;
     const KelvinPerWatt r = convection_.resistance(v);
     if (batch_ != nullptr) {
       batch_->set_resistance(slot_, wiring_.hs_amb, r);
@@ -118,7 +126,7 @@ class PackageModel {
   }
   [[nodiscard]] Celsius heatsink_temperature() const { return temperature(wiring_.heatsink); }
   [[nodiscard]] Celsius ambient_temperature() const { return temperature(wiring_.ambient); }
-  [[nodiscard]] Cfm airflow() const { return airflow_; }
+  [[nodiscard]] Cfm airflow() const { return Cfm{*airflow_cfm_}; }
   [[nodiscard]] Watts cpu_power() const;
 
   /// Steady-state die temperature for a hypothetical (power, airflow) point —
@@ -129,6 +137,17 @@ class PackageModel {
   [[nodiscard]] const PackageParams& params() const { return params_; }
   /// True when this package is a view onto a FleetState batch column.
   [[nodiscard]] bool fleet_backed() const { return batch_ != nullptr; }
+
+  /// Rebinds the airflow memo (last applied CFM + applied flag) onto
+  /// external storage — FleetState SoA slots — so the fleet sweep can run
+  /// the same skip-if-unchanged test over contiguous arrays. Current values
+  /// carry over.
+  void bind_airflow_memo(double* airflow_cfm, std::uint8_t* airflow_set) {
+    *airflow_cfm = *airflow_cfm_;
+    *airflow_set = *airflow_set_;
+    airflow_cfm_ = airflow_cfm;
+    airflow_set_ = airflow_set;
+  }
 
  private:
   [[nodiscard]] Celsius temperature(NodeId n) const {
@@ -145,8 +164,12 @@ class PackageModel {
   const double* die_temp_cell_ = nullptr;
   std::size_t slot_ = 0;
   PackageWiring wiring_{};
-  Cfm airflow_{0.0};
-  bool airflow_set_ = false;
+  // Airflow memo defaults to inline storage; bind_airflow_memo() repoints it
+  // into FleetState SoA slots without changing behaviour.
+  double airflow_cfm_storage_ = 0.0;
+  std::uint8_t airflow_set_storage_ = 0;
+  double* airflow_cfm_ = &airflow_cfm_storage_;
+  std::uint8_t* airflow_set_ = &airflow_set_storage_;
 };
 
 }  // namespace thermctl::thermal

@@ -221,6 +221,35 @@ void RcBatch::ensure_plan(std::size_t b, double dt) {
   }
 }
 
+namespace {
+
+// The substep inner loops, hoisted into free functions whose pointer
+// parameters are restrict-qualified. The rows they receive never overlap:
+// flux/cond/power are distinct arrays, and the two temp_ rows belong to
+// distinct RC nodes (self-edges are rejected at add_edge). Declaring that at
+// the parameter level — where GCC honours restrict — lets the vectorizer
+// emit one straight-line SIMD loop instead of versioning every invocation
+// with runtime overlap tests. noinline keeps the restrict contract from
+// being discarded by inlining back into the (aliasing-opaque) caller.
+[[gnu::noinline]] void flux_accumulate(double* __restrict f, const double* __restrict tk,
+                                       const double* __restrict tn,
+                                       const double* __restrict g, std::size_t begin,
+                                       std::size_t end) {
+  for (std::size_t b = begin; b < end; ++b) {
+    f[b] += (tn[b] - tk[b]) * g[b];
+  }
+}
+
+[[gnu::noinline]] void temp_update(double* __restrict tk, const double* __restrict f,
+                                   const double* __restrict p, double c, double h,
+                                   std::size_t begin, std::size_t end) {
+  for (std::size_t b = begin; b < end; ++b) {
+    tk[b] += h * (p[b] + f[b]) / c;
+  }
+}
+
+}  // namespace
+
 void RcBatch::euler_substep_range(double h, std::size_t begin, std::size_t end) {
   // Two passes (flux from pre-step temperatures, then update) keep the
   // scheme Jacobi. Within each node row the instance loop is unit-stride and
@@ -236,24 +265,15 @@ void RcBatch::euler_substep_range(double h, std::size_t begin, std::size_t end) 
     }
     const std::size_t slot_end = csr_offset_[k + 1];
     for (std::size_t s = csr_offset_[k]; s < slot_end; ++s) {
-      const double* tn = row(temp_, csr_neighbor_[s]);
-      const double* g = row(cond_, s);
-      for (std::size_t b = begin; b < end; ++b) {
-        f[b] += (tn[b] - tk[b]) * g[b];
-      }
+      flux_accumulate(f, tk, row(temp_, csr_neighbor_[s]), row(cond_, s), begin, end);
     }
   }
   for (std::size_t k = 0; k < node_count_; ++k) {
     if (fixed_[k]) {
       continue;
     }
-    double* tk = row(temp_, k);
-    const double* f = row(flux_, k);
-    const double* p = row(power_, k);
-    const double c = capacitance_[k];
-    for (std::size_t b = begin; b < end; ++b) {
-      tk[b] += h * (p[b] + f[b]) / c;
-    }
+    temp_update(row(temp_, k), row(flux_, k), row(power_, k), capacitance_[k], h, begin,
+                end);
   }
 }
 

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/assert.hpp"
 #include "common/units.hpp"
 #include "thermal/rc_network.hpp"
@@ -129,10 +130,10 @@ class RcBatch {
   /// Refreshes instance b's substep plan if its recompute condition fires.
   void ensure_plan(std::size_t b, double dt);
 
-  [[nodiscard]] double* row(std::vector<double>& v, std::size_t k) {
+  [[nodiscard]] double* row(AlignedVector<double>& v, std::size_t k) {
     return v.data() + k * instances_;
   }
-  [[nodiscard]] const double* row(const std::vector<double>& v, std::size_t k) const {
+  [[nodiscard]] const double* row(const AlignedVector<double>& v, std::size_t k) const {
     return v.data() + k * instances_;
   }
 
@@ -147,11 +148,12 @@ class RcBatch {
   std::vector<std::pair<std::size_t, std::size_t>> edge_slots_;  // [E]
   std::vector<std::pair<std::size_t, std::size_t>> edge_nodes_;  // [E]
 
-  // Per-instance SoA state: node-major rows of length B.
-  std::vector<double> temp_;   // [K*B]
-  std::vector<double> power_;  // [K*B]
-  std::vector<double> cond_;   // [2E*B], slot-major rows
-  std::vector<double> flux_;   // [K*B] scratch
+  // Per-instance SoA state: node-major rows of length B, each array on a
+  // cache-line boundary for the vectorized substep sweeps.
+  AlignedVector<double> temp_;   // [K*B]
+  AlignedVector<double> power_;  // [K*B]
+  AlignedVector<double> cond_;   // [2E*B], slot-major rows
+  AlignedVector<double> flux_;   // [K*B] scratch
 
   // Per-instance substep plan cache (mirrors RcNetwork's). Unlike RcNetwork,
   // the batch keeps min_tau_ *always fresh*: set_resistance refreshes only
@@ -160,7 +162,7 @@ class RcBatch {
   // plan_stale_ then plays exactly the role of RcNetwork's min_tau_dirty_ in
   // the substep-plan recompute condition — including the quirk that reading
   // min_time_constant() clears it without refreshing an already-cached plan.
-  std::vector<double> node_tau_;                 // [K*B]; 1e30 = never wins
+  AlignedVector<double> node_tau_;               // [K*B]; 1e30 = never wins
   mutable std::vector<double> min_tau_;          // [B]
   mutable std::vector<std::uint8_t> plan_stale_;  // [B]
   std::vector<double> cached_dt_;                // [B]

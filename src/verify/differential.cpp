@@ -28,6 +28,8 @@ const char* to_string(OraclePairKind kind) {
       return "live-telemetry-on-vs-off";
     case OraclePairKind::kDaemonPassiveVsEngine:
       return "daemon-passive-vs-engine";
+    case OraclePairKind::kBatchedVsPerNodeControl:
+      return "batched-vs-per-node-control";
   }
   return "unknown";
 }
@@ -395,6 +397,50 @@ OracleReport run_oracle(const std::vector<core::ExperimentConfig>& corpus,
       const core::ExperimentResult hosted = d.run();
       record(i, OraclePairKind::kDaemonPassiveVsEngine,
              diff_results(base[i], hosted, options.max_differences));
+    }
+  }
+
+  // Pair 8: the batched fleet layout (FleetState SoA arrays swept by
+  // FleetSweep, controllers banked and ticked one periodic per family with a
+  // batched sensor latch) vs the per-node-object reference layout (every
+  // node its own devices, every controller its own periodic, every sensor
+  // read a VirtualFs round trip). This pair runs BOTH sides itself rather
+  // than reusing `base` so it can also mix in fault campaigns (live sensor
+  // stuck/bus faults through the fault-aware gates) and armed telemetry —
+  // the batched latch and family tick order must hold up under both, not
+  // just on clean dark runs.
+  {
+    std::vector<core::ExperimentConfig> variant = corpus;
+    for (std::size_t i = 0; i < variant.size(); ++i) {
+      core::ExperimentConfig& cfg = variant[i];
+      if (i % 2 == 1) {
+        cfg.fault_aware = true;
+        cfg.faults.enabled = true;
+        cfg.faults.episodes_per_node = 2;
+        cfg.faults.start_after = Seconds{2.0};
+        cfg.faults.min_duration = Seconds{1.0};
+        cfg.faults.max_duration = Seconds{6.0};
+      }
+      if (i % 3 == 1) {
+        cfg.telemetry.trace = true;
+        cfg.telemetry.metrics = true;
+      }
+    }
+    std::vector<core::ExperimentConfig> batched = variant;
+    for (core::ExperimentConfig& cfg : batched) {
+      cfg.control_layout = core::ControlLayout::kBatched;
+    }
+    std::vector<core::ExperimentConfig> per_node = variant;
+    for (core::ExperimentConfig& cfg : per_node) {
+      cfg.control_layout = core::ControlLayout::kPerNode;
+    }
+    const std::vector<core::ExperimentResult> banked =
+        runtime::run_sweep(batched, runtime::SweepOptions{.threads = options.threads});
+    const std::vector<core::ExperimentResult> unbanked =
+        runtime::run_sweep(per_node, runtime::SweepOptions{.threads = options.threads});
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      record(i, OraclePairKind::kBatchedVsPerNodeControl,
+             diff_results(banked[i], unbanked[i], options.max_differences));
     }
   }
 

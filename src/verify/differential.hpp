@@ -6,9 +6,11 @@
 // gating is a no-op on a zero-fault run, the sharded engine
 // (EngineConfig::workers > 1) reproduces the serial engine bit-for-bit,
 // a *passive* control plane (full message flow, zero actuation)
-// leaves a run bit-identical to one with no plane attached at all, and a
+// leaves a run bit-identical to one with no plane attached at all, a
 // thermctld daemon given no commands is a pure observer of the run it
-// hosts.
+// hosts, and the batched fleet layout (FleetState SoA + FleetSweep +
+// ControlBank family ticks) reproduces the per-node-object reference
+// layout bit-for-bit.
 // Each promise is load-bearing — paper figures are produced by parallel
 // sweeps, telemetry is meant to be always-safe to turn on, fault-aware mode
 // must not change the paper's baseline behaviour, and fleet-scale runs lean
@@ -39,6 +41,8 @@ enum class OraclePairKind : std::uint8_t {
   kPlanePassiveVsDetached,  // passive control plane attached vs no plane
   kLiveTelemetryOnVsOff,    // spiller + rollups + watchdog + exposition vs dark
   kDaemonPassiveVsEngine,   // thermctld with no socket/commands vs plain run
+  kBatchedVsPerNodeControl, // ControlBank/FleetSweep batched layout vs the
+                            // per-node-object reference layout
 };
 
 [[nodiscard]] const char* to_string(OraclePairKind kind);
@@ -90,7 +94,7 @@ struct OracleOptions {
 [[nodiscard]] std::vector<core::ExperimentConfig> make_oracle_corpus(std::uint64_t seed,
                                                                      std::size_t count);
 
-/// Runs every config under all seven pairings and reports any diff.
+/// Runs every config under all eight pairings and reports any diff.
 [[nodiscard]] OracleReport run_oracle(const std::vector<core::ExperimentConfig>& corpus,
                                       OracleOptions options = {});
 

@@ -127,6 +127,52 @@ TEST(Engine, CooldownExtendsRunPastCompletion) {
   EXPECT_GT(result.times.back(), 5.5);  // kept recording through cooldown
 }
 
+TEST(Engine, FleetLoadFnDrivesWholeRow) {
+  Cluster cluster{3, quiet()};
+  Engine engine{cluster, short_run(4.0)};
+  engine.set_fleet_load_fn([](SimTime, double* util, const std::uint8_t* halted,
+                              std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      util[i] = halted[i] != 0 ? 0.0 : 0.2 + 0.1 * static_cast<double>(i);
+    }
+  });
+  const RunResult result = engine.run();
+  ASSERT_EQ(result.nodes.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(result.nodes[i].util.back(), 0.2 + 0.1 * static_cast<double>(i), 1e-12);
+  }
+}
+
+TEST(Engine, PerNodeLoadFnOverridesFleetLoad) {
+  Cluster cluster{2, quiet()};
+  Engine engine{cluster, short_run(4.0)};
+  engine.set_fleet_load_fn([](SimTime, double* util, const std::uint8_t* halted,
+                              std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      util[i] = halted[i] != 0 ? 0.0 : 0.3;
+    }
+  });
+  engine.set_node_load_fn(1, [](SimTime) { return Utilization{0.9}; });
+  const RunResult result = engine.run();
+  EXPECT_NEAR(result.nodes[0].util.back(), 0.3, 1e-12);
+  EXPECT_NEAR(result.nodes[1].util.back(), 0.9, 1e-12);
+}
+
+TEST(Engine, RepeatedRunsAppendToRecordedSeries) {
+  // Two runs on one engine keep appending to the same recorder — the
+  // columnar staging behind MetricsRecorder must drain per result() read and
+  // keep accepting rows afterwards.
+  Cluster cluster{2, quiet()};
+  Engine engine{cluster, short_run(2.0)};
+  const std::size_t first = engine.run().times.size();
+  const RunResult again = engine.run();
+  EXPECT_GT(again.times.size(), first);
+  for (const NodeSeries& n : again.nodes) {
+    EXPECT_EQ(n.die_temp.size(), again.times.size());
+    EXPECT_EQ(n.util.size(), again.times.size());
+  }
+}
+
 TEST(EngineDeath, TwoRanksOneNodeAborts) {
   Cluster cluster{1, quiet()};
   Engine engine{cluster, short_run(1.0)};

@@ -1,0 +1,54 @@
+// AlignedVector backs the batched solvers' SoA arrays; the vectorized sweeps
+// assume every buffer starts on a cache-line boundary.
+#include "common/aligned.hpp"
+
+#include <cstdint>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace thermctl {
+namespace {
+
+bool aligned64(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % 64 == 0;
+}
+
+TEST(AlignedVector, BufferStartsOnCacheLineForAnySize) {
+  for (std::size_t n : {1u, 2u, 7u, 63u, 64u, 65u, 1000u, 4096u}) {
+    AlignedVector<double> v(n, 1.5);
+    EXPECT_TRUE(aligned64(v.data())) << "size " << n;
+  }
+}
+
+TEST(AlignedVector, GrowthPreservesAlignmentAndContents) {
+  AlignedVector<double> v;
+  for (int i = 0; i < 300; ++i) {
+    v.push_back(static_cast<double>(i));
+    ASSERT_TRUE(aligned64(v.data())) << "after push " << i;
+  }
+  EXPECT_DOUBLE_EQ(std::accumulate(v.begin(), v.end(), 0.0), 299.0 * 300.0 / 2.0);
+}
+
+TEST(AlignedAllocator, StatelessAllocatorsCompareEqual) {
+  // vector move/swap relies on allocator equality; a stateless aligned
+  // allocator must always compare equal (storage is interchangeable).
+  AlignedAllocator<double> a;
+  AlignedAllocator<double> b;
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a != b);
+  double* p = a.allocate(17);
+  EXPECT_TRUE(aligned64(p));
+  b.deallocate(p, 17);  // cross-instance deallocate is legal
+}
+
+TEST(AlignedAllocator, RebindKeepsAlignment) {
+  using Rebound = AlignedAllocator<double>::rebind<std::size_t>::other;
+  Rebound r;
+  std::size_t* p = r.allocate(5);
+  EXPECT_TRUE(aligned64(p));
+  r.deallocate(p, 5);
+}
+
+}  // namespace
+}  // namespace thermctl

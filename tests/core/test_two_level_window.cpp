@@ -184,5 +184,95 @@ TEST_P(WindowGeometrySweep, RampDeltaMatchesClosedForm) {
 INSTANTIATE_TEST_SUITE_P(EvenSizes, WindowGeometrySweep,
                          ::testing::Values(2u, 4u, 6u, 8u, 12u, 16u));
 
+TEST(TwoLevelWindow, BindStateCarriesContentsAndStaysBitIdentical) {
+  // Fill a window mid-round with one complete round already in the FIFO,
+  // rebind its hot state onto external SoA-style slots (the ControlBank
+  // path), and keep sampling: every subsequent round must agree bitwise
+  // with a never-rebound reference window fed the same sequence.
+  TwoLevelWindow bound;
+  TwoLevelWindow reference;
+  auto feed_both = [&](double t) {
+    const auto a = bound.add_sample(Celsius{t});
+    const auto b = reference.add_sample(Celsius{t});
+    EXPECT_EQ(a.has_value(), b.has_value());
+    if (a.has_value() && b.has_value()) {
+      EXPECT_EQ(a->level1_delta.value(), b->level1_delta.value());
+      EXPECT_EQ(a->level2_delta.value(), b->level2_delta.value());
+      EXPECT_EQ(a->level1_average.value(), b->level1_average.value());
+      EXPECT_EQ(a->level2_valid, b->level2_valid);
+    }
+  };
+  for (int i = 0; i < 6; ++i) {  // one full round + 2 samples in flight
+    feed_both(40.0 + 0.3 * i);
+  }
+  ASSERT_EQ(bound.level1_fill(), 2u);
+  ASSERT_EQ(bound.level2_fill(), 1u);
+
+  std::vector<double> level1(bound.config().level1_size);
+  std::vector<double> level2(bound.config().level2_size);
+  std::size_t fill = 0;
+  std::size_t head = 0;
+  std::size_t count = 0;
+  WindowSlots slots;
+  slots.level1 = level1.data();
+  slots.level2 = level2.data();
+  slots.level1_fill = &fill;
+  slots.level2_head = &head;
+  slots.level2_count = &count;
+  bound.bind_state(slots);
+
+  // Contents carried over into the external slots...
+  EXPECT_EQ(fill, 2u);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(bound.level2_front().value(), reference.level2_front().value());
+  // ...and behaviour is unchanged through rounds, FIFO wraps and a reset.
+  for (int i = 0; i < 30; ++i) {
+    feed_both(45.0 - 0.2 * i);
+  }
+  bound.reset();
+  reference.reset();
+  EXPECT_EQ(fill, 0u);
+  for (int i = 0; i < 12; ++i) {
+    feed_both(50.0 + 0.5 * i);
+  }
+}
+
+TEST(TwoLevelWindow, StaggerShortensOnlyTheNextRound) {
+  TwoLevelWindow w;  // level1_size = 4
+  w.stagger(3);      // next round closes after a single sample
+  const auto first = w.add_sample(Celsius{48.0});
+  ASSERT_TRUE(first.has_value());
+  EXPECT_DOUBLE_EQ(first->level1_average.value(), 48.0);
+  // Rounds return to full length afterwards.
+  for (int round = 0; round < 3; ++round) {
+    int samples = 0;
+    std::optional<WindowRound> r;
+    while (!r.has_value()) {
+      r = w.add_sample(Celsius{48.0});
+      ++samples;
+    }
+    EXPECT_EQ(samples, 4) << "round " << round;
+  }
+}
+
+TEST(TwoLevelWindow, StaggerIsStickyAcrossReset) {
+  // A mode change resets the window; the phase offset must survive or the
+  // fleet re-synchronizes on the first reset and the wheel stops working.
+  TwoLevelWindow w;
+  w.stagger(2);
+  EXPECT_FALSE(w.add_sample(Celsius{40.0}).has_value());
+  EXPECT_TRUE(w.add_sample(Celsius{40.0}).has_value());  // short round: 2 samples
+  w.reset();
+  EXPECT_FALSE(w.add_sample(Celsius{40.0}).has_value());
+  EXPECT_TRUE(w.add_sample(Celsius{40.0}).has_value());  // short again after reset
+  // Zero stagger restores synchronized behaviour.
+  TwoLevelWindow plain;
+  plain.stagger(0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(plain.add_sample(Celsius{40.0}).has_value());
+  }
+  EXPECT_TRUE(plain.add_sample(Celsius{40.0}).has_value());
+}
+
 }  // namespace
 }  // namespace thermctl::core

@@ -294,6 +294,70 @@ TEST(RcBatch, MixedFleetFallsBackPerNodeForTheOddOneOut) {
   EXPECT_GT(odd.temperature(odie).value(), odd_start);  // odd one still simulated
 }
 
+// The vectorized substep sweeps process instances in SIMD lanes; counts not
+// divisible by the vector width leave scalar tail iterations, and step_range
+// can start/end mid-register. Every such shape must stay bit-exact against
+// per-node stepping. Widths up to 8 doubles (AVX-512) are covered by counts
+// 1..13.
+class RcBatchTailSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RcBatchTailSweep, OddInstanceCountsStayBitExact) {
+  const std::size_t instances = GetParam();
+  auto tmpl = make_package_wiring();
+  RcBatch batch{tmpl->net, instances};
+  std::vector<std::unique_ptr<PackageWiring>> solo;
+  for (std::size_t b = 0; b < instances; ++b) {
+    solo.push_back(make_package_wiring());
+    // Distinct per-instance powers so a lane mixup cannot cancel out.
+    const double power = 20.0 + 7.0 * static_cast<double>(b);
+    batch.set_power(b, tmpl->die, Watts{power});
+    solo[b]->net.set_power(solo[b]->die, Watts{power});
+  }
+  for (int step = 0; step < 400; ++step) {
+    batch.step_all(Seconds{0.05});
+    for (std::size_t b = 0; b < instances; ++b) {
+      solo[b]->net.step(Seconds{0.05});
+      ASSERT_BITS_EQ(batch.temperature(b, tmpl->die).value(),
+                     solo[b]->net.temperature(solo[b]->die).value())
+          << "instance " << b << " of " << instances << " step " << step;
+      ASSERT_BITS_EQ(batch.temperature(b, tmpl->hs).value(),
+                     solo[b]->net.temperature(solo[b]->hs).value())
+          << "instance " << b << " of " << instances << " step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TailCounts, RcBatchTailSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u, 13u));
+
+TEST(RcBatch, StepRangeMisalignedBoundsStayBitExact) {
+  // Shard boundaries land mid-register: step [0,3), [3,10) and [10,13)
+  // separately (as the sharded engine would) and require bitwise agreement
+  // with 13 standalone networks stepped with the same dt.
+  constexpr std::size_t kInstances = 13;
+  auto tmpl = make_package_wiring();
+  RcBatch batch{tmpl->net, kInstances};
+  std::vector<std::unique_ptr<PackageWiring>> solo;
+  for (std::size_t b = 0; b < kInstances; ++b) {
+    solo.push_back(make_package_wiring());
+    const double power = 15.0 + 5.0 * static_cast<double>(b);
+    batch.set_power(b, tmpl->die, Watts{power});
+    solo[b]->net.set_power(solo[b]->die, Watts{power});
+  }
+  const std::size_t bounds[] = {0, 3, 10, 13};
+  for (int step = 0; step < 300; ++step) {
+    for (std::size_t s = 0; s + 1 < 4; ++s) {
+      batch.step_range(Seconds{0.05}, bounds[s], bounds[s + 1]);
+    }
+    for (std::size_t b = 0; b < kInstances; ++b) {
+      solo[b]->net.step(Seconds{0.05});
+      ASSERT_BITS_EQ(batch.temperature(b, tmpl->die).value(),
+                     solo[b]->net.temperature(solo[b]->die).value())
+          << "instance " << b << " step " << step;
+    }
+  }
+}
+
 TEST(RcBatch, MemoryFootprintScalesWithInstances) {
   auto tmpl = make_package_wiring();
   RcBatch small{tmpl->net, 16};

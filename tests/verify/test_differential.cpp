@@ -110,7 +110,7 @@ TEST(Oracle, SmallCorpusPassesAllPairs) {
   const OracleReport report = run_oracle(corpus);
   EXPECT_TRUE(report.ok()) << report.to_string();
   EXPECT_EQ(report.configs, 4u);
-  EXPECT_EQ(report.pairs_checked, 28u);  // 7 pairings per config
+  EXPECT_EQ(report.pairs_checked, 32u);  // 8 pairings per config
 }
 
 TEST(Oracle, PassivePlanePairingHasTeeth) {
@@ -133,6 +133,46 @@ TEST(Oracle, PassivePlanePairingHasTeeth) {
   EXPECT_FALSE(diff_results(detached, capped).identical());
   EXPECT_GT(capped.plane_stats.caps_lowered, 0u);
   EXPECT_EQ(detached.plane_stats.rounds, 0u);
+}
+
+TEST(Oracle, BatchedPairingGreenOnIdenticalLayouts) {
+  // The eighth pairing's promise, at unit scale: the ControlBank/FleetSweep
+  // batched layout and the per-node-object reference layout are bit-identical
+  // on the same config — including an active dynamic fan + tDVFS control path.
+  core::ExperimentConfig cfg = quick_config();
+  cfg.name = "batched-green";
+  cfg.nodes = 3;
+  cfg.workload = core::WorkloadKind::kCpuBurn;
+  cfg.cpu_burn_duration = Seconds{10.0};
+  cfg.engine.horizon = Seconds{16.0};
+  cfg.dvfs = core::DvfsPolicyKind::kTdvfs;
+
+  cfg.control_layout = core::ControlLayout::kBatched;
+  const core::ExperimentResult batched = core::run_experiment(cfg);
+  cfg.control_layout = core::ControlLayout::kPerNode;
+  const core::ExperimentResult per_node = core::run_experiment(cfg);
+  const ResultDiff diff = diff_results(batched, per_node);
+  EXPECT_TRUE(diff.identical())
+      << (diff.differences.empty() ? "" : diff.differences[0]);
+}
+
+TEST(Oracle, BatchedPairingRedOnControlScheduleDrift) {
+  // ...and the pairing has teeth: a control-schedule perturbation of exactly
+  // the kind a buggy batched layout would introduce — windows closing on a
+  // different tick, here induced deliberately via the phase wheel — must show
+  // up as a behavioural diff, not vanish in the comparison.
+  core::ExperimentConfig cfg = quick_config();
+  cfg.name = "batched-red";
+  cfg.nodes = 3;
+  cfg.workload = core::WorkloadKind::kCpuBurn;
+  cfg.cpu_burn_duration = Seconds{10.0};
+  cfg.engine.horizon = Seconds{16.0};
+  cfg.control_layout = core::ControlLayout::kBatched;
+
+  const core::ExperimentResult synchronized = core::run_experiment(cfg);
+  cfg.control_phase_wheel = true;
+  const core::ExperimentResult staggered = core::run_experiment(cfg);
+  EXPECT_FALSE(diff_results(synchronized, staggered).identical());
 }
 
 TEST(OracleCorpus, IncludesWideRacksForShardedPairs) {

@@ -39,8 +39,8 @@ def run_once(bench, horizon, max_scale, timeout_s):
         cmd = [
             str(bench),
             "--horizon", str(horizon),
-            # Keep the guard run small: the scaling ladder is for the
-            # tracked report, not the regression gate.
+            # The guard ladder stops at --ladder-scale: enough points to gate
+            # the fleet-scale falloff without the full 100k build each run.
             "--max-scale", str(max_scale),
             "--sweep-points", "2",
             "--out", str(out),
@@ -63,6 +63,9 @@ def main():
                         help="simulated seconds per run (default 60)")
     parser.add_argument("--timeout", type=float, default=600.0,
                         help="per-run wall clock limit in seconds")
+    parser.add_argument("--ladder-scale", type=int, default=2048,
+                        help="largest scaling-ladder point to run and gate "
+                             "(default 2048; floors for absent points are skipped)")
     args = parser.parse_args()
 
     bench = pathlib.Path(args.bench)
@@ -78,14 +81,20 @@ def main():
 
     best = 0.0
     best_node_steps = 0.0
+    ladder_best = {}  # node count -> best node_steps_per_sec across runs
     parallelism_available = True
     for i in range(max(1, args.runs)):
-        report = run_once(bench, args.horizon, max_scale=16, timeout_s=args.timeout)
+        report = run_once(bench, args.horizon, max_scale=args.ladder_scale,
+                          timeout_s=args.timeout)
         sps = float(report["hot_path"]["steps_per_sec"])
         nsps = float(report["hot_path"].get("node_steps_per_sec", 0.0))
         parallelism_available = bool(report.get("parallelism_available", True))
         print(f"bench_guard: run {i + 1}: {sps:,.0f} steps/s "
               f"({nsps:,.0f} node-steps/s)")
+        for point in report.get("scaling", []):
+            nodes = int(point["nodes"])
+            point_nsps = float(point.get("node_steps_per_sec", 0.0))
+            ladder_best[nodes] = max(ladder_best.get(nodes, 0.0), point_nsps)
         if sps > best:
             best, best_node_steps = sps, nsps
 
@@ -113,6 +122,32 @@ def main():
         print("bench_guard: hot-path throughput regressed below the checked-in "
               "floor; see tools/bench_guard.py for what this gate is meant to "
               "catch before adjusting the floor.", file=sys.stderr)
+        return 1
+
+    # Per-ladder-point floors: node_steps_per_sec at each fleet size must not
+    # collapse. This is what catches a reintroduced per-node dispatch path or
+    # a de-vectorized RC batch — regressions the 16-node hot path never sees.
+    ladder_floors = {int(k): float(v) for k, v in
+                     floor_doc.get("scaling_node_steps_per_sec_floors", {}).items()}
+    ladder_scale = 1.0
+    if not parallelism_available:
+        ladder_scale = float(floor_doc.get("single_core_ladder_floor_scale", 1.0))
+    failed_points = []
+    for nodes in sorted(ladder_floors):
+        if nodes not in ladder_best:
+            continue  # above --ladder-scale in this guard run
+        point_floor = ladder_floors[nodes] * ladder_scale
+        got = ladder_best[nodes]
+        point_verdict = "PASS" if got >= point_floor or point_floor <= 0.0 else "FAIL"
+        print(f"bench_guard: ladder {nodes:>6} nodes: {got:,.0f} node-steps/s "
+              f"vs floor {point_floor:,.0f} -> {point_verdict}")
+        if point_verdict == "FAIL":
+            failed_points.append(nodes)
+    if failed_points:
+        print(f"bench_guard: fleet-scale throughput regressed at "
+              f"{failed_points} nodes; the batched control path or the "
+              f"vectorized RC substeps likely lost their layout win.",
+              file=sys.stderr)
         return 1
     return 0
 
